@@ -1,0 +1,70 @@
+// Command f2bench regenerates the tables and figures of the F² paper's
+// evaluation (§5) plus the security games and design ablations.
+//
+// Usage:
+//
+//	f2bench                  # run everything at default scale
+//	f2bench -exp fig9        # run one experiment
+//	f2bench -quick           # quarter-scale smoke run
+//	f2bench -scale 2.0       # double the default dataset sizes
+//	f2bench -list            # list experiment ids
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"f2/internal/bench"
+)
+
+func main() {
+	var (
+		exp   = flag.String("exp", "", "experiment id to run (default: all)")
+		quick = flag.Bool("quick", false, "quarter-scale smoke run")
+		scale = flag.Float64("scale", 1.0, "dataset size multiplier")
+		seed  = flag.Int64("seed", 1, "workload generator seed")
+		list  = flag.Bool("list", false, "list experiment ids and exit")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, e := range bench.Experiments() {
+			fmt.Printf("%-10s %s\n", e.ID, e.Paper)
+		}
+		return
+	}
+
+	opts := bench.Options{Seed: *seed, Scale: *scale}
+	if *quick {
+		opts = bench.Quick()
+		opts.Seed = *seed
+	}
+
+	run := bench.Experiments()
+	if *exp != "" {
+		e, ok := bench.Lookup(*exp)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "f2bench: unknown experiment %q (use -list)\n", *exp)
+			os.Exit(2)
+		}
+		run = []bench.Experiment{e}
+	}
+
+	start := time.Now()
+	for _, e := range run {
+		fmt.Printf("### %s — %s\n\n", e.ID, e.Paper)
+		expStart := time.Now()
+		tables, err := e.Run(opts)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "f2bench: %s: %v\n", e.ID, err)
+			os.Exit(1)
+		}
+		for _, t := range tables {
+			fmt.Println(t.String())
+		}
+		fmt.Printf("(%s in %v)\n\n", e.ID, time.Since(expStart).Round(time.Millisecond))
+	}
+	fmt.Printf("all experiments done in %v\n", time.Since(start).Round(time.Millisecond))
+}

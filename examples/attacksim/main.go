@@ -1,0 +1,116 @@
+// Attack simulation: the frequency-analysis security game of §2.4 played
+// against deterministic AES (the naive FD-preserving baseline of Figure
+// 1(b)) and against F², with two adversaries — the classic frequency
+// matcher and the 4-step Kerckhoffs attacker of §4.2 that knows the
+// algorithm.
+//
+// Two columns illustrate two regimes:
+//
+//   - a Zipf-distributed high-cardinality column: deterministic encryption
+//     is broken outright; F² holds every adversary below the configured α;
+//   - a 5-value categorical column: here 1/5 is an information-theoretic
+//     floor — no encryption can push an adversary that guesses among the
+//     five real values below blind guessing — and F²'s achievement is
+//     erasing the frequency signal entirely (success ≈ blind guess,
+//     compared to ~100% against deterministic encryption). See DESIGN.md
+//     on how this floor relates to the paper's |G(e)| ≥ k argument.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"f2/internal/attack"
+	"f2/internal/core"
+	"f2/internal/crypt"
+	"f2/internal/relation"
+	"f2/internal/workload"
+)
+
+func main() {
+	key, err := crypt.GenerateKey()
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("=== high-cardinality Zipf column (1000 values, skew 1.3) ===")
+	zipf := workload.Skewed(20000, 1000, 1.3, 3)
+	runColumn(key, zipf, zipf.Schema().Lookup("V"), []float64{0.5, 0.2, 0.1})
+
+	fmt.Println()
+	fmt.Println("=== low-cardinality column O_ORDERPRIORITY (5 values) ===")
+	orders, err := workload.Generate(workload.NameOrders, 8000, 3)
+	if err != nil {
+		log.Fatal(err)
+	}
+	runColumn(key, orders, orders.Schema().Lookup("O_ORDERPRIORITY"), []float64{0.5, 0.25})
+}
+
+func runColumn(key crypt.Key, table *relation.Table, attr int, alphas []float64) {
+	blind := 1.0 / float64(table.DistinctCount(attr))
+	fmt.Printf("%d distinct values over %d rows; blind guessing wins %.4f\n",
+		table.DistinctCount(attr), table.NumRows(), blind)
+
+	// Deterministic baseline.
+	det, err := crypt.NewDetCipher(key)
+	if err != nil {
+		log.Fatal(err)
+	}
+	detTbl := relation.NewTable(table.Schema().Clone())
+	for i := 0; i < table.NumRows(); i++ {
+		row := make([]string, table.NumAttrs())
+		for a := range row {
+			if row[a], err = det.EncryptCell(table.Cell(i, a)); err != nil {
+				log.Fatal(err)
+			}
+		}
+		detTbl.AppendRow(row)
+	}
+	detOracle := func(ct string) (string, bool) {
+		p, err := det.DecryptCell(ct)
+		return p, err == nil
+	}
+	fm := attack.RunGame(table, detTbl, attr, attack.FrequencyMatcher{}, detOracle, 5000, 1)
+	fmt.Printf("deterministic AES: frequency matcher wins %5.1f%% of games\n", 100*fm.Rate())
+
+	for _, alpha := range alphas {
+		cfg := core.DefaultConfig(key)
+		cfg.Alpha = alpha
+		enc, err := core.NewEncryptor(cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		res, err := enc.Encrypt(table)
+		if err != nil {
+			log.Fatal(err)
+		}
+		pc, err := crypt.NewProbCipher(cfg.Key, cfg.PRF)
+		if err != nil {
+			log.Fatal(err)
+		}
+		oracle := func(ct string) (string, bool) {
+			p, err := pc.DecryptCell(ct)
+			if err != nil {
+				return "", false
+			}
+			return p, !core.IsArtificialValue(p)
+		}
+		fm := attack.RunGame(table, res.Encrypted, attr, attack.FrequencyMatcher{}, oracle, 5000, 1)
+		kk := attack.RunGame(table, res.Encrypted, attr, attack.Kerckhoffs{}, oracle, 5000, 1)
+		bound := alpha
+		label := fmt.Sprintf("α=%.2f", alpha)
+		if blind > bound {
+			bound = blind
+			label += " (floored by blind guess)"
+		}
+		status := "OK"
+		if fm.Rate() > bound+0.03 || kk.Rate() > bound+0.03 {
+			status = "VIOLATED"
+		}
+		fmt.Printf("F² %-28s freq-matcher %5.1f%%, kerckhoffs %5.1f%%  (bound %5.1f%%) %s\n",
+			label, 100*fm.Rate(), 100*kk.Rate(), 100*bound, status)
+		if status == "VIOLATED" {
+			log.Fatal("α-security violated")
+		}
+	}
+}

@@ -1,0 +1,231 @@
+// Package border finds the positive border of a monotone (downward-closed)
+// predicate over attribute sets: the inclusion-maximal subsets of a
+// universe that satisfy the predicate. Two F² steps reduce to exactly this
+// problem:
+//
+//   - Step 1, MAS discovery: "has a duplicate projection" is downward
+//     closed; its maximal sets are the MASs (maximal non-unique column
+//     combinations);
+//   - Step 4, false-positive elimination: for a fixed RHS attribute Y,
+//     "X→Y is violated on D" is downward closed in X; its maximal sets
+//     are the maximal false-positive dependencies that need artificial
+//     records.
+//
+// The algorithm is Dualize & Advance (Gunopulos et al., TODS 2003), the
+// foundation DUCC builds its random walks on: greedy walks classify the
+// easy region, then the holes are enumerated as complements of the minimal
+// transversals of the discovered negative border, until a fixpoint proves
+// completeness.
+package border
+
+import (
+	"f2/internal/relation"
+)
+
+// Finder locates the positive border of pred within universe. pred must be
+// downward closed: pred(X) and Y ⊆ X imply pred(Y).
+type Finder struct {
+	universe relation.AttrSet
+	attrs    []int
+	pred     func(relation.AttrSet) bool
+
+	cache    map[relation.AttrSet]bool
+	positive map[relation.AttrSet]bool // verified maximal satisfying sets
+	negative map[relation.AttrSet]bool // verified minimal violating sets
+	checked  int
+}
+
+// Find returns the maximal subsets of universe satisfying pred, sorted,
+// along with the number of predicate evaluations performed.
+func Find(universe relation.AttrSet, pred func(relation.AttrSet) bool) ([]relation.AttrSet, int) {
+	f := &Finder{
+		universe: universe,
+		attrs:    universe.Attrs(),
+		pred:     pred,
+		cache:    make(map[relation.AttrSet]bool),
+		positive: make(map[relation.AttrSet]bool),
+		negative: make(map[relation.AttrSet]bool),
+	}
+	f.run()
+	var out []relation.AttrSet
+	for x := range f.positive {
+		out = append(out, x)
+	}
+	relation.SortAttrSets(out)
+	return out, f.checked
+}
+
+// eval classifies one node, consulting the known borders before calling
+// the predicate: subsets of positive sets satisfy, supersets of negative
+// sets violate.
+func (f *Finder) eval(x relation.AttrSet) bool {
+	if v, ok := f.cache[x]; ok {
+		return v
+	}
+	for s := range f.positive {
+		if x.SubsetOf(s) {
+			f.cache[x] = true
+			return true
+		}
+	}
+	for s := range f.negative {
+		if s.SubsetOf(x) {
+			f.cache[x] = false
+			return false
+		}
+	}
+	f.checked++
+	v := f.pred(x)
+	f.cache[x] = v
+	return v
+}
+
+func (f *Finder) run() {
+	if f.universe.IsEmpty() {
+		return
+	}
+	// Fast path: when the whole universe satisfies the predicate, it is
+	// the unique maximal set. (Common in the false-positive search, where
+	// most dependencies are violated outright.)
+	if f.eval(f.universe) {
+		f.positive[f.universe] = true
+		return
+	}
+	// Phase 1: greedy walks from the satisfying singletons.
+	for _, a := range f.attrs {
+		x := relation.SingleAttr(a)
+		if f.eval(x) {
+			f.walkUp(x)
+		} else {
+			f.negative[x] = true
+		}
+	}
+	// Phase 2: Dualize & Advance until no hole remains.
+	for f.advance() {
+	}
+}
+
+// supersets returns the immediate supersets of x within the universe.
+func (f *Finder) supersets(x relation.AttrSet) []relation.AttrSet {
+	out := make([]relation.AttrSet, 0, len(f.attrs))
+	for _, a := range f.attrs {
+		if !x.Has(a) {
+			out = append(out, x.Add(a))
+		}
+	}
+	return out
+}
+
+// walkUp climbs from a satisfying node to a maximal one; violating
+// supersets met on the way are walked down to minimal violating sets.
+func (f *Finder) walkUp(x relation.AttrSet) {
+	for {
+		climbed := false
+		for _, sup := range f.supersets(x) {
+			if f.eval(sup) {
+				x = sup
+				climbed = true
+				break
+			}
+			f.walkDown(sup)
+		}
+		if !climbed {
+			f.positive[x] = true
+			return
+		}
+	}
+}
+
+// walkDown descends from a violating node to a minimal violating one.
+func (f *Finder) walkDown(x relation.AttrSet) {
+	for {
+		descended := false
+		for _, a := range x.Attrs() {
+			sub := x.Remove(a)
+			if sub.IsEmpty() {
+				continue
+			}
+			if !f.eval(sub) {
+				x = sub
+				descended = true
+				break
+			}
+		}
+		if !descended {
+			f.negative[x] = true
+			return
+		}
+	}
+}
+
+// advance runs one Dualize-&-Advance round: enumerate the maximal sets
+// containing no minimal violating set. A satisfying candidate is provably
+// maximal (any strict superset contains a minimal violating set); a
+// violating candidate sharpens the negative border. Returns true while
+// progress is possible.
+func (f *Finder) advance() bool {
+	progress := false
+	for _, cand := range f.maximalAvoiding() {
+		if f.positive[cand] {
+			continue
+		}
+		if f.eval(cand) {
+			f.positive[cand] = true
+			progress = true
+		} else {
+			f.walkDown(cand)
+			return true // negative border sharpened; recompute candidates
+		}
+	}
+	return progress
+}
+
+// maximalAvoiding enumerates the maximal subsets of the universe
+// containing no minimal violating set, as complements (within the
+// universe) of the minimal transversals of the negative border, via
+// Berge's incremental algorithm.
+func (f *Finder) maximalAvoiding() []relation.AttrSet {
+	trans := []relation.AttrSet{0}
+	for e := range f.negative {
+		var next []relation.AttrSet
+		for _, t := range trans {
+			if t.Overlaps(e) {
+				next = append(next, t)
+				continue
+			}
+			for _, v := range e.Attrs() {
+				next = append(next, t.Add(v))
+			}
+		}
+		trans = minimizeSets(next)
+	}
+	out := make([]relation.AttrSet, 0, len(trans))
+	for _, t := range trans {
+		c := f.universe.Diff(t)
+		if !c.IsEmpty() {
+			out = append(out, c)
+		}
+	}
+	relation.SortAttrSets(out)
+	return out
+}
+
+// minimizeSets removes duplicates and supersets, keeping only the
+// inclusion-minimal sets.
+func minimizeSets(sets []relation.AttrSet) []relation.AttrSet {
+	relation.SortAttrSets(sets) // ascending size: minimal sets come first
+	var out []relation.AttrSet
+	for _, s := range sets {
+		keep := true
+		for _, t := range out {
+			if t == s || t.SubsetOf(s) {
+				keep = false
+				break
+			}
+		}
+		if keep {
+			out = append(out, s)
+		}
+	}
+	return out
+}

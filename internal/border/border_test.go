@@ -1,0 +1,144 @@
+package border
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"f2/internal/relation"
+)
+
+// bruteBorder computes the positive border by exhaustive enumeration.
+func bruteBorder(universe relation.AttrSet, pred func(relation.AttrSet) bool) []relation.AttrSet {
+	attrs := universe.Attrs()
+	var satisfying []relation.AttrSet
+	for mask := 1; mask < 1<<uint(len(attrs)); mask++ {
+		var s relation.AttrSet
+		for i, a := range attrs {
+			if mask&(1<<uint(i)) != 0 {
+				s = s.Add(a)
+			}
+		}
+		if pred(s) {
+			satisfying = append(satisfying, s)
+		}
+	}
+	var out []relation.AttrSet
+	for _, x := range satisfying {
+		maximal := true
+		for _, y := range satisfying {
+			if x != y && x.SubsetOf(y) {
+				maximal = false
+				break
+			}
+		}
+		if maximal {
+			out = append(out, x)
+		}
+	}
+	relation.SortAttrSets(out)
+	return out
+}
+
+// downwardClosed builds a random downward-closed predicate from a set of
+// maximal generators: pred(X) ⇔ X ⊆ some generator.
+func downwardClosed(gens []relation.AttrSet) func(relation.AttrSet) bool {
+	return func(x relation.AttrSet) bool {
+		for _, g := range gens {
+			if x.SubsetOf(g) {
+				return true
+			}
+		}
+		return false
+	}
+}
+
+func TestFindMatchesBruteForceOnRandomPredicates(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	for trial := 0; trial < 300; trial++ {
+		m := 3 + rng.Intn(6) // universe of 3..8 attributes
+		universe := relation.FullAttrSet(m)
+		nGens := 1 + rng.Intn(5)
+		var gens []relation.AttrSet
+		for i := 0; i < nGens; i++ {
+			g := relation.AttrSet(rng.Intn(1<<uint(m))) & universe
+			if !g.IsEmpty() {
+				gens = append(gens, g)
+			}
+		}
+		if len(gens) == 0 {
+			continue
+		}
+		pred := downwardClosed(gens)
+		got, _ := Find(universe, pred)
+		want := bruteBorder(universe, pred)
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("trial %d (m=%d gens=%v):\n got %v\n want %v", trial, m, gens, got, want)
+		}
+	}
+}
+
+func TestFindSparseUniverse(t *testing.T) {
+	// Universe with holes: attributes {1, 3, 6}.
+	universe := relation.NewAttrSet(1, 3, 6)
+	pred := downwardClosed([]relation.AttrSet{relation.NewAttrSet(1, 3)})
+	got, _ := Find(universe, pred)
+	want := []relation.AttrSet{relation.NewAttrSet(1, 3)}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("got %v, want %v", got, want)
+	}
+}
+
+func TestFindEdgeCases(t *testing.T) {
+	// Empty universe.
+	if got, _ := Find(0, func(relation.AttrSet) bool { return true }); got != nil {
+		t.Errorf("empty universe: %v", got)
+	}
+	// Nothing satisfies.
+	got, _ := Find(relation.FullAttrSet(4), func(relation.AttrSet) bool { return false })
+	if got != nil {
+		t.Errorf("false predicate: %v", got)
+	}
+	// Everything satisfies: border is the universe (fast path).
+	got, checked := Find(relation.FullAttrSet(4), func(relation.AttrSet) bool { return true })
+	if len(got) != 1 || got[0] != relation.FullAttrSet(4) {
+		t.Errorf("true predicate: %v", got)
+	}
+	if checked != 1 {
+		t.Errorf("fast path evaluated %d nodes, want 1", checked)
+	}
+}
+
+func TestFindCountsChecks(t *testing.T) {
+	universe := relation.FullAttrSet(6)
+	gens := []relation.AttrSet{relation.NewAttrSet(0, 1, 2), relation.NewAttrSet(3, 4)}
+	calls := 0
+	pred := func(x relation.AttrSet) bool {
+		calls++
+		return downwardClosed(gens)(x)
+	}
+	_, checked := Find(universe, pred)
+	if checked != calls {
+		t.Errorf("Checked = %d, actual predicate calls = %d", checked, calls)
+	}
+	// The border search must evaluate far fewer nodes than the 2^6 - 1
+	// lattice.
+	if checked >= 63 {
+		t.Errorf("border search evaluated %d of 63 nodes — no pruning", checked)
+	}
+}
+
+func TestMinimizeSets(t *testing.T) {
+	in := []relation.AttrSet{
+		relation.NewAttrSet(0, 1),
+		relation.NewAttrSet(0),
+		relation.NewAttrSet(0, 1, 2),
+		relation.NewAttrSet(2),
+		relation.NewAttrSet(2),
+	}
+	out := minimizeSets(in)
+	want := []relation.AttrSet{relation.NewAttrSet(0), relation.NewAttrSet(2)}
+	if !reflect.DeepEqual(out, want) {
+		t.Fatalf("minimizeSets = %v, want %v", out, want)
+	}
+}

@@ -1,0 +1,431 @@
+package core
+
+import (
+	"fmt"
+	"runtime"
+	"strings"
+	"sync"
+	"time"
+
+	"f2/internal/crypt"
+	"f2/internal/mas"
+	"f2/internal/partition"
+	"f2/internal/relation"
+)
+
+// RowKind classifies each row of the encrypted table by provenance.
+type RowKind int
+
+const (
+	// RowOriginal is an original tuple of D (all cells real).
+	RowOriginal RowKind = iota
+	// RowConflictPart is one of the tuples replacing an original tuple
+	// during type-2 conflict resolution (§3.3.2); its Carried attributes
+	// hold real values, the rest are fresh filler.
+	RowConflictPart
+	// RowScaleCopy is a copy added by the scaling phase (§3.2.2) carrying
+	// an instance's ciphertext on the MAS attributes and fresh values
+	// elsewhere (type-1 conflict handling, §3.3.1).
+	RowScaleCopy
+	// RowFakeEC materializes a fake equivalence class added by grouping
+	// (§3.2.1) to reach the ⌈1/α⌉ group size.
+	RowFakeEC
+	// RowFPArtificial is an artificial record inserted by Step 4 to
+	// re-witness an FD violation of D (§3.4).
+	RowFPArtificial
+)
+
+func (k RowKind) String() string {
+	switch k {
+	case RowOriginal:
+		return "original"
+	case RowConflictPart:
+		return "conflict-part"
+	case RowScaleCopy:
+		return "scale-copy"
+	case RowFakeEC:
+		return "fake-ec"
+	case RowFPArtificial:
+		return "fp-artificial"
+	default:
+		return fmt.Sprintf("kind(%d)", int(k))
+	}
+}
+
+// RowOrigin records the provenance of one encrypted row.
+type RowOrigin struct {
+	Kind RowKind
+	// SourceRow is the original row index for RowOriginal and
+	// RowConflictPart rows, -1 otherwise.
+	SourceRow int
+	// Carried is the set of attributes holding real (non-filler) values.
+	Carried relation.AttrSet
+}
+
+// Result is the output of F² encryption: the ciphertext table, per-row
+// provenance (owner-side metadata — it never ships to the server), the
+// discovered MASs, and the step-by-step report.
+type Result struct {
+	Encrypted *relation.Table
+	Origins   []RowOrigin
+	MASs      []relation.AttrSet
+	Report    Report
+}
+
+// Encryptor applies the F² scheme. An Encryptor is safe to reuse across
+// tables but not concurrently.
+type Encryptor struct {
+	cfg    Config
+	cipher *crypt.ProbCipher
+	mint   *freshMinter
+}
+
+// NewEncryptor validates cfg and builds an encryptor.
+func NewEncryptor(cfg Config) (*Encryptor, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	c, err := crypt.NewProbCipher(cfg.Key, cfg.PRF)
+	if err != nil {
+		return nil, err
+	}
+	return &Encryptor{cfg: cfg, cipher: c}, nil
+}
+
+// Config returns the encryptor's (validated) configuration.
+func (e *Encryptor) Config() Config { return e.cfg }
+
+// masPlan holds the per-MAS encryption plan.
+type masPlan struct {
+	attrs relation.AttrSet
+	cols  []int // attrs.Attrs(), cached
+	part  *partition.Partition
+	ecgs  []*ecg
+	// rowInst maps original row -> its ciphertext instance, nil when the
+	// row's equivalence class is a singleton.
+	rowInst []*ecInstance
+	stats   groupStats
+}
+
+// Encrypt runs the full 4-step pipeline on t.
+func (e *Encryptor) Encrypt(t *relation.Table) (*Result, error) {
+	if t.NumAttrs() > relation.MaxAttrs {
+		return nil, fmt.Errorf("core: table has %d attributes, max %d", t.NumAttrs(), relation.MaxAttrs)
+	}
+	e.mint = &freshMinter{}
+	res := &Result{Report: Report{Alpha: e.cfg.Alpha, SplitFactor: e.cfg.SplitFactor, K: e.cfg.K()}}
+	res.Report.OriginalRows = t.NumRows()
+
+	// ---- Step 1: MAS discovery (MAX) ----
+	start := time.Now()
+	var disc *mas.Result
+	if e.cfg.MAS == MASLevelwise {
+		disc = mas.DiscoverLevelwise(t)
+	} else {
+		disc = mas.Discover(t)
+	}
+	res.MASs = disc.Sets
+	res.Report.MASs = disc.Sets
+	res.Report.TimeMAX = time.Since(start)
+
+	// ---- Step 2: grouping + splitting-and-scaling (SSE) ----
+	start = time.Now()
+	plans := make([]*masPlan, 0, len(disc.Sets))
+	for _, m := range disc.Sets {
+		p := &masPlan{attrs: m, cols: m.Attrs(), part: disc.Partitions[m]}
+		p.ecgs = buildECGs(p.part, m, e.cfg.K(), e.mint)
+		for _, g := range p.ecgs {
+			if e.cfg.NaiveSplitPoint {
+				planSplitNaive(g, e.cfg.SplitFactor, e.cfg.MinInstanceFreq)
+			} else {
+				planSplit(g, e.cfg.SplitFactor, e.cfg.MinInstanceFreq)
+			}
+			assignRows(g)
+		}
+		e.fillInstanceCiphers(p)
+		p.rowInst = make([]*ecInstance, t.NumRows())
+		for _, g := range p.ecgs {
+			for _, mem := range g.members {
+				for _, inst := range mem.instances {
+					for _, r := range inst.assignedRows {
+						p.rowInst[r] = inst
+					}
+				}
+			}
+		}
+		p.stats = statsOf(p.ecgs)
+		res.Report.addGroupStats(p.stats)
+		plans = append(plans, p)
+	}
+	res.Report.TimeSSE = time.Since(start)
+
+	// ---- Step 3: conflict resolution + table assembly (SYN) ----
+	start = time.Now()
+	out := relation.NewTable(t.Schema().Clone())
+	e.emitOriginalRows(t, plans, out, res)
+	e.emitScaleCopies(t, plans, out, res)
+	e.emitFakeECRows(t, plans, out, res)
+	res.Report.TimeSYN = time.Since(start)
+
+	// ---- Step 4: false-positive elimination (FP) ----
+	start = time.Now()
+	if !e.cfg.SkipFPElimination {
+		if err := e.eliminateFalsePositives(t, plans, out, res); err != nil {
+			return nil, err
+		}
+	}
+	res.Report.TimeFP = time.Since(start)
+
+	res.Encrypted = out
+	res.Report.EncryptedRows = out.NumRows()
+	return res, nil
+}
+
+// fillInstanceCiphers encrypts every instance's representative over the MAS
+// attributes. The tweak binds (MAS, attribute, EC representative) so that:
+// distinct instances of one EC differ on every attribute (Requirement 2),
+// and equal plaintext values appearing in different ECs — hence in
+// different ECGs — never share a ciphertext (§3.2.2).
+//
+// EncryptInstance is a pure function of (key, tweak, value, index), so the
+// fill parallelizes across instances without affecting determinism: the
+// same key always produces the same ciphertext table.
+func (e *Encryptor) fillInstanceCiphers(p *masPlan) {
+	masTag := p.attrs.String()
+	type task struct {
+		mem  *ecMember
+		inst *ecInstance
+	}
+	var tasks []task
+	for _, g := range p.ecgs {
+		for _, mem := range g.members {
+			for _, inst := range mem.instances {
+				tasks = append(tasks, task{mem, inst})
+			}
+		}
+	}
+	workers := runtime.GOMAXPROCS(0)
+	if workers > len(tasks) {
+		workers = len(tasks)
+	}
+	if workers <= 1 {
+		for _, t := range tasks {
+			e.fillOneInstance(masTag, p.cols, t.mem, t.inst)
+		}
+		return
+	}
+	var wg sync.WaitGroup
+	next := make(chan task, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for t := range next {
+				e.fillOneInstance(masTag, p.cols, t.mem, t.inst)
+			}
+		}()
+	}
+	for _, t := range tasks {
+		next <- t
+	}
+	close(next)
+	wg.Wait()
+}
+
+func (e *Encryptor) fillOneInstance(masTag string, cols []int, mem *ecMember, inst *ecInstance) {
+	repKey := strings.Join(mem.rep, "\x1f")
+	for ai, a := range cols {
+		tweak := fmt.Sprintf("mas:%s|attr:%d|rep:%s", masTag, a, repKey)
+		inst.cipher[a] = e.cipher.EncryptInstance(tweak, mem.rep[ai], uint64(inst.idx))
+	}
+}
+
+// singletonCipher encrypts a cell that is not governed by any grouped
+// instance: cells of singleton equivalence classes and cells of attributes
+// outside every MAS. The tweak is the row identity, so two overlapping
+// MASs that both see the row as a singleton agree on the shared attribute
+// (avoiding spurious type-2 conflicts), while distinct rows always get
+// distinct ciphertexts.
+func (e *Encryptor) singletonCipher(row, attr int, plain string) string {
+	return e.cipher.EncryptInstance(fmt.Sprintf("row:%d|attr:%d", row, attr), plain, uint64(row))
+}
+
+// freshCipher encrypts a freshly minted marker value; each call produces a
+// ciphertext unique in the output table.
+func (e *Encryptor) freshCipher(attr int) string {
+	v := e.mint.value()
+	return e.cipher.EncryptInstance(fmt.Sprintf("fresh|attr:%d", attr), v, 0)
+}
+
+// emitOriginalRows writes each original tuple, splitting it into parts when
+// overlapping MASs claim its shared attributes with different ciphertexts
+// (type-2 conflicts, §3.3.2).
+func (e *Encryptor) emitOriginalRows(t *relation.Table, plans []*masPlan, out *relation.Table, res *Result) {
+	m := t.NumAttrs()
+	row := make([]string, m)
+	for r := 0; r < t.NumRows(); r++ {
+		// Collect the MASs holding a grouped (non-singleton) instance for
+		// this row; only they impose ciphertexts that can conflict.
+		var grouped []*masPlan
+		for _, p := range plans {
+			if p.rowInst[r] != nil {
+				grouped = append(grouped, p)
+			}
+		}
+		parts := splitConflicts(grouped, e.cfg.SkipConflictResolution)
+		for pi, part := range parts {
+			carried := relation.AttrSet(0)
+			for a := 0; a < m; a++ {
+				owner := ownerIn(part, a)
+				switch {
+				case owner != nil:
+					row[a] = owner.rowInst[r].cipher[a]
+					carried = carried.Add(a)
+				case pi == 0 && !groupedElsewhere(grouped, part, a):
+					// Primary part: attributes not claimed by any grouped
+					// MAS keep their (singleton-encrypted) real value.
+					row[a] = e.singletonCipher(r, a, t.Cell(r, a))
+					carried = carried.Add(a)
+				default:
+					// Fresh filler (the v_X / v_Y values of §3.3.2).
+					row[a] = e.freshCipher(a)
+				}
+			}
+			out.AppendRow(append([]string(nil), row...))
+			kind := RowOriginal
+			if len(parts) > 1 {
+				kind = RowConflictPart
+			}
+			res.Origins = append(res.Origins, RowOrigin{Kind: kind, SourceRow: r, Carried: carried})
+		}
+		if len(parts) > 1 {
+			res.Report.ConflictRows += len(parts) - 1
+			res.Report.ConflictTuples++
+		}
+	}
+}
+
+// splitConflicts partitions the grouped MASs of one row into parts of
+// pairwise non-overlapping MASs: the first part is the primary tuple, each
+// further part becomes one replacement tuple (r2 of §3.3.2). With q
+// pairwise-overlapping MASs the row yields q parts — one replacement per
+// conflicting pair processed, matching Theorem 3.4's order-independence.
+func splitConflicts(grouped []*masPlan, skip bool) [][]*masPlan {
+	if len(grouped) == 0 {
+		return [][]*masPlan{nil}
+	}
+	if skip {
+		return [][]*masPlan{grouped}
+	}
+	parts := [][]*masPlan{append([]*masPlan(nil), grouped...)}
+	for i := 0; i < len(parts); i++ {
+	rescan:
+		for ai := 0; ai < len(parts[i]); ai++ {
+			for bi := ai + 1; bi < len(parts[i]); bi++ {
+				if parts[i][ai].attrs.Overlaps(parts[i][bi].attrs) {
+					// Evict the second MAS into its own part.
+					evicted := parts[i][bi]
+					parts[i] = append(parts[i][:bi], parts[i][bi+1:]...)
+					parts = append(parts, []*masPlan{evicted})
+					goto rescan
+				}
+			}
+		}
+	}
+	return parts
+}
+
+// ownerIn returns the plan in part whose MAS contains attribute a, if any.
+// Parts hold pairwise non-overlapping MASs, so the owner is unique.
+func ownerIn(part []*masPlan, a int) *masPlan {
+	for _, p := range part {
+		if p.attrs.Has(a) {
+			return p
+		}
+	}
+	return nil
+}
+
+// groupedElsewhere reports whether attribute a belongs to a grouped MAS of
+// this row that lives in another part.
+func groupedElsewhere(grouped, part []*masPlan, a int) bool {
+	for _, p := range grouped {
+		if !p.attrs.Has(a) {
+			continue
+		}
+		inPart := false
+		for _, q := range part {
+			if q == p {
+				inPart = true
+				break
+			}
+		}
+		if !inPart {
+			return true
+		}
+	}
+	return false
+}
+
+// emitScaleCopies materializes the scaling copies of Step 2.2: each copy
+// carries its instance's ciphertext over the MAS attributes and fresh
+// values everywhere else, which is exactly the type-1 conflict handling of
+// §3.3.1 (the copy joins no equivalence class of any other MAS).
+func (e *Encryptor) emitScaleCopies(t *relation.Table, plans []*masPlan, out *relation.Table, res *Result) {
+	m := t.NumAttrs()
+	row := make([]string, m)
+	for _, p := range plans {
+		for _, g := range p.ecgs {
+			for _, mem := range g.members {
+				if mem.fake {
+					continue
+				}
+				for _, inst := range mem.instances {
+					for c := 0; c < inst.copies; c++ {
+						for a := 0; a < m; a++ {
+							if p.attrs.Has(a) {
+								row[a] = inst.cipher[a]
+							} else {
+								row[a] = e.freshCipher(a)
+							}
+						}
+						out.AppendRow(append([]string(nil), row...))
+						res.Origins = append(res.Origins, RowOrigin{Kind: RowScaleCopy, SourceRow: -1, Carried: p.attrs})
+						res.Report.ScaleRows++
+					}
+				}
+			}
+		}
+	}
+}
+
+// emitFakeECRows materializes the fake equivalence classes added by
+// grouping: target-many rows per instance, sharing the instance ciphertext
+// over the MAS attributes and fresh elsewhere.
+func (e *Encryptor) emitFakeECRows(t *relation.Table, plans []*masPlan, out *relation.Table, res *Result) {
+	m := t.NumAttrs()
+	row := make([]string, m)
+	for _, p := range plans {
+		for _, g := range p.ecgs {
+			for _, mem := range g.members {
+				if !mem.fake {
+					continue
+				}
+				for _, inst := range mem.instances {
+					for c := 0; c < g.target; c++ {
+						for a := 0; a < m; a++ {
+							if p.attrs.Has(a) {
+								row[a] = inst.cipher[a]
+							} else {
+								row[a] = e.freshCipher(a)
+							}
+						}
+						out.AppendRow(append([]string(nil), row...))
+						res.Origins = append(res.Origins, RowOrigin{Kind: RowFakeEC, SourceRow: -1, Carried: 0})
+						res.Report.GroupRows++
+					}
+				}
+			}
+		}
+	}
+}

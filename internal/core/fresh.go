@@ -1,0 +1,36 @@
+package core
+
+import (
+	"strconv"
+	"strings"
+)
+
+// markerPrefix begins every artificial plaintext value minted by the
+// encryptor: fake-EC representatives, fresh cells on scale copies,
+// conflict-resolution filler, and false-positive-elimination records. The
+// prefix contains a NUL byte, which cannot appear in CSV-sourced real data,
+// so artificial values never collide with real ones and the data owner can
+// recognize them after decryption. The server only ever sees ciphertexts,
+// so the marker leaks nothing.
+const markerPrefix = "\x00f2:"
+
+// IsArtificialValue reports whether a decrypted plaintext value was minted
+// by the encryptor rather than taken from the original table.
+func IsArtificialValue(v string) bool {
+	return strings.HasPrefix(v, markerPrefix)
+}
+
+// freshMinter issues plaintext values guaranteed absent from the original
+// table and from all previously minted values.
+type freshMinter struct {
+	n uint64
+}
+
+// value returns the next fresh plaintext value.
+func (m *freshMinter) value() string {
+	m.n++
+	return markerPrefix + strconv.FormatUint(m.n, 36)
+}
+
+// Minted returns how many fresh values have been issued.
+func (m *freshMinter) minted() uint64 { return m.n }

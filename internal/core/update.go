@@ -1,0 +1,107 @@
+package core
+
+import (
+	"fmt"
+
+	"f2/internal/relation"
+)
+
+// Updater addresses the first future-work item of the paper's §7: F² "does
+// not support efficient data updates, since it has to apply splitting and
+// scaling from scratch if there is any data update".
+//
+// The Updater gives the owner an append API with two strategies:
+//
+//   - UpdateRebuild re-runs the full pipeline on D ∪ ΔD. Always correct;
+//     cost is a fresh encryption (the paper's from-scratch observation).
+//   - UpdateBuffered batches appends in an owner-side buffer and only
+//     rebuilds when the buffer exceeds a configurable fraction of the
+//     table, amortizing the rebuild cost over many appends. Between
+//     flushes the buffered rows are not yet outsourced — deferring is the
+//     standard answer when immediate visibility is not required, and it
+//     never weakens the security of what has been shipped (the ciphertext
+//     simply lags).
+//
+// A truly incremental re-encryption (touching only the ECGs an appended
+// row lands in) must still rescale every instance of the affected group,
+// re-check MAS maximality — one new row can merge two MASs — and re-run
+// the affected slice of Step 4, which is why the paper leaves it open; the
+// Updater makes the trade-off explicit and measurable instead.
+type Updater struct {
+	enc     *Encryptor
+	current *relation.Table // all rows encrypted so far
+	buffer  *relation.Table // rows appended but not yet flushed
+	last    *Result
+
+	// FlushFraction triggers an automatic rebuild when the buffer grows
+	// beyond this fraction of the encrypted table (default 0.1).
+	FlushFraction float64
+
+	// Rebuilds counts full pipeline runs (for amortization measurements).
+	Rebuilds int
+}
+
+// NewUpdater encrypts the initial table and returns an updater managing
+// subsequent appends.
+func NewUpdater(cfg Config, initial *relation.Table) (*Updater, *Result, error) {
+	enc, err := NewEncryptor(cfg)
+	if err != nil {
+		return nil, nil, err
+	}
+	res, err := enc.Encrypt(initial)
+	if err != nil {
+		return nil, nil, err
+	}
+	u := &Updater{
+		enc:           enc,
+		current:       initial.Clone(),
+		buffer:        relation.NewTable(initial.Schema().Clone()),
+		last:          res,
+		FlushFraction: 0.1,
+		Rebuilds:      1,
+	}
+	return u, res, nil
+}
+
+// Result returns the latest encryption result (what the server holds).
+func (u *Updater) Result() *Result { return u.last }
+
+// Pending returns the number of buffered rows not yet outsourced.
+func (u *Updater) Pending() int { return u.buffer.NumRows() }
+
+// Rows returns the number of plaintext rows covered by the latest
+// outsourced ciphertext.
+func (u *Updater) Rows() int { return u.current.NumRows() }
+
+// Append buffers rows and rebuilds when the buffer crosses FlushFraction.
+// It returns the fresh Result if a rebuild happened, nil otherwise.
+func (u *Updater) Append(rows [][]string) (*Result, error) {
+	if err := u.buffer.AppendRows(rows); err != nil {
+		return nil, err
+	}
+	threshold := u.FlushFraction * float64(u.current.NumRows())
+	if float64(u.buffer.NumRows()) >= threshold {
+		return u.Flush()
+	}
+	return nil, nil
+}
+
+// Flush re-encrypts D ∪ buffer from scratch and resets the buffer.
+func (u *Updater) Flush() (*Result, error) {
+	if u.buffer.NumRows() == 0 {
+		return u.last, nil
+	}
+	for i := 0; i < u.buffer.NumRows(); i++ {
+		if err := u.current.AppendRow(u.buffer.Row(i)); err != nil {
+			return nil, err
+		}
+	}
+	u.buffer = relation.NewTable(u.current.Schema().Clone())
+	res, err := u.enc.Encrypt(u.current)
+	if err != nil {
+		return nil, fmt.Errorf("core: update rebuild: %w", err)
+	}
+	u.last = res
+	u.Rebuilds++
+	return res, nil
+}

@@ -1,0 +1,105 @@
+package core
+
+import (
+	"testing"
+
+	"f2/internal/fd"
+)
+
+func TestUpdaterAppendAndFlush(t *testing.T) {
+	tbl := figure1Table()
+	cfg := testConfig(0.5)
+	u, res, err := NewUpdater(cfg, tbl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res == nil || u.Rebuilds != 1 {
+		t.Fatalf("initial state: res=%v rebuilds=%d", res != nil, u.Rebuilds)
+	}
+
+	// Small append stays buffered (10% of 4 rows < 1 row... threshold
+	// 0.4, so one row triggers; raise the fraction to test buffering).
+	u.FlushFraction = 2.0
+	if res, err := u.Append([][]string{{"a2", "b2", "c9"}}); err != nil || res != nil {
+		t.Fatalf("append flushed unexpectedly: %v, %v", res, err)
+	}
+	if u.Pending() != 1 || u.Rows() != 4 {
+		t.Fatalf("pending=%d rows=%d", u.Pending(), u.Rows())
+	}
+
+	// Explicit flush rebuilds and covers the appended row.
+	res2, err := u.Flush()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if u.Pending() != 0 || u.Rows() != 5 || u.Rebuilds != 2 {
+		t.Fatalf("after flush: pending=%d rows=%d rebuilds=%d", u.Pending(), u.Rows(), u.Rebuilds)
+	}
+	if res2.Report.OriginalRows != 5 {
+		t.Fatalf("rebuilt over %d rows, want 5", res2.Report.OriginalRows)
+	}
+
+	// The rebuilt ciphertext still preserves FDs and decrypts exactly.
+	want := fd.DiscoverWitnessed(u.current)
+	got := fd.DiscoverWitnessed(res2.Encrypted)
+	if !want.Equal(got) {
+		t.Fatalf("FDs differ after update: %v vs %v", want, got)
+	}
+	dec, err := NewDecryptor(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := dec.Recover(res2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.NumRows() != 5 || back.Cell(4, 2) != "c9" {
+		t.Fatalf("recovered table wrong: %d rows, last C=%q", back.NumRows(), back.Cell(4, 2))
+	}
+}
+
+func TestUpdaterAutoFlushThreshold(t *testing.T) {
+	tbl := figure1Table() // 4 rows
+	u, _, err := NewUpdater(testConfig(0.5), tbl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	u.FlushFraction = 0.5 // flush at ≥ 2 buffered rows
+	if res, err := u.Append([][]string{{"a5", "b5", "c5"}}); err != nil || res != nil {
+		t.Fatalf("first append should buffer: %v %v", res, err)
+	}
+	res, err := u.Append([][]string{{"a6", "b6", "c6"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res == nil {
+		t.Fatal("second append should trigger the rebuild")
+	}
+	if u.Rows() != 6 || u.Pending() != 0 {
+		t.Fatalf("rows=%d pending=%d", u.Rows(), u.Pending())
+	}
+}
+
+func TestUpdaterFlushEmptyIsNoop(t *testing.T) {
+	u, res, err := NewUpdater(testConfig(0.5), figure1Table())
+	if err != nil {
+		t.Fatal(err)
+	}
+	res2, err := u.Flush()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res2 != res || u.Rebuilds != 1 {
+		t.Fatal("empty flush rebuilt")
+	}
+}
+
+func TestUpdaterRejectsBadRows(t *testing.T) {
+	u, _, err := NewUpdater(testConfig(0.5), figure1Table())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := u.Append([][]string{{"too", "short"}}); err == nil {
+		t.Fatal("short row accepted")
+	}
+}

@@ -1,0 +1,65 @@
+// Package crypt provides the cryptographic substrate for F²:
+//
+//   - a probabilistic cell cipher e = <r, F_k(r) ⊕ p> built on a
+//     pseudorandom function (AES-CTR or HMAC-SHA256), per §2.3/§3.2.2 of
+//     the paper;
+//   - a deterministic cell cipher (SIV-style AES) matching the paper's AES
+//     baseline; and
+//   - a from-scratch Paillier cryptosystem on math/big matching the
+//     paper's probabilistic asymmetric baseline.
+//
+// Everything is stdlib-only. Ciphertexts are base64url strings so they can
+// live in ordinary relational cells and be compared for equality by the
+// server.
+package crypt
+
+import (
+	"crypto/rand"
+	"errors"
+	"fmt"
+	"io"
+)
+
+// KeySize is the symmetric key size in bytes (AES-256 / HMAC-SHA256).
+const KeySize = 32
+
+// NonceSize is the size of the random string r in e = <r, F_k(r) ⊕ p>.
+const NonceSize = 16
+
+// Key is a symmetric key for the PRF-based ciphers.
+type Key [KeySize]byte
+
+// GenerateKey draws a fresh random key (KeyGen(λ) of §2.3 with λ = 256).
+func GenerateKey() (Key, error) {
+	var k Key
+	if _, err := io.ReadFull(rand.Reader, k[:]); err != nil {
+		return Key{}, fmt.Errorf("crypt: generating key: %w", err)
+	}
+	return k, nil
+}
+
+// KeyFromSeed derives a key deterministically from a seed string. Intended
+// for tests and benchmarks that need reproducible ciphertexts; production
+// callers should use GenerateKey.
+func KeyFromSeed(seed string) Key {
+	var k Key
+	copy(k[:], seed)
+	// Spread the seed so short seeds still fill the key.
+	for i := len(seed); i < KeySize && len(seed) > 0; i++ {
+		k[i] = k[i%len(seed)] ^ byte(i)
+	}
+	return k
+}
+
+// CellCipher is the minimal interface both the probabilistic and the
+// deterministic cipher satisfy: encrypt one relational cell to a ciphertext
+// string and invert it.
+type CellCipher interface {
+	// EncryptCell encrypts a single cell value.
+	EncryptCell(plain string) (string, error)
+	// DecryptCell inverts EncryptCell.
+	DecryptCell(cipher string) (string, error)
+}
+
+// ErrCiphertext is returned when a ciphertext is malformed.
+var ErrCiphertext = errors.New("crypt: malformed ciphertext")

@@ -1,0 +1,225 @@
+package crypt
+
+import (
+	"math/big"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func testKey() Key { return KeyFromSeed("crypt-test-key") }
+
+func TestGenerateKeyDistinct(t *testing.T) {
+	k1, err := GenerateKey()
+	if err != nil {
+		t.Fatalf("GenerateKey: %v", err)
+	}
+	k2, err := GenerateKey()
+	if err != nil {
+		t.Fatalf("GenerateKey: %v", err)
+	}
+	if k1 == k2 {
+		t.Fatal("two generated keys are equal")
+	}
+}
+
+func TestProbCipherRoundTrip(t *testing.T) {
+	for _, prf := range []PRF{PRFAESCTR, PRFHMAC} {
+		c, err := NewProbCipher(testKey(), prf)
+		if err != nil {
+			t.Fatalf("NewProbCipher(%v): %v", prf, err)
+		}
+		for _, plain := range []string{"", "x", "hello world", strings.Repeat("long", 100), "unicode £€", "\x00\x01\xff"} {
+			ct, err := c.EncryptCell(plain)
+			if err != nil {
+				t.Fatalf("EncryptCell: %v", err)
+			}
+			got, err := c.DecryptCell(ct)
+			if err != nil {
+				t.Fatalf("DecryptCell: %v", err)
+			}
+			if got != plain {
+				t.Errorf("%v: round trip %q → %q", prf, plain, got)
+			}
+		}
+	}
+}
+
+func TestProbCipherIsProbabilistic(t *testing.T) {
+	c, _ := NewProbCipher(testKey(), PRFAESCTR)
+	a, _ := c.EncryptCell("same")
+	b, _ := c.EncryptCell("same")
+	if a == b {
+		t.Fatal("two probabilistic encryptions of the same value are equal")
+	}
+}
+
+func TestEncryptInstanceDeterministicPerTriple(t *testing.T) {
+	c, _ := NewProbCipher(testKey(), PRFAESCTR)
+	a := c.EncryptInstance("tweak", "value", 0)
+	b := c.EncryptInstance("tweak", "value", 0)
+	if a != b {
+		t.Fatal("same (tweak, value, instance) produced different ciphertexts")
+	}
+	if c.EncryptInstance("tweak", "value", 1) == a {
+		t.Fatal("different instance produced same ciphertext")
+	}
+	if c.EncryptInstance("tweak2", "value", 0) == a {
+		t.Fatal("different tweak produced same ciphertext")
+	}
+	if c.EncryptInstance("tweak", "value2", 0) == a {
+		t.Fatal("different value produced same ciphertext")
+	}
+	// Tweak/plain boundary ambiguity must not collide: ("ab","c") vs ("a","bc").
+	if c.EncryptInstance("ab", "c", 0) == c.EncryptInstance("a", "bc", 0) {
+		t.Fatal("length-prefixing failed: tweak/plain boundary collision")
+	}
+	got, err := c.DecryptCell(a)
+	if err != nil || got != "value" {
+		t.Fatalf("instance decrypt = %q, %v", got, err)
+	}
+}
+
+func TestInstanceRoundTripQuick(t *testing.T) {
+	c, _ := NewProbCipher(testKey(), PRFAESCTR)
+	f := func(tweak, plain string, inst uint64) bool {
+		ct := c.EncryptInstance(tweak, plain, inst)
+		got, err := c.DecryptCell(ct)
+		return err == nil && got == plain
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDecryptCellMalformed(t *testing.T) {
+	c, _ := NewProbCipher(testKey(), PRFAESCTR)
+	for _, bad := range []string{"", "!not-base64!", "c2hvcnQ"} {
+		if _, err := c.DecryptCell(bad); err == nil {
+			t.Errorf("DecryptCell(%q) accepted", bad)
+		}
+	}
+}
+
+func TestWrongKeyGarbles(t *testing.T) {
+	c1, _ := NewProbCipher(testKey(), PRFAESCTR)
+	c2, _ := NewProbCipher(KeyFromSeed("other-key"), PRFAESCTR)
+	ct, _ := c1.EncryptCell("secret")
+	got, err := c2.DecryptCell(ct)
+	if err == nil && got == "secret" {
+		t.Fatal("wrong key decrypted correctly")
+	}
+}
+
+func TestDetCipherDeterministicAndInvertible(t *testing.T) {
+	c, err := NewDetCipher(testKey())
+	if err != nil {
+		t.Fatalf("NewDetCipher: %v", err)
+	}
+	a, _ := c.EncryptCell("v1")
+	b, _ := c.EncryptCell("v1")
+	if a != b {
+		t.Fatal("deterministic cipher produced different ciphertexts")
+	}
+	o, _ := c.EncryptCell("v2")
+	if o == a {
+		t.Fatal("different plaintexts collided")
+	}
+	got, err := c.DecryptCell(a)
+	if err != nil || got != "v1" {
+		t.Fatalf("decrypt = %q, %v", got, err)
+	}
+}
+
+func TestHMACKeystreamLongValues(t *testing.T) {
+	c, _ := NewProbCipher(testKey(), PRFHMAC)
+	plain := strings.Repeat("0123456789abcdef", 20) // > one HMAC block
+	ct, _ := c.EncryptCell(plain)
+	got, err := c.DecryptCell(ct)
+	if err != nil || got != plain {
+		t.Fatalf("long HMAC round trip failed: %v", err)
+	}
+}
+
+func TestPaillierRoundTripInt(t *testing.T) {
+	pk, err := GeneratePaillier(256)
+	if err != nil {
+		t.Fatalf("GeneratePaillier: %v", err)
+	}
+	for _, m := range []int64{0, 1, 42, 1 << 30} {
+		c, err := pk.EncryptInt(big.NewInt(m))
+		if err != nil {
+			t.Fatalf("EncryptInt(%d): %v", m, err)
+		}
+		got, err := pk.DecryptInt(c)
+		if err != nil || got.Int64() != m {
+			t.Fatalf("DecryptInt(%d) = %v, %v", m, got, err)
+		}
+	}
+}
+
+func TestPaillierProbabilistic(t *testing.T) {
+	pk, _ := GeneratePaillier(256)
+	a, _ := pk.EncryptInt(big.NewInt(7))
+	b, _ := pk.EncryptInt(big.NewInt(7))
+	if a.Cmp(b) == 0 {
+		t.Fatal("Paillier encryptions of same value equal")
+	}
+}
+
+func TestPaillierHomomorphic(t *testing.T) {
+	pk, _ := GeneratePaillier(256)
+	c1, _ := pk.EncryptInt(big.NewInt(20))
+	c2, _ := pk.EncryptInt(big.NewInt(22))
+	sum, err := pk.DecryptInt(pk.AddCipher(c1, c2))
+	if err != nil || sum.Int64() != 42 {
+		t.Fatalf("homomorphic add = %v, %v", sum, err)
+	}
+	prod, err := pk.DecryptInt(pk.MulConst(c1, big.NewInt(3)))
+	if err != nil || prod.Int64() != 60 {
+		t.Fatalf("homomorphic mul = %v, %v", prod, err)
+	}
+}
+
+func TestPaillierCellRoundTrip(t *testing.T) {
+	pk, _ := GeneratePaillier(512)
+	for _, plain := range []string{"", "cell", "order-priority-HIGH", "\x00leading-nul"} {
+		ct, err := pk.EncryptCell(plain)
+		if err != nil {
+			t.Fatalf("EncryptCell(%q): %v", plain, err)
+		}
+		got, err := pk.DecryptCell(ct)
+		if err != nil || got != plain {
+			t.Fatalf("cell round trip %q → %q, %v", plain, got, err)
+		}
+	}
+	// Overlong cell must be rejected, not truncated.
+	if _, err := pk.EncryptCell(strings.Repeat("x", 100)); err == nil {
+		t.Error("overlong cell accepted for 512-bit modulus")
+	}
+}
+
+func TestPaillierRejectsOutOfRange(t *testing.T) {
+	pk, _ := GeneratePaillier(256)
+	if _, err := pk.EncryptInt(big.NewInt(-1)); err == nil {
+		t.Error("negative plaintext accepted")
+	}
+	if _, err := pk.EncryptInt(pk.N); err == nil {
+		t.Error("plaintext ≥ n accepted")
+	}
+	if _, err := pk.DecryptInt(big.NewInt(0)); err == nil {
+		t.Error("zero ciphertext accepted")
+	}
+	if _, err := GeneratePaillier(32); err == nil {
+		t.Error("tiny modulus accepted")
+	}
+}
+
+func TestKeyFromSeedStable(t *testing.T) {
+	if KeyFromSeed("abc") != KeyFromSeed("abc") {
+		t.Error("KeyFromSeed not deterministic")
+	}
+	if KeyFromSeed("abc") == KeyFromSeed("abd") {
+		t.Error("KeyFromSeed collision on different seeds")
+	}
+}

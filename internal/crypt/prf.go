@@ -1,0 +1,182 @@
+package crypt
+
+import (
+	"crypto/aes"
+	"crypto/cipher"
+	"crypto/hmac"
+	"crypto/rand"
+	"crypto/sha256"
+	"encoding/base64"
+	"encoding/binary"
+	"fmt"
+	"io"
+)
+
+// PRF identifies the pseudorandom function family backing a cipher.
+type PRF int
+
+const (
+	// PRFAESCTR uses AES-256 in counter mode keyed by the cell key. This is
+	// the default: hardware AES makes it the fast path.
+	PRFAESCTR PRF = iota
+	// PRFHMAC uses HMAC-SHA256 in counter mode. Slower; kept for the PRF
+	// ablation benchmark and as a non-AES reference.
+	PRFHMAC
+)
+
+func (p PRF) String() string {
+	switch p {
+	case PRFAESCTR:
+		return "aes-ctr"
+	case PRFHMAC:
+		return "hmac-sha256"
+	default:
+		return fmt.Sprintf("prf(%d)", int(p))
+	}
+}
+
+// ProbCipher is the probabilistic cell cipher of §2.3: for plaintext p it
+// produces e = <r, F_k(r) ⊕ p> where r is a λ-bit random string and F a
+// PRF. Encrypting the same plaintext twice yields different ciphertexts.
+//
+// F² additionally needs *instances*: all copies of split instance i of a
+// plaintext must share one ciphertext, and distinct instances must differ
+// (Requirement 2). EncryptInstance derives r pseudorandomly from
+// (plaintext, instance, tweak) so instance identity is reproducible from
+// the key alone.
+type ProbCipher struct {
+	key   Key
+	prf   PRF
+	block cipher.Block // AES block for PRFAESCTR
+	mac   func() []byte
+}
+
+// NewProbCipher builds a probabilistic cipher over the given PRF.
+func NewProbCipher(key Key, prf PRF) (*ProbCipher, error) {
+	c := &ProbCipher{key: key, prf: prf}
+	if prf == PRFAESCTR {
+		b, err := aes.NewCipher(key[:])
+		if err != nil {
+			return nil, fmt.Errorf("crypt: %w", err)
+		}
+		c.block = b
+	}
+	return c, nil
+}
+
+// EncryptCell encrypts with a fresh random r.
+func (c *ProbCipher) EncryptCell(plain string) (string, error) {
+	var r [NonceSize]byte
+	if _, err := io.ReadFull(rand.Reader, r[:]); err != nil {
+		return "", fmt.Errorf("crypt: drawing nonce: %w", err)
+	}
+	return c.seal(r, plain), nil
+}
+
+// EncryptInstance encrypts plaintext p as split instance `instance` under
+// context `tweak` (e.g. the MAS and attribute). The nonce is derived with
+// HMAC so the mapping is deterministic per key: every copy of the instance
+// gets the identical ciphertext string, and different (tweak, plaintext,
+// instance) triples get distinct ciphertexts with overwhelming probability.
+func (c *ProbCipher) EncryptInstance(tweak string, plain string, instance uint64) string {
+	mac := hmac.New(sha256.New, c.key[:])
+	var inst [8]byte
+	binary.BigEndian.PutUint64(inst[:], instance)
+	writeLenPrefixed(mac, []byte(tweak))
+	writeLenPrefixed(mac, []byte(plain))
+	mac.Write(inst[:])
+	var r [NonceSize]byte
+	copy(r[:], mac.Sum(nil))
+	return c.seal(r, plain)
+}
+
+// DecryptCell recovers p = F_k(r) ⊕ s from e = <r, s>.
+func (c *ProbCipher) DecryptCell(ct string) (string, error) {
+	raw, err := base64.RawURLEncoding.DecodeString(ct)
+	if err != nil || len(raw) < NonceSize {
+		return "", ErrCiphertext
+	}
+	var r [NonceSize]byte
+	copy(r[:], raw[:NonceSize])
+	body := append([]byte(nil), raw[NonceSize:]...)
+	c.xorKeystream(r, body)
+	return string(body), nil
+}
+
+// seal builds base64url(r || keystream(r) ⊕ p).
+func (c *ProbCipher) seal(r [NonceSize]byte, plain string) string {
+	out := make([]byte, NonceSize+len(plain))
+	copy(out, r[:])
+	body := out[NonceSize:]
+	copy(body, plain)
+	c.xorKeystream(r, body)
+	return base64.RawURLEncoding.EncodeToString(out)
+}
+
+// xorKeystream XORs buf with the PRF keystream F_k(r).
+func (c *ProbCipher) xorKeystream(r [NonceSize]byte, buf []byte) {
+	switch c.prf {
+	case PRFAESCTR:
+		stream := cipher.NewCTR(c.block, r[:])
+		stream.XORKeyStream(buf, buf)
+	case PRFHMAC:
+		var counter uint64
+		off := 0
+		var ctr [8]byte
+		for off < len(buf) {
+			mac := hmac.New(sha256.New, c.key[:])
+			mac.Write(r[:])
+			binary.BigEndian.PutUint64(ctr[:], counter)
+			mac.Write(ctr[:])
+			ks := mac.Sum(nil)
+			n := len(buf) - off
+			if n > len(ks) {
+				n = len(ks)
+			}
+			for i := 0; i < n; i++ {
+				buf[off+i] ^= ks[i]
+			}
+			off += n
+			counter++
+		}
+	}
+}
+
+// DetCipher is the deterministic baseline: an SIV-style construction where
+// the nonce is itself a PRF of the plaintext, so equal plaintexts always
+// map to equal ciphertexts. This models the paper's cell-level AES
+// baseline, which preserves FDs but leaks the full frequency distribution.
+type DetCipher struct {
+	inner *ProbCipher
+}
+
+// NewDetCipher builds a deterministic cipher.
+func NewDetCipher(key Key) (*DetCipher, error) {
+	inner, err := NewProbCipher(key, PRFAESCTR)
+	if err != nil {
+		return nil, err
+	}
+	return &DetCipher{inner: inner}, nil
+}
+
+// EncryptCell deterministically encrypts one cell.
+func (c *DetCipher) EncryptCell(plain string) (string, error) {
+	mac := hmac.New(sha256.New, c.inner.key[:])
+	mac.Write([]byte("det-siv"))
+	mac.Write([]byte(plain))
+	var r [NonceSize]byte
+	copy(r[:], mac.Sum(nil))
+	return c.inner.seal(r, plain), nil
+}
+
+// DecryptCell inverts EncryptCell.
+func (c *DetCipher) DecryptCell(ct string) (string, error) {
+	return c.inner.DecryptCell(ct)
+}
+
+func writeLenPrefixed(w io.Writer, b []byte) {
+	var l [4]byte
+	binary.BigEndian.PutUint32(l[:], uint32(len(b)))
+	w.Write(l[:])
+	w.Write(b)
+}

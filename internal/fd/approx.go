@@ -1,0 +1,105 @@
+package fd
+
+import (
+	"f2/internal/partition"
+	"f2/internal/relation"
+)
+
+// Error returns the g3 error of the dependency X→A on t: the minimum
+// fraction of rows that must be removed for the dependency to hold
+// (Huhtala et al. §2.3; Kivinen & Mannila's g3). 0 means the FD holds
+// exactly; values up to maxErr are "approximate dependencies", the bread
+// and butter of data cleaning (a rule that holds on 99.9% of rows flags
+// the remaining 0.1% as suspect).
+func Error(t *relation.Table, f FD) float64 {
+	if t.NumRows() == 0 || f.Trivial() {
+		return 0
+	}
+	s := partition.StrippedOf(t, f.LHS)
+	removed := violationsOf(s, t.Column(f.RHS))
+	return float64(removed) / float64(t.NumRows())
+}
+
+// violationsOf counts the rows to delete so that every stripped class of
+// the LHS partition becomes constant on the RHS column.
+func violationsOf(s *partition.Stripped, col []string) int {
+	total := 0
+	counts := make(map[string]int)
+	for _, c := range s.Classes {
+		clear(counts)
+		best := 0
+		for _, r := range c {
+			counts[col[r]]++
+			if counts[col[r]] > best {
+				best = counts[col[r]]
+			}
+		}
+		total += len(c) - best
+	}
+	return total
+}
+
+// DiscoverApproximate finds the minimal dependencies X→A with g3 error at
+// most maxErr, levelwise (the approximate mode of TANE §4). maxErr = 0
+// degenerates to exact discovery. Approximate validity is not antitone in
+// the same clean way as exact validity, so this runs a plain levelwise
+// sweep with minimality pruning per RHS; intended for modest attribute
+// counts (the cleaning use case).
+func DiscoverApproximate(t *relation.Table, maxErr float64) *Set {
+	m := t.NumAttrs()
+	out := NewSet()
+	if t.NumRows() == 0 || m == 0 {
+		return out
+	}
+	// Per-RHS minimal LHS search, levelwise by LHS size.
+	for rhs := 0; rhs < m; rhs++ {
+		col := t.Column(rhs)
+		var found []relation.AttrSet
+		level := make([]relation.AttrSet, 0, m-1)
+		for a := 0; a < m; a++ {
+			if a != rhs {
+				level = append(level, relation.SingleAttr(a))
+			}
+		}
+		for len(level) > 0 && len(found) < 1<<12 {
+			var next []relation.AttrSet
+			for _, x := range level {
+				covered := false
+				for _, w := range found {
+					if w.SubsetOf(x) {
+						covered = true
+						break
+					}
+				}
+				if covered {
+					continue
+				}
+				s := partition.StrippedOf(t, x)
+				if float64(violationsOf(s, col))/float64(t.NumRows()) <= maxErr {
+					found = append(found, x)
+					out.Add(FD{LHS: x, RHS: rhs})
+					continue
+				}
+				for a := 0; a < m; a++ {
+					if a != rhs && !x.Has(a) && x.First() < a {
+						next = append(next, x.Add(a))
+					}
+				}
+			}
+			level = dedupeSets(next)
+		}
+	}
+	return out
+}
+
+func dedupeSets(sets []relation.AttrSet) []relation.AttrSet {
+	seen := make(map[relation.AttrSet]bool, len(sets))
+	out := sets[:0]
+	for _, s := range sets {
+		if !seen[s] {
+			seen[s] = true
+			out = append(out, s)
+		}
+	}
+	return out
+}

@@ -1,0 +1,243 @@
+// Package fd provides functional-dependency machinery: the FD type, FD-set
+// algebra, validity checks, a faithful TANE implementation (Huhtala et al.,
+// The Computer Journal 1999) for FD discovery, and an exponential
+// brute-force oracle used to cross-check TANE in tests. FD discovery is the
+// server-side workload that F² must keep intact on encrypted data.
+package fd
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"f2/internal/partition"
+	"f2/internal/relation"
+)
+
+// FD is a functional dependency LHS → RHS with a single right-hand-side
+// attribute (WLOG, per §2.2 of the paper: multi-attribute RHSs decompose).
+type FD struct {
+	LHS relation.AttrSet
+	RHS int
+}
+
+// String renders the FD with generic attribute names.
+func (f FD) String() string {
+	return fmt.Sprintf("%s->A%d", f.LHS, f.RHS)
+}
+
+// Names renders the FD using schema column names.
+func (f FD) Names(sch *relation.Schema) string {
+	return f.LHS.Names(sch) + "->" + sch.Name(f.RHS)
+}
+
+// Trivial reports whether RHS ∈ LHS.
+func (f FD) Trivial() bool { return f.LHS.Has(f.RHS) }
+
+// Holds reports whether the FD is valid on t: any two rows agreeing on LHS
+// agree on RHS. An FD with a unique (duplicate-free) LHS holds vacuously.
+func Holds(t *relation.Table, f FD) bool {
+	if f.Trivial() {
+		return true
+	}
+	s := partition.StrippedOf(t, f.LHS)
+	return s.RefinesAttr(t.Column(f.RHS))
+}
+
+// Witnessed reports whether the FD both holds on t and has at least one
+// witnessing pair: two distinct rows agreeing on LHS. Vacuously-true FDs
+// (unique LHS) hold but are not witnessed; see DESIGN.md for why F²'s
+// preservation guarantees are stated over witnessed FDs.
+func Witnessed(t *relation.Table, f FD) bool {
+	if f.Trivial() {
+		return false
+	}
+	s := partition.StrippedOf(t, f.LHS)
+	return s.HasDuplicate() && s.RefinesAttr(t.Column(f.RHS))
+}
+
+// Set is a canonical collection of FDs with set semantics.
+type Set struct {
+	fds map[FD]struct{}
+}
+
+// NewSet builds a Set from the given FDs.
+func NewSet(fds ...FD) *Set {
+	s := &Set{fds: make(map[FD]struct{}, len(fds))}
+	for _, f := range fds {
+		s.Add(f)
+	}
+	return s
+}
+
+// Add inserts an FD.
+func (s *Set) Add(f FD) { s.fds[f] = struct{}{} }
+
+// Has reports membership.
+func (s *Set) Has(f FD) bool {
+	_, ok := s.fds[f]
+	return ok
+}
+
+// Len returns the number of FDs.
+func (s *Set) Len() int { return len(s.fds) }
+
+// Slice returns the FDs in deterministic order (by RHS, then LHS size, then
+// LHS value).
+func (s *Set) Slice() []FD {
+	out := make([]FD, 0, len(s.fds))
+	for f := range s.fds {
+		out = append(out, f)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].RHS != out[j].RHS {
+			return out[i].RHS < out[j].RHS
+		}
+		if out[i].LHS.Size() != out[j].LHS.Size() {
+			return out[i].LHS.Size() < out[j].LHS.Size()
+		}
+		return out[i].LHS < out[j].LHS
+	})
+	return out
+}
+
+// Equal reports whether two sets contain exactly the same FDs.
+func (s *Set) Equal(o *Set) bool {
+	if s.Len() != o.Len() {
+		return false
+	}
+	for f := range s.fds {
+		if !o.Has(f) {
+			return false
+		}
+	}
+	return true
+}
+
+// Diff returns the FDs in s but not in o.
+func (s *Set) Diff(o *Set) []FD {
+	var out []FD
+	for f := range s.fds {
+		if !o.Has(f) {
+			out = append(out, f)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].RHS != out[j].RHS {
+			return out[i].RHS < out[j].RHS
+		}
+		return out[i].LHS < out[j].LHS
+	})
+	return out
+}
+
+// String renders the set with generic names.
+func (s *Set) String() string {
+	parts := make([]string, 0, s.Len())
+	for _, f := range s.Slice() {
+		parts = append(parts, f.String())
+	}
+	return "{" + strings.Join(parts, ", ") + "}"
+}
+
+// Minimize removes non-minimal FDs: X→A is kept only if no Y ⊂ X with Y→A
+// is in the set.
+func (s *Set) Minimize() *Set {
+	out := NewSet()
+	byRHS := make(map[int][]relation.AttrSet)
+	for f := range s.fds {
+		byRHS[f.RHS] = append(byRHS[f.RHS], f.LHS)
+	}
+	for rhs, lhss := range byRHS {
+		for _, x := range lhss {
+			minimal := true
+			for _, y := range lhss {
+				if y != x && y.SubsetOf(x) {
+					minimal = false
+					break
+				}
+			}
+			if minimal {
+				out.Add(FD{LHS: x, RHS: rhs})
+			}
+		}
+	}
+	return out
+}
+
+// BruteForce discovers all minimal non-trivial FDs of t by exhaustive
+// enumeration. Exponential in the number of attributes; a test oracle only.
+func BruteForce(t *relation.Table) *Set {
+	m := t.NumAttrs()
+	out := NewSet()
+	// For each RHS attribute, enumerate candidate LHSs by ascending size so
+	// that minimality can be checked against already-found FDs.
+	for rhs := 0; rhs < m; rhs++ {
+		var found []relation.AttrSet
+		candidates := allSubsetsBySize(relation.FullAttrSet(m).Remove(rhs))
+		for _, lhs := range candidates {
+			covered := false
+			for _, y := range found {
+				if y.SubsetOf(lhs) {
+					covered = true
+					break
+				}
+			}
+			if covered {
+				continue
+			}
+			if Holds(t, FD{LHS: lhs, RHS: rhs}) {
+				found = append(found, lhs)
+				out.Add(FD{LHS: lhs, RHS: rhs})
+			}
+		}
+	}
+	return out
+}
+
+// BruteForceWitnessed is BruteForce restricted to witnessed FDs: minimal
+// FDs X→A where X has at least one duplicate projection.
+func BruteForceWitnessed(t *relation.Table) *Set {
+	m := t.NumAttrs()
+	out := NewSet()
+	for rhs := 0; rhs < m; rhs++ {
+		var found []relation.AttrSet
+		candidates := allSubsetsBySize(relation.FullAttrSet(m).Remove(rhs))
+		for _, lhs := range candidates {
+			covered := false
+			for _, y := range found {
+				if y.SubsetOf(lhs) {
+					covered = true
+					break
+				}
+			}
+			if covered {
+				continue
+			}
+			if Witnessed(t, FD{LHS: lhs, RHS: rhs}) {
+				found = append(found, lhs)
+				out.Add(FD{LHS: lhs, RHS: rhs})
+			}
+		}
+	}
+	return out
+}
+
+// allSubsetsBySize returns every non-empty subset of universe, ordered by
+// ascending size.
+func allSubsetsBySize(universe relation.AttrSet) []relation.AttrSet {
+	var out []relation.AttrSet
+	attrs := universe.Attrs()
+	n := len(attrs)
+	for mask := 1; mask < 1<<uint(n); mask++ {
+		var s relation.AttrSet
+		for i := 0; i < n; i++ {
+			if mask&(1<<uint(i)) != 0 {
+				s = s.Add(attrs[i])
+			}
+		}
+		out = append(out, s)
+	}
+	relation.SortAttrSets(out)
+	return out
+}

@@ -1,0 +1,194 @@
+package fd
+
+import (
+	"math/rand"
+	"testing"
+
+	"f2/internal/relation"
+)
+
+func zipTable() *relation.Table {
+	// Zipcode → City holds; City → Zipcode fails.
+	return relation.MustFromRows(relation.MustSchema("Zip", "City", "Name"), [][]string{
+		{"07030", "Hoboken", "alice"},
+		{"07030", "Hoboken", "bob"},
+		{"07302", "JerseyCity", "carol"},
+		{"07310", "JerseyCity", "dave"},
+		{"07310", "JerseyCity", "erin"},
+	})
+}
+
+func TestHoldsAndWitnessed(t *testing.T) {
+	tbl := zipTable()
+	zipCity := FD{LHS: relation.NewAttrSet(0), RHS: 1}
+	cityZip := FD{LHS: relation.NewAttrSet(1), RHS: 0}
+	if !Holds(tbl, zipCity) {
+		t.Error("Zip→City should hold")
+	}
+	if Holds(tbl, cityZip) {
+		t.Error("City→Zip should fail")
+	}
+	if !Witnessed(tbl, zipCity) {
+		t.Error("Zip→City should be witnessed")
+	}
+	// Name is a key: Name→City holds only vacuously.
+	nameCity := FD{LHS: relation.NewAttrSet(2), RHS: 1}
+	if !Holds(tbl, nameCity) {
+		t.Error("Name→City should hold vacuously")
+	}
+	if Witnessed(tbl, nameCity) {
+		t.Error("Name→City should not be witnessed")
+	}
+	// Trivial FDs hold but are never witnessed.
+	triv := FD{LHS: relation.NewAttrSet(0, 1), RHS: 0}
+	if !Holds(tbl, triv) || Witnessed(tbl, triv) {
+		t.Error("trivial FD handling wrong")
+	}
+}
+
+func TestSetOperations(t *testing.T) {
+	f1 := FD{LHS: relation.NewAttrSet(0), RHS: 1}
+	f2 := FD{LHS: relation.NewAttrSet(1), RHS: 2}
+	s := NewSet(f1, f2, f1) // duplicate add
+	if s.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", s.Len())
+	}
+	if !s.Has(f1) || s.Has(FD{LHS: relation.NewAttrSet(2), RHS: 0}) {
+		t.Error("Has wrong")
+	}
+	o := NewSet(f1)
+	if s.Equal(o) {
+		t.Error("Equal on different sets")
+	}
+	if d := s.Diff(o); len(d) != 1 || d[0] != f2 {
+		t.Errorf("Diff = %v", d)
+	}
+	if !NewSet(f1, f2).Equal(NewSet(f2, f1)) {
+		t.Error("Equal should be order-insensitive")
+	}
+}
+
+func TestSetMinimize(t *testing.T) {
+	small := FD{LHS: relation.NewAttrSet(0), RHS: 2}
+	big := FD{LHS: relation.NewAttrSet(0, 1), RHS: 2}
+	other := FD{LHS: relation.NewAttrSet(1), RHS: 0}
+	min := NewSet(small, big, other).Minimize()
+	if min.Has(big) {
+		t.Error("Minimize kept dominated FD")
+	}
+	if !min.Has(small) || !min.Has(other) {
+		t.Error("Minimize dropped minimal FDs")
+	}
+}
+
+func TestSliceDeterministic(t *testing.T) {
+	s := NewSet(
+		FD{LHS: relation.NewAttrSet(2), RHS: 0},
+		FD{LHS: relation.NewAttrSet(1), RHS: 0},
+		FD{LHS: relation.NewAttrSet(1, 2), RHS: 1},
+	)
+	a := s.Slice()
+	b := s.Slice()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("Slice not deterministic")
+		}
+	}
+}
+
+func TestBruteForceZipTable(t *testing.T) {
+	got := BruteForce(zipTable())
+	if !got.Has(FD{LHS: relation.NewAttrSet(0), RHS: 1}) {
+		t.Errorf("BruteForce missing Zip→City: %v", got)
+	}
+	// Name is a key ⇒ Name→Zip, Name→City minimal.
+	if !got.Has(FD{LHS: relation.NewAttrSet(2), RHS: 0}) {
+		t.Errorf("BruteForce missing Name→Zip: %v", got)
+	}
+	// City→Zip must be absent.
+	if got.Has(FD{LHS: relation.NewAttrSet(1), RHS: 0}) {
+		t.Errorf("BruteForce contains City→Zip: %v", got)
+	}
+}
+
+func TestTANEMatchesBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	for trial := 0; trial < 200; trial++ {
+		attrs := 2 + rng.Intn(4)
+		rows := 2 + rng.Intn(30)
+		domain := 1 + rng.Intn(4)
+		tbl := randomTable(rng, attrs, rows, domain)
+		want := BruteForce(tbl)
+		got := Discover(tbl)
+		if !want.Equal(got) {
+			t.Fatalf("trial %d (a=%d r=%d d=%d):\n brute: %v\n tane:  %v\n missing: %v\n extra: %v\n%v",
+				trial, attrs, rows, domain, want, got, want.Diff(got), got.Diff(want), tbl)
+		}
+	}
+}
+
+func TestTANEWitnessedMatchesBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	for trial := 0; trial < 150; trial++ {
+		tbl := randomTable(rng, 2+rng.Intn(3), 3+rng.Intn(25), 2+rng.Intn(3))
+		want := BruteForceWitnessed(tbl)
+		got := DiscoverWitnessed(tbl)
+		if !want.Equal(got) {
+			t.Fatalf("trial %d:\n brute: %v\n tane: %v\n%v", trial, want, got, tbl)
+		}
+	}
+}
+
+func TestTANEEdgeCases(t *testing.T) {
+	// Empty table.
+	empty := relation.NewTable(relation.MustSchema("A", "B"))
+	if got := Discover(empty); got.Len() != 0 {
+		t.Errorf("empty table FDs = %v", got)
+	}
+	// Single row: every X→A holds vacuously; minimal = singleton LHSs.
+	one := relation.MustFromRows(relation.MustSchema("A", "B"), [][]string{{"x", "y"}})
+	got := Discover(one)
+	if !got.Equal(BruteForce(one)) {
+		t.Errorf("single-row mismatch: tane=%v brute=%v", got, BruteForce(one))
+	}
+	// Single column: no non-trivial FDs possible.
+	col := relation.MustFromRows(relation.MustSchema("A"), [][]string{{"x"}, {"x"}, {"y"}})
+	if got := Discover(col); got.Len() != 0 {
+		t.Errorf("single-column FDs = %v", got)
+	}
+	// Identical columns: A→B and B→A.
+	dup := relation.MustFromRows(relation.MustSchema("A", "B"), [][]string{
+		{"1", "1"}, {"2", "2"}, {"1", "1"},
+	})
+	got = Discover(dup)
+	if !got.Has(FD{LHS: relation.NewAttrSet(0), RHS: 1}) || !got.Has(FD{LHS: relation.NewAttrSet(1), RHS: 0}) {
+		t.Errorf("identical columns: %v", got)
+	}
+}
+
+func TestFDStringRendering(t *testing.T) {
+	f := FD{LHS: relation.NewAttrSet(0, 2), RHS: 1}
+	if got := f.String(); got != "{A0,A2}->A1" {
+		t.Errorf("String = %q", got)
+	}
+	sch := relation.MustSchema("Zip", "City", "Name")
+	if got := f.Names(sch); got != "{Zip,Name}->City" {
+		t.Errorf("Names = %q", got)
+	}
+}
+
+func randomTable(rng *rand.Rand, attrs, rows, domain int) *relation.Table {
+	names := make([]string, attrs)
+	for i := range names {
+		names[i] = string(rune('A' + i))
+	}
+	tbl := relation.NewTable(relation.MustSchema(names...))
+	for r := 0; r < rows; r++ {
+		row := make([]string, attrs)
+		for a := range row {
+			row[a] = string(rune('a'+a)) + string(rune('0'+rng.Intn(domain)))
+		}
+		tbl.AppendRow(row)
+	}
+	return tbl
+}

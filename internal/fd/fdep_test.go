@@ -1,0 +1,109 @@
+package fd
+
+import (
+	"math/rand"
+	"testing"
+
+	"f2/internal/relation"
+)
+
+func TestFDEPMatchesBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	for trial := 0; trial < 200; trial++ {
+		attrs := 2 + rng.Intn(4)
+		rows := 2 + rng.Intn(25)
+		domain := 1 + rng.Intn(4)
+		tbl := randomTable(rng, attrs, rows, domain)
+		want := BruteForce(tbl)
+		got := FDEP(tbl)
+		if !want.Equal(got) {
+			t.Fatalf("trial %d (a=%d r=%d d=%d):\n brute: %v\n fdep: %v\n missing: %v\n extra: %v\n%v",
+				trial, attrs, rows, domain, want, got, want.Diff(got), got.Diff(want), tbl)
+		}
+	}
+}
+
+func TestFDEPMatchesTANE(t *testing.T) {
+	// Cross-check the two independent algorithms on slightly larger
+	// tables than brute force can handle.
+	rng := rand.New(rand.NewSource(37))
+	for trial := 0; trial < 20; trial++ {
+		tbl := randomTable(rng, 5+rng.Intn(2), 100+rng.Intn(200), 2+rng.Intn(3))
+		tane := Discover(tbl)
+		fdep := FDEP(tbl)
+		if !tane.Equal(fdep) {
+			t.Fatalf("trial %d: TANE %v ≠ FDEP %v", trial, tane, fdep)
+		}
+	}
+}
+
+func TestFDEPEdgeCases(t *testing.T) {
+	empty := relation.NewTable(relation.MustSchema("A", "B"))
+	if got := FDEP(empty); got.Len() != 0 {
+		t.Errorf("empty: %v", got)
+	}
+	one := relation.MustFromRows(relation.MustSchema("A", "B"), [][]string{{"x", "y"}})
+	if got, want := FDEP(one), Discover(one); !got.Equal(want) {
+		t.Errorf("single row: fdep %v, tane %v", got, want)
+	}
+}
+
+func TestErrorMeasure(t *testing.T) {
+	tbl := zipTable()
+	zipCity := FD{LHS: relation.NewAttrSet(0), RHS: 1}
+	if e := Error(tbl, zipCity); e != 0 {
+		t.Errorf("exact FD has error %v", e)
+	}
+	cityZip := FD{LHS: relation.NewAttrSet(1), RHS: 0}
+	// JerseyCity maps to two zips (1× 07302, 2× 07310): one removal out
+	// of five rows.
+	if e := Error(tbl, cityZip); e != 0.2 {
+		t.Errorf("City→Zip error = %v, want 0.2", e)
+	}
+	if e := Error(tbl, FD{LHS: relation.NewAttrSet(0, 1), RHS: 0}); e != 0 {
+		t.Errorf("trivial FD error = %v", e)
+	}
+}
+
+func TestDiscoverApproximate(t *testing.T) {
+	tbl := zipTable()
+	exact := DiscoverApproximate(tbl, 0)
+	if !exact.Equal(Discover(tbl)) {
+		t.Fatalf("maxErr=0 should equal exact discovery:\n approx: %v\n tane: %v", exact, Discover(tbl))
+	}
+	// With a 20% budget, City→Zip becomes an approximate dependency.
+	loose := DiscoverApproximate(tbl, 0.2)
+	if !loose.Has(FD{LHS: relation.NewAttrSet(1), RHS: 0}) {
+		t.Errorf("City→Zip missing at maxErr=0.2: %v", loose)
+	}
+	// Approximate sets are supersets (minimal-LHS-wise weaker) of exact:
+	// every exact FD is implied at any threshold.
+	for _, f := range Discover(tbl).Slice() {
+		if !Implies(loose, f) {
+			t.Errorf("exact FD %v not implied by approximate set", f)
+		}
+	}
+}
+
+func TestDiscoverApproximateMonotone(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	tbl := randomTable(rng, 4, 60, 3)
+	prev := -1
+	for _, maxErr := range []float64{0, 0.05, 0.15, 0.4} {
+		got := DiscoverApproximate(tbl, maxErr)
+		// Count distinct implied singleton-LHS dependencies as a monotone
+		// proxy: larger budgets admit more dependencies.
+		count := 0
+		for a := 0; a < tbl.NumAttrs(); a++ {
+			for b := 0; b < tbl.NumAttrs(); b++ {
+				if a != b && Implies(got, FD{LHS: relation.SingleAttr(a), RHS: b}) {
+					count++
+				}
+			}
+		}
+		if count < prev {
+			t.Fatalf("implied dependencies shrank as budget grew (%d → %d at %v)", prev, count, maxErr)
+		}
+		prev = count
+	}
+}

@@ -1,0 +1,251 @@
+package fd
+
+import (
+	"f2/internal/partition"
+	"f2/internal/relation"
+)
+
+// TANE discovers all minimal non-trivial FDs of a relation using the
+// levelwise algorithm of Huhtala, Kärkkäinen, Porkka and Toivonen (1999):
+// candidate right-hand-side sets C+(X), stripped partitions with
+// linear-time products, and key-based pruning.
+//
+// Deviation from the original: FDs with an empty left-hand side (constant
+// columns) are not emitted. F² cannot preserve them — splitting a constant
+// column's single equivalence class necessarily breaks ∅→A — and the
+// paper's evaluation datasets have none. See DESIGN.md.
+type TANE struct {
+	table *relation.Table
+	m     int
+
+	// Per-level state.
+	parts map[relation.AttrSet]*partition.Stripped
+	cplus map[relation.AttrSet]relation.AttrSet
+
+	out *Set
+}
+
+// Discover runs TANE on t and returns the set of minimal non-trivial FDs
+// (non-empty LHS).
+func Discover(t *relation.Table) *Set {
+	tane := &TANE{
+		table: t,
+		m:     t.NumAttrs(),
+		parts: make(map[relation.AttrSet]*partition.Stripped),
+		cplus: make(map[relation.AttrSet]relation.AttrSet),
+		out:   NewSet(),
+	}
+	tane.run()
+	return tane.out
+}
+
+// DiscoverWitnessed runs TANE and keeps only witnessed FDs: minimal FDs
+// whose LHS has at least one duplicate projection in t. (Non-unique LHS
+// sets are downward closed, so the minimal witnessed FDs are exactly the
+// minimal FDs with non-unique LHS.)
+func DiscoverWitnessed(t *relation.Table) *Set {
+	all := Discover(t)
+	out := NewSet()
+	if all.Len() == 0 {
+		return out
+	}
+	coded := relation.Encode(t)
+	nonUnique := make(map[relation.AttrSet]bool)
+	for _, f := range all.Slice() {
+		dup, ok := nonUnique[f.LHS]
+		if !ok {
+			dup = coded.HasDuplicateOn(f.LHS)
+			nonUnique[f.LHS] = dup
+		}
+		if dup {
+			out.Add(f)
+		}
+	}
+	return out
+}
+
+func (ta *TANE) run() {
+	if ta.table.NumRows() == 0 || ta.m == 0 {
+		return
+	}
+	all := relation.FullAttrSet(ta.m)
+
+	// Level 1: single attributes.
+	ta.cplus[0] = all
+	level := make([]relation.AttrSet, 0, ta.m)
+	for a := 0; a < ta.m; a++ {
+		x := relation.SingleAttr(a)
+		ta.parts[x] = partition.StrippedSingle(ta.table, a)
+		ta.cplus[x] = all
+		level = append(level, x)
+	}
+	// No dependency checks at level 1: that would test ∅→A (constant
+	// columns), which we deliberately exclude.
+	level = ta.prune(level)
+
+	ws := partition.NewWorkspace(ta.table.NumRows())
+	for len(level) > 0 {
+		next := ta.generateNextLevel(level)
+		if len(next) == 0 {
+			break
+		}
+		// Compute partitions for the next level via products of subsets.
+		for _, x := range next {
+			a := x.First()
+			y := x.Remove(a)
+			px, py := ta.parts[relation.SingleAttr(a)], ta.parts[y]
+			if py == nil {
+				// Parent partition was pruned away; recompute directly.
+				py = partition.StrippedOf(ta.table, y)
+			}
+			ta.parts[x] = partition.Product(py, px, ws)
+		}
+		ta.computeDependencies(next)
+		next = ta.prune(next)
+		// Free partitions of the previous level to bound memory. Singleton
+		// partitions are kept: every product at level ℓ+1 joins a level-ℓ
+		// partition with a singleton.
+		for _, x := range level {
+			if x.Size() > 1 {
+				delete(ta.parts, x)
+			}
+		}
+		level = next
+	}
+}
+
+// computeDependencies implements COMPUTE_DEPENDENCIES(Lℓ).
+func (ta *TANE) computeDependencies(level []relation.AttrSet) {
+	all := relation.FullAttrSet(ta.m)
+	for _, x := range level {
+		// C+(X) = ∩_{A∈X} C+(X\{A})
+		c := all
+		for _, a := range x.Attrs() {
+			c = c.Intersect(ta.cplusOf(x.Remove(a)))
+		}
+		ta.cplus[x] = c
+
+		for _, a := range x.Intersect(c).Attrs() {
+			lhs := x.Remove(a)
+			if lhs.IsEmpty() {
+				continue
+			}
+			if ta.valid(lhs, x) {
+				ta.out.Add(FD{LHS: lhs, RHS: a})
+				c = c.Remove(a)
+				c = c.Diff(all.Diff(x)) // remove all B ∈ R \ X
+			}
+		}
+		ta.cplus[x] = c
+	}
+}
+
+// valid reports whether X\{A} → A holds, using the error-measure identity
+// e(X\{A}) == e(X).
+func (ta *TANE) valid(lhs, x relation.AttrSet) bool {
+	pl := ta.lookupPartition(lhs)
+	px := ta.lookupPartition(x)
+	return pl.ErrorMeasure() == px.ErrorMeasure()
+}
+
+// cplusOf returns C+(X), computing it by the intersection formula when X
+// was never generated at its level (its dependency checks never ran, so the
+// formula is exactly its value).
+func (ta *TANE) cplusOf(x relation.AttrSet) relation.AttrSet {
+	if c, ok := ta.cplus[x]; ok {
+		return c
+	}
+	c := relation.FullAttrSet(ta.m)
+	if !x.IsEmpty() {
+		for _, a := range x.Attrs() {
+			c = c.Intersect(ta.cplusOf(x.Remove(a)))
+		}
+	}
+	ta.cplus[x] = c
+	return c
+}
+
+func (ta *TANE) lookupPartition(x relation.AttrSet) *partition.Stripped {
+	if p, ok := ta.parts[x]; ok {
+		return p
+	}
+	p := partition.StrippedOf(ta.table, x)
+	ta.parts[x] = p
+	return p
+}
+
+// prune implements PRUNE(Lℓ): drop X with empty C+(X); for superkeys X,
+// emit the key-implied dependencies and drop X.
+func (ta *TANE) prune(level []relation.AttrSet) []relation.AttrSet {
+	out := level[:0]
+	for _, x := range level {
+		c := ta.cplus[x]
+		if c.IsEmpty() {
+			continue
+		}
+		if ta.isSuperkey(x) {
+			for _, a := range c.Diff(x).Attrs() {
+				// A ∈ ∩_{B∈X} C+(X ∪ {A} \ {B}) ?
+				in := true
+				for _, b := range x.Attrs() {
+					if !ta.cplusOf(x.Add(a).Remove(b)).Has(a) {
+						in = false
+						break
+					}
+				}
+				if in && !x.IsEmpty() {
+					ta.out.Add(FD{LHS: x, RHS: a})
+				}
+			}
+			continue
+		}
+		out = append(out, x)
+	}
+	return out
+}
+
+func (ta *TANE) isSuperkey(x relation.AttrSet) bool {
+	return !ta.lookupPartition(x).HasDuplicate()
+}
+
+// generateNextLevel implements the apriori-gen candidate generation: join
+// pairs sharing all but the last attribute, keep candidates whose every
+// immediate subset survived the current level.
+func (ta *TANE) generateNextLevel(level []relation.AttrSet) []relation.AttrSet {
+	inLevel := make(map[relation.AttrSet]bool, len(level))
+	for _, x := range level {
+		inLevel[x] = true
+	}
+	// Group by prefix (set minus the largest attribute).
+	prefix := make(map[relation.AttrSet][]int)
+	for _, x := range level {
+		attrs := x.Attrs()
+		last := attrs[len(attrs)-1]
+		prefix[x.Remove(last)] = append(prefix[x.Remove(last)], last)
+	}
+	seen := make(map[relation.AttrSet]bool)
+	var next []relation.AttrSet
+	for p, lasts := range prefix {
+		for i := 0; i < len(lasts); i++ {
+			for j := i + 1; j < len(lasts); j++ {
+				cand := p.Add(lasts[i]).Add(lasts[j])
+				if seen[cand] {
+					continue
+				}
+				seen[cand] = true
+				ok := true
+				for _, sub := range cand.ImmediateSubsets() {
+					if !inLevel[sub] {
+						ok = false
+						break
+					}
+				}
+				if ok {
+					next = append(next, cand)
+				}
+			}
+		}
+	}
+	relation.SortAttrSets(next)
+	return next
+}

@@ -1,0 +1,198 @@
+// Package mas discovers Maximal Attribute Sets (Def. 3.2 of the F² paper):
+// maximal column combinations whose projection contains at least one
+// duplicate. These are exactly the maximal non-unique column combinations
+// of Heise et al. (DUCC, VLDB 2013); F² adapts DUCC for Step 1 because the
+// complexity of the random walk depends on the size of the solution border
+// rather than on the number of attributes.
+//
+// Three implementations are provided:
+//
+//   - Discover: a DUCC-style random walk over the column-combination
+//     lattice with upward/downward pruning (the default);
+//   - DiscoverLevelwise: a bottom-up Apriori-style sweep (simple, used as a
+//     cross-check and in ablation benchmarks);
+//   - BruteForce: exhaustive enumeration (test oracle for small schemas).
+//
+// Non-uniqueness is downward closed: if X has a duplicate projection then
+// every subset of X does. The MASs form the positive border of that
+// monotone property.
+package mas
+
+import (
+	"sort"
+
+	"f2/internal/border"
+
+	"f2/internal/partition"
+	"f2/internal/relation"
+)
+
+// Result carries the discovered MASs together with their partitions, which
+// the F² encryptor (and several benchmarks) need immediately afterwards.
+type Result struct {
+	Sets []relation.AttrSet
+	// Partitions maps each MAS to its full partition π_M.
+	Partitions map[relation.AttrSet]*partition.Partition
+	// Checked counts uniqueness checks performed (work measure for the
+	// DUCC-vs-levelwise ablation).
+	Checked int
+}
+
+// Discover finds all MASs of t with the DUCC-style border search of
+// package border: greedy walks classify the lattice, a Dualize-&-Advance
+// completion finds the holes, and the returned positive border is provably
+// the full set of maximal non-unique column combinations.
+func Discover(t *relation.Table) *Result {
+	r := &Result{Partitions: make(map[relation.AttrSet]*partition.Partition)}
+	if t.NumRows() < 2 || t.NumAttrs() == 0 {
+		return r
+	}
+	coded := relation.Encode(t)
+	sets, checked := border.Find(relation.FullAttrSet(t.NumAttrs()), coded.HasDuplicateOn)
+	r.Sets = sets
+	r.Checked = checked
+	for _, x := range r.Sets {
+		r.Partitions[x] = partition.Of(t, x)
+	}
+	return r
+}
+
+// DiscoverLevelwise finds all MASs via a bottom-up Apriori sweep over
+// non-unique column combinations: level ℓ+1 candidates are joins of
+// non-unique level-ℓ sets all of whose immediate subsets are non-unique.
+// A set is maximal if no generated superset is non-unique.
+func DiscoverLevelwise(t *relation.Table) *Result {
+	r := &Result{Partitions: make(map[relation.AttrSet]*partition.Partition)}
+	if t.NumRows() < 2 {
+		return r
+	}
+	m := t.NumAttrs()
+	coded := relation.Encode(t)
+	var level []relation.AttrSet
+	for a := 0; a < m; a++ {
+		x := relation.SingleAttr(a)
+		r.Checked++
+		if coded.HasDuplicateOn(x) {
+			level = append(level, x)
+		}
+	}
+	candidates := make(map[relation.AttrSet]bool) // all non-unique sets found
+	for _, x := range level {
+		candidates[x] = true
+	}
+	for len(level) > 0 {
+		inLevel := make(map[relation.AttrSet]bool, len(level))
+		for _, x := range level {
+			inLevel[x] = true
+		}
+		seen := make(map[relation.AttrSet]bool)
+		var next []relation.AttrSet
+		for i := 0; i < len(level); i++ {
+			for j := i + 1; j < len(level); j++ {
+				cand := level[i].Union(level[j])
+				if cand.Size() != level[i].Size()+1 || seen[cand] {
+					continue
+				}
+				seen[cand] = true
+				ok := true
+				for _, sub := range cand.ImmediateSubsets() {
+					if !inLevel[sub] {
+						ok = false
+						break
+					}
+				}
+				if !ok {
+					continue
+				}
+				r.Checked++
+				if coded.HasDuplicateOn(cand) {
+					next = append(next, cand)
+					candidates[cand] = true
+				}
+			}
+		}
+		level = next
+	}
+	// Maximal = non-unique sets with no non-unique strict superset.
+	for x := range candidates {
+		maximal := true
+		for y := range candidates {
+			if x != y && x.ProperSubsetOf(y) {
+				maximal = false
+				break
+			}
+		}
+		if maximal {
+			r.Sets = append(r.Sets, x)
+		}
+	}
+	relation.SortAttrSets(r.Sets)
+	for _, x := range r.Sets {
+		r.Partitions[x] = partition.Of(t, x)
+	}
+	return r
+}
+
+// BruteForce enumerates every column combination, classifies it, and
+// returns the maximal non-unique ones. Exponential; test oracle only.
+func BruteForce(t *relation.Table) []relation.AttrSet {
+	m := t.NumAttrs()
+	var nonUnique []relation.AttrSet
+	for mask := relation.AttrSet(1); mask < relation.FullAttrSet(m)+1 && mask != 0; mask++ {
+		if mask.SubsetOf(relation.FullAttrSet(m)) && t.HasDuplicateOn(mask) {
+			nonUnique = append(nonUnique, mask)
+		}
+		if mask == relation.FullAttrSet(m) {
+			break
+		}
+	}
+	var out []relation.AttrSet
+	for _, x := range nonUnique {
+		maximal := true
+		for _, y := range nonUnique {
+			if x != y && x.SubsetOf(y) {
+				maximal = false
+				break
+			}
+		}
+		if maximal {
+			out = append(out, x)
+		}
+	}
+	relation.SortAttrSets(out)
+	return out
+}
+
+// OverlappingPairs returns the pairs of MASs that share at least one
+// attribute, in deterministic order. Used by conflict resolution (Step 3)
+// and by the Theorem 3.3 bound checks.
+func OverlappingPairs(sets []relation.AttrSet) [][2]relation.AttrSet {
+	sorted := append([]relation.AttrSet(nil), sets...)
+	relation.SortAttrSets(sorted)
+	var out [][2]relation.AttrSet
+	for i := 0; i < len(sorted); i++ {
+		for j := i + 1; j < len(sorted); j++ {
+			if sorted[i].Overlaps(sorted[j]) {
+				out = append(out, [2]relation.AttrSet{sorted[i], sorted[j]})
+			}
+		}
+	}
+	sort.Slice(out, func(a, b int) bool {
+		if out[a][0] != out[b][0] {
+			return out[a][0] < out[b][0]
+		}
+		return out[a][1] < out[b][1]
+	})
+	return out
+}
+
+// Covering returns, for each FD candidate X∪{A}, whether some MAS covers
+// it. Per the paper (§3.1), every FD of D has LHS∪RHS inside some MAS.
+func Covering(sets []relation.AttrSet, attrs relation.AttrSet) (relation.AttrSet, bool) {
+	for _, m := range sets {
+		if attrs.SubsetOf(m) {
+			return m, true
+		}
+	}
+	return 0, false
+}

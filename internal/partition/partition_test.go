@@ -1,0 +1,226 @@
+package partition
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+
+	"f2/internal/relation"
+)
+
+func sampleTable() *relation.Table {
+	return relation.MustFromRows(relation.MustSchema("A", "B", "C"), [][]string{
+		{"a1", "b1", "c1"},
+		{"a1", "b1", "c2"},
+		{"a1", "b2", "c1"},
+		{"a2", "b2", "c3"},
+		{"a2", "b2", "c3"},
+	})
+}
+
+func TestPartitionOf(t *testing.T) {
+	tbl := sampleTable()
+	p := Of(tbl, relation.NewAttrSet(0))
+	if p.NumClasses() != 2 {
+		t.Fatalf("π_A has %d classes, want 2", p.NumClasses())
+	}
+	sizes := []int{p.Classes[0].Size(), p.Classes[1].Size()}
+	sort.Ints(sizes)
+	if sizes[0] != 2 || sizes[1] != 3 {
+		t.Errorf("class sizes = %v, want [2 3]", sizes)
+	}
+	if p.MaxClassSize() != 3 {
+		t.Errorf("MaxClassSize = %d", p.MaxClassSize())
+	}
+	if !p.HasDuplicate() {
+		t.Error("π_A should have duplicates")
+	}
+	full := Of(tbl, relation.NewAttrSet(0, 1, 2))
+	if full.NumClasses() != 4 {
+		t.Errorf("π_ABC has %d classes, want 4", full.NumClasses())
+	}
+}
+
+func TestPartitionClassesCoverTable(t *testing.T) {
+	tbl := sampleTable()
+	p := Of(tbl, relation.NewAttrSet(1))
+	seen := make(map[int]bool)
+	for _, c := range p.Classes {
+		for _, r := range c.Rows {
+			if seen[r] {
+				t.Fatalf("row %d in two classes", r)
+			}
+			seen[r] = true
+		}
+	}
+	if len(seen) != tbl.NumRows() {
+		t.Fatalf("classes cover %d rows, want %d", len(seen), tbl.NumRows())
+	}
+}
+
+func TestNonSingletonSortedAscending(t *testing.T) {
+	tbl := sampleTable()
+	p := Of(tbl, relation.NewAttrSet(0))
+	ns := p.NonSingletonClasses()
+	for i := 1; i < len(ns); i++ {
+		if ns[i-1].Size() > ns[i].Size() {
+			t.Fatal("NonSingletonClasses not ascending")
+		}
+	}
+}
+
+func TestRefines(t *testing.T) {
+	tbl := sampleTable()
+	pa := Of(tbl, relation.NewAttrSet(0))
+	pab := Of(tbl, relation.NewAttrSet(0, 1))
+	if !pab.Refines(pa) {
+		t.Error("π_AB must refine π_A")
+	}
+	// A→B fails on this table (a1 maps to b1 and b2).
+	pb := Of(tbl, relation.NewAttrSet(1))
+	if pa.Refines(pb) {
+		t.Error("π_A should not refine π_B")
+	}
+	// B→A fails too (b2 with a1 and a2).
+	if pb.Refines(pa) {
+		t.Error("π_B should not refine π_A")
+	}
+}
+
+func TestErrorMeasure(t *testing.T) {
+	tbl := sampleTable()
+	pa := Of(tbl, relation.NewAttrSet(0))
+	pb := Of(tbl, relation.NewAttrSet(1))
+	// a1 class {0,1,2}: best B-subclass has 2 rows (b1) ⇒ 1 removal.
+	// a2 class {3,4}: homogeneous on B ⇒ 0 removals.
+	if got := pa.Error(pb); got != 1 {
+		t.Errorf("Error(π_A, π_B) = %d, want 1", got)
+	}
+	pab := Of(tbl, relation.NewAttrSet(0, 1))
+	if got := pab.Error(pa); got != 0 {
+		t.Errorf("Error(π_AB, π_A) = %d, want 0 (refinement)", got)
+	}
+}
+
+func TestStrippedOf(t *testing.T) {
+	tbl := sampleTable()
+	s := StrippedOf(tbl, relation.NewAttrSet(2))
+	// c1 ×2, c2 ×1, c3 ×2 ⇒ two stripped classes.
+	if s.NumClasses() != 2 {
+		t.Fatalf("stripped π_C has %d classes, want 2", s.NumClasses())
+	}
+	if s.Cardinality() != 4 {
+		t.Errorf("Cardinality = %d, want 4", s.Cardinality())
+	}
+	if s.ErrorMeasure() != 2 {
+		t.Errorf("ErrorMeasure = %d, want 2", s.ErrorMeasure())
+	}
+	if !s.HasDuplicate() {
+		t.Error("should have duplicates")
+	}
+}
+
+func TestStrippedSingleMatchesGeneric(t *testing.T) {
+	tbl := sampleTable()
+	for a := 0; a < tbl.NumAttrs(); a++ {
+		s1 := StrippedSingle(tbl, a)
+		s2 := StrippedOf(tbl, relation.SingleAttr(a))
+		if s1.Cardinality() != s2.Cardinality() || s1.NumClasses() != s2.NumClasses() {
+			t.Errorf("attr %d: StrippedSingle %d/%d vs StrippedOf %d/%d",
+				a, s1.NumClasses(), s1.Cardinality(), s2.NumClasses(), s2.Cardinality())
+		}
+	}
+}
+
+func TestProductMatchesDirect(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 50; trial++ {
+		tbl := randomTable(rng, 4, 30, 3)
+		x := relation.AttrSet(rng.Intn(15) + 1).Intersect(relation.FullAttrSet(4))
+		y := relation.AttrSet(rng.Intn(15) + 1).Intersect(relation.FullAttrSet(4))
+		if x.IsEmpty() || y.IsEmpty() {
+			continue
+		}
+		px := StrippedOf(tbl, x)
+		py := StrippedOf(tbl, y)
+		prod := Product(px, py, nil)
+		direct := StrippedOf(tbl, x.Union(y))
+		if !sameStripped(prod, direct) {
+			t.Fatalf("trial %d: Product(%v,%v) ≠ direct\nprod: %v\ndirect: %v",
+				trial, x, y, prod.Classes, direct.Classes)
+		}
+	}
+}
+
+func TestProductWithWorkspaceReuse(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	tbl := randomTable(rng, 5, 60, 3)
+	ws := NewWorkspace(tbl.NumRows())
+	for trial := 0; trial < 30; trial++ {
+		x := relation.AttrSet(rng.Intn(31) + 1)
+		y := relation.AttrSet(rng.Intn(31) + 1)
+		px := StrippedOf(tbl, x)
+		py := StrippedOf(tbl, y)
+		if !sameStripped(Product(px, py, ws), StrippedOf(tbl, x.Union(y))) {
+			t.Fatalf("trial %d: workspace reuse corrupted product", trial)
+		}
+	}
+}
+
+func TestRefinesAttr(t *testing.T) {
+	tbl := sampleTable()
+	sab := StrippedOf(tbl, relation.NewAttrSet(0, 1))
+	if !sab.RefinesAttr(tbl.Column(0)) {
+		t.Error("AB → A must hold")
+	}
+	sa := StrippedOf(tbl, relation.NewAttrSet(0))
+	if sa.RefinesAttr(tbl.Column(1)) {
+		t.Error("A → B must fail")
+	}
+}
+
+func sameStripped(a, b *Stripped) bool {
+	ca := canonClasses(a)
+	cb := canonClasses(b)
+	if len(ca) != len(cb) {
+		return false
+	}
+	for i := range ca {
+		if len(ca[i]) != len(cb[i]) {
+			return false
+		}
+		for j := range ca[i] {
+			if ca[i][j] != cb[i][j] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+func canonClasses(s *Stripped) [][]int {
+	out := make([][]int, 0, len(s.Classes))
+	for _, c := range s.Classes {
+		cc := append([]int(nil), c...)
+		sort.Ints(cc)
+		out = append(out, cc)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i][0] < out[j][0] })
+	return out
+}
+
+func randomTable(rng *rand.Rand, attrs, rows, domain int) *relation.Table {
+	names := make([]string, attrs)
+	for i := range names {
+		names[i] = string(rune('A' + i))
+	}
+	tbl := relation.NewTable(relation.MustSchema(names...))
+	for r := 0; r < rows; r++ {
+		row := make([]string, attrs)
+		for a := range row {
+			row[a] = string(rune('a'+a)) + string(rune('0'+rng.Intn(domain)))
+		}
+		tbl.AppendRow(row)
+	}
+	return tbl
+}

@@ -1,0 +1,155 @@
+package partition
+
+import (
+	"f2/internal/relation"
+)
+
+// Stripped is a stripped partition: the partition π_X with all singleton
+// equivalence classes removed. TANE's central data structure — partition
+// products and FD validity checks run in time linear in ||π|| (the number
+// of rows appearing in non-singleton classes), which shrinks rapidly as X
+// grows.
+type Stripped struct {
+	Attrs   relation.AttrSet
+	Classes [][]int // each class has ≥ 2 row indices
+	numRows int
+}
+
+// StrippedOf computes the stripped partition of t under attrs.
+func StrippedOf(t *relation.Table, attrs relation.AttrSet) *Stripped {
+	full := Of(t, attrs)
+	return StripPartition(full)
+}
+
+// StripPartition converts a full partition into stripped form.
+func StripPartition(p *Partition) *Stripped {
+	s := &Stripped{Attrs: p.Attrs, numRows: p.numRows}
+	for _, c := range p.Classes {
+		if c.Size() > 1 {
+			s.Classes = append(s.Classes, c.Rows)
+		}
+	}
+	return s
+}
+
+// StrippedSingle computes the stripped partition of a single column without
+// materializing a full Partition, as TANE does at level 1.
+func StrippedSingle(t *relation.Table, a int) *Stripped {
+	groups := make(map[string][]int)
+	order := make([]string, 0)
+	col := t.Column(a)
+	for i, v := range col {
+		if _, ok := groups[v]; !ok {
+			order = append(order, v)
+		}
+		groups[v] = append(groups[v], i)
+	}
+	s := &Stripped{Attrs: relation.SingleAttr(a), numRows: t.NumRows()}
+	for _, v := range order {
+		if rows := groups[v]; len(rows) > 1 {
+			s.Classes = append(s.Classes, rows)
+		}
+	}
+	return s
+}
+
+// NumRows returns the number of rows of the underlying table.
+func (s *Stripped) NumRows() int { return s.numRows }
+
+// Cardinality returns ||π||: the total number of rows in non-singleton
+// classes.
+func (s *Stripped) Cardinality() int {
+	n := 0
+	for _, c := range s.Classes {
+		n += len(c)
+	}
+	return n
+}
+
+// NumClasses returns the number of non-singleton classes.
+func (s *Stripped) NumClasses() int { return len(s.Classes) }
+
+// HasDuplicate reports whether the underlying attribute set is non-unique.
+func (s *Stripped) HasDuplicate() bool { return len(s.Classes) > 0 }
+
+// ErrorMeasure returns e(X)·|r| as used by TANE's key pruning:
+// ||π|| - |π stripped classes|, the number of rows that must be removed for
+// X to become a superkey.
+func (s *Stripped) ErrorMeasure() int {
+	return s.Cardinality() - s.NumClasses()
+}
+
+// workspace holds scratch arrays reused across Product calls to avoid
+// re-allocating O(n) slices for every lattice edge.
+type workspace struct {
+	probe  []int   // row -> class id in lhs (+1), 0 = singleton
+	bucket [][]int // class id in lhs -> rows collected for current rhs class
+	touch  []int
+}
+
+// NewWorkspace allocates scratch space for Product over tables with n rows.
+func NewWorkspace(n int) *workspace {
+	return &workspace{probe: make([]int, n)}
+}
+
+// Product computes the stripped partition of X ∪ Y from stripped π_X and
+// π_Y using TANE's linear-time PRODUCT procedure. ws may be nil, in which
+// case temporary space is allocated.
+func Product(x, y *Stripped, ws *workspace) *Stripped {
+	if ws == nil {
+		ws = NewWorkspace(x.numRows)
+	}
+	out := &Stripped{Attrs: x.Attrs.Union(y.Attrs), numRows: x.numRows}
+
+	probe := ws.probe
+	// Mark rows with their class id (1-based) in x.
+	for ci, c := range x.Classes {
+		for _, r := range c {
+			probe[r] = ci + 1
+		}
+	}
+	if cap(ws.bucket) < len(x.Classes) {
+		ws.bucket = make([][]int, len(x.Classes))
+	}
+	bucket := ws.bucket[:len(x.Classes)]
+
+	for _, c := range y.Classes {
+		ws.touch = ws.touch[:0]
+		for _, r := range c {
+			if id := probe[r]; id != 0 {
+				if bucket[id-1] == nil {
+					ws.touch = append(ws.touch, id-1)
+				}
+				bucket[id-1] = append(bucket[id-1], r)
+			}
+		}
+		for _, id := range ws.touch {
+			if len(bucket[id]) > 1 {
+				out.Classes = append(out.Classes, append([]int(nil), bucket[id]...))
+			}
+			bucket[id] = nil
+		}
+	}
+	// Clear probe marks.
+	for _, c := range x.Classes {
+		for _, r := range c {
+			probe[r] = 0
+		}
+	}
+	return out
+}
+
+// RefinesAttr reports whether π_X refines π_{A} for a single attribute
+// column, i.e. whether X → A holds. col must be the values of column A.
+// Linear in ||π_X||.
+func (s *Stripped) RefinesAttr(col []string) bool {
+	for _, c := range s.Classes {
+		v := col[c[0]]
+		for _, r := range c[1:] {
+			if col[r] != v {
+				return false
+			}
+		}
+	}
+	return true
+}

@@ -1,0 +1,78 @@
+package relation
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"os"
+)
+
+// ReadCSV parses a table from CSV. The first record is the header and
+// becomes the schema.
+func ReadCSV(r io.Reader) (*Table, error) {
+	cr := csv.NewReader(r)
+	cr.ReuseRecord = true
+	header, err := cr.Read()
+	if err != nil {
+		return nil, fmt.Errorf("relation: reading CSV header: %w", err)
+	}
+	schema, err := NewSchema(append([]string(nil), header...)...)
+	if err != nil {
+		return nil, err
+	}
+	t := NewTable(schema)
+	for {
+		rec, err := cr.Read()
+		if err == io.EOF {
+			return t, nil
+		}
+		if err != nil {
+			return nil, fmt.Errorf("relation: reading CSV: %w", err)
+		}
+		if err := t.AppendRow(append([]string(nil), rec...)); err != nil {
+			return nil, err
+		}
+	}
+}
+
+// WriteCSV writes the table as CSV with a header row.
+func WriteCSV(w io.Writer, t *Table) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(t.Schema().Names()); err != nil {
+		return fmt.Errorf("relation: writing CSV header: %w", err)
+	}
+	row := make([]string, t.NumAttrs())
+	for i := 0; i < t.NumRows(); i++ {
+		for c := 0; c < t.NumAttrs(); c++ {
+			row[c] = t.Cell(i, c)
+		}
+		if err := cw.Write(row); err != nil {
+			return fmt.Errorf("relation: writing CSV row %d: %w", i, err)
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// ReadCSVFile loads a table from a CSV file on disk.
+func ReadCSVFile(path string) (*Table, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return ReadCSV(f)
+}
+
+// WriteCSVFile stores a table as a CSV file on disk.
+func WriteCSVFile(path string, t *Table) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := WriteCSV(f, t); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}

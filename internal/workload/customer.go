@@ -1,0 +1,217 @@
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+
+	"f2/internal/relation"
+)
+
+// CustomerSchema is the TPC-C CUSTOMER schema (21 attributes), matching
+// the paper's Customer dataset (Table 1; the paper cites C_Last and
+// C_Balance cardinalities, which identify TPC-C rather than TPC-H).
+func CustomerSchema() *relation.Schema {
+	return relation.MustSchema(
+		"C_ID", "C_D_ID", "C_W_ID", "C_FIRST", "C_MIDDLE", "C_LAST",
+		"C_STREET_1", "C_STREET_2", "C_CITY", "C_STATE", "C_ZIP",
+		"C_PHONE", "C_SINCE", "C_CREDIT", "C_CREDIT_LIM", "C_DISCOUNT",
+		"C_BALANCE", "C_YTD_PAYMENT", "C_PAYMENT_CNT", "C_DELIVERY_CNT", "C_DATA",
+	)
+}
+
+// Customer dataset structure. The paper reports fifteen MASs of nine to
+// twelve attributes, all pairwise overlapping, and a space overhead below
+// 5% because equivalence-class collisions are rare (§5.3: C_Last and
+// C_Balance have thousands of distinct values). To reproduce that profile
+// deterministically, every column is high-cardinality (freq ≈ 1) except
+// C_STATE, and duplicates are *planted*: for each of fifteen scripted
+// attribute sets S_j (|S_j| = 11), a handful of row groups agree exactly
+// on S_j and nowhere else. The MASs of the generated table are then
+// exactly the fifteen S_j.
+//
+// The address chain C_ZIP ↔ C_CITY → C_STATE is functional: city is a
+// bijection of zip, state collapses zip mod 48. The S_j are closed under
+// these dependencies (zip ∈ S ⇔ city ∈ S; state ∈ S whenever city ∈ S),
+// so planted groups never violate them.
+var customerMASCircle = []int{
+	// C_STATE, C_CITY, C_ZIP first (consecutive, so the hole windows can
+	// respect the dependency closure), then the other eligible columns.
+	9, 8, 10,
+	1, 2, 3, 4, 5, 6, 7,
+	12, 13, 14, 15, 16, 17, 18, 19,
+}
+
+// customerHoleLen is the length of the circular hole windows: each planted
+// MAS is the 18 eligible columns minus a 7-column window, giving |S| = 11.
+const customerHoleLen = 7
+
+// CustomerMASs returns the fifteen scripted MASs of the Customer
+// generator (the ground truth for Table 1 and the §5.3 experiments).
+// C_ID, C_PHONE and C_DATA are strictly unique and belong to none.
+func CustomerMASs() []relation.AttrSet {
+	var out []relation.AttrSet
+	eligible := relation.NewAttrSet(customerMASCircle...)
+	n := len(customerMASCircle)
+	for start := 0; start < n; start++ {
+		// Excluded starts break the dependency closure: a window holding
+		// C_STATE but not C_CITY, C_CITY but not C_ZIP, or C_ZIP but not
+		// C_CITY.
+		if start == 2 || start == (1-customerHoleLen+n)%n || start == (2-customerHoleLen+n)%n {
+			continue
+		}
+		hole := relation.AttrSet(0)
+		for i := 0; i < customerHoleLen; i++ {
+			hole = hole.Add(customerMASCircle[(start+i)%n])
+		}
+		out = append(out, eligible.Diff(hole))
+	}
+	relation.SortAttrSets(out)
+	return out
+}
+
+// customerValues mints the rendered cell values for one logical customer
+// identity, keyed by a value id (shared within a planted group on the
+// group's attribute set). The zip/city/state triple is driven by zipC
+// (major counter) and zipR (state residue) so that groups can share a
+// state without sharing a zip.
+type customerValues struct {
+	vid        int
+	zipC, zipR int
+}
+
+var customerStates = []string{
+	"NJ", "NY", "PA", "CT", "MA", "CA", "TX", "WA", "IL", "FL",
+	"OH", "GA", "NC", "MI", "VA", "AZ", "TN", "MO", "MD", "WI",
+	"CO", "MN", "SC", "AL", "LA", "KY", "OR", "OK", "RI", "UT",
+	"IA", "NV", "AR", "MS", "KS", "NM", "NE", "ID", "WV", "HI",
+	"NH", "ME", "MT", "DE", "SD", "ND", "AK", "VT",
+}
+
+func (cv customerValues) render(col int) string {
+	zipnum := cv.zipC*48 + cv.zipR
+	switch col {
+	case 1:
+		return fmt.Sprintf("D%07d", cv.vid)
+	case 2:
+		return fmt.Sprintf("W%07d", cv.vid)
+	case 3:
+		return fmt.Sprintf("First%d", cv.vid)
+	case 4:
+		return fmt.Sprintf("M%d", cv.vid)
+	case 5:
+		return tpccLastName(cv.vid%1000) + fmt.Sprintf("-%d", cv.vid/1000)
+	case 6:
+		return fmt.Sprintf("%d Main St", cv.vid)
+	case 7:
+		return fmt.Sprintf("Unit %d", cv.vid)
+	case 8:
+		return fmt.Sprintf("City%d", zipnum)
+	case 9:
+		return customerStates[cv.zipR]
+	case 10:
+		return fmt.Sprintf("Z%08d", zipnum)
+	case 12:
+		return fmt.Sprintf("since-%d", cv.vid)
+	case 13:
+		return fmt.Sprintf("%s-%d", []string{"GC", "BC"}[cv.vid%2], cv.vid)
+	case 14:
+		return fmt.Sprintf("%d000", cv.vid)
+	case 15:
+		return fmt.Sprintf("0.%04d", cv.vid)
+	case 16:
+		return fmt.Sprintf("%d.77", cv.vid)
+	case 17:
+		return fmt.Sprintf("%d.00", cv.vid)
+	case 18:
+		return fmt.Sprintf("pay-%d", cv.vid)
+	case 19:
+		return fmt.Sprintf("del-%d", cv.vid)
+	default:
+		panic("workload: column has no shared generator")
+	}
+}
+
+// Customer generates a TPC-C-like CUSTOMER table with n rows.
+func Customer(n int, seed int64) *relation.Table {
+	rng := rand.New(rand.NewSource(seed))
+	t := relation.NewTable(CustomerSchema())
+	masSets := CustomerMASs()
+
+	// Value-id allocator: every distinct logical value gets a fresh id, so
+	// cells collide only where the planting logic shares a customerValues.
+	nextVid := rng.Intn(1 << 20)
+	nextZipC := rng.Intn(1 << 16)
+	freshRow := func() customerValues {
+		nextVid++
+		nextZipC++
+		return customerValues{vid: nextVid, zipC: nextZipC, zipR: nextVid % 48}
+	}
+
+	// Planted groups: ~n/2500 groups per MAS (at least 6 so that ECGs up
+	// to k = 6 need no fake classes), alternating sizes 2 and 3.
+	groupsPerMAS := n / 2500
+	if groupsPerMAS < 6 {
+		groupsPerMAS = 6
+	}
+	type plantedRow struct {
+		shared  customerValues
+		sharedS relation.AttrSet
+		member  int
+	}
+	var planted []plantedRow
+	for _, s := range masSets {
+		for g := 0; g < groupsPerMAS; g++ {
+			size := 2 + g%2
+			shared := freshRow()
+			for r := 0; r < size; r++ {
+				planted = append(planted, plantedRow{shared: shared, sharedS: s, member: r})
+			}
+		}
+	}
+	if len(planted) > n {
+		planted = planted[:n]
+	}
+	// Scatter the planted rows across the table.
+	positions := rng.Perm(n)[:len(planted)]
+	plantAt := make(map[int]plantedRow, len(planted))
+	for i, p := range positions {
+		plantAt[p] = planted[i]
+	}
+
+	row := make([]string, 21)
+	for i := 0; i < n; i++ {
+		own := freshRow()
+		pr, isPlanted := plantAt[i]
+		if isPlanted {
+			// Non-shared zip cells still need controlled state residues:
+			// share the state residue when C_STATE ∈ S but C_ZIP ∉ S, and
+			// force pairwise-distinct residues otherwise so the rows agree
+			// on exactly S (C_STATE is the one low-cardinality column).
+			if !pr.sharedS.Has(10) {
+				if pr.sharedS.Has(9) {
+					own.zipR = pr.shared.zipR
+				} else {
+					own.zipR = (pr.shared.zipR + 1 + pr.member) % 48
+				}
+			}
+		}
+		for col := 0; col < 21; col++ {
+			switch col {
+			case 0:
+				row[col] = fmt.Sprintf("C%09d", i+1)
+			case 11:
+				row[col] = fmt.Sprintf("555-%09d", i+1)
+			case 20:
+				row[col] = fmt.Sprintf("data-%09d-%x", i, rng.Uint32())
+			default:
+				if isPlanted && pr.sharedS.Has(col) {
+					row[col] = pr.shared.render(col)
+				} else {
+					row[col] = own.render(col)
+				}
+			}
+		}
+		t.AppendRow(row)
+	}
+	return t
+}

@@ -1,0 +1,78 @@
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+
+	"f2/internal/relation"
+)
+
+// OrdersSchema is the TPC-H ORDERS schema (9 attributes), matching the
+// paper's Orders dataset (Table 1).
+func OrdersSchema() *relation.Schema {
+	return relation.MustSchema(
+		"O_ORDERKEY",      // unique key — belongs to no MAS
+		"O_CUSTKEY",       // n/10 distinct customers
+		"O_ORDERSTATUS",   // 3 distinct values (paper §5.3)
+		"O_TOTALPRICE",    // bucketed prices, moderate cardinality
+		"O_ORDERDATE",     // ~2400 distinct dates
+		"O_ORDERPRIORITY", // 5 distinct values (paper §5.3)
+		"O_CLERK",         // n/1000 distinct clerks
+		"O_SHIPPRIORITY",  // 3 distinct values, FD O_ORDERPRIORITY→O_SHIPPRIORITY
+		"O_COMMENT",       // unique per row
+	)
+}
+
+// Orders generates a TPC-H-like ORDERS table with n rows. Planted
+// dependencies:
+//
+//	O_ORDERDATE     → O_ORDERSTATUS   (status is a function of the year)
+//	O_ORDERPRIORITY → O_SHIPPRIORITY  (ship priority bucketizes priority)
+//
+// The low-cardinality categoricals (status: 3 values, priority: 5 values —
+// the figures the paper quotes in §5.3) make the equivalence classes of
+// the Orders MASs collide heavily, which is why the GROUP step dominates
+// its space overhead in Figure 9(b).
+func Orders(n int, seed int64) *relation.Table {
+	rng := rand.New(rand.NewSource(seed))
+	t := relation.NewTable(OrdersSchema())
+
+	priorities := []string{"1-URGENT", "2-HIGH", "3-MEDIUM", "4-NOT SPECIFIED", "5-LOW"}
+	shipOf := func(p int) string {
+		// 5 priorities fold onto 3 ship classes: FD priority→ship.
+		switch {
+		case p <= 1:
+			return "SHIP-EXPRESS"
+		case p <= 3:
+			return "SHIP-STANDARD"
+		default:
+			return "SHIP-DEFERRED"
+		}
+	}
+	nCust := n/10 + 1
+	nClerk := n/1000 + 1
+	row := make([]string, 9)
+	for i := 0; i < n; i++ {
+		year := 1992 + rng.Intn(7)
+		month := 1 + rng.Intn(12)
+		day := 1 + rng.Intn(28)
+		status := "O"
+		if year < 1995 {
+			status = "F"
+		} else if year == 1995 {
+			status = "P"
+		}
+		p := rng.Intn(len(priorities))
+		row[0] = fmt.Sprintf("OK%09d", i+1)
+		row[1] = fmt.Sprintf("CUST%07d", rng.Intn(nCust))
+		row[2] = status
+		row[3] = fmt.Sprintf("$%d00.00", 10+rng.Intn(400)) // bucketed price
+		row[4] = fmt.Sprintf("%04d-%02d-%02d", year, month, day)
+		row[5] = priorities[p]
+		row[6] = fmt.Sprintf("Clerk#%06d", rng.Intn(nClerk))
+		row[7] = shipOf(p)
+		row[8] = fmt.Sprintf("comment-%09d-%x", i, rng.Uint32())
+		t.AppendRow(row)
+	}
+	return t
+}
