@@ -6,6 +6,7 @@
 package f2_test
 
 import (
+	"context"
 	"fmt"
 	"testing"
 
@@ -41,7 +42,7 @@ func mustEncrypt(b *testing.B, tbl *relation.Table, cfg core.Config) *core.Resul
 	if err != nil {
 		b.Fatal(err)
 	}
-	res, err := enc.Encrypt(tbl)
+	res, err := enc.Encrypt(context.Background(), tbl)
 	if err != nil {
 		b.Fatal(err)
 	}

@@ -9,6 +9,7 @@
 package main
 
 import (
+	"context"
 	"encoding/hex"
 	"encoding/json"
 	"flag"
@@ -83,12 +84,12 @@ func main() {
 		}
 		dec, err := core.NewDecryptor(cfg)
 		fatal(err)
-		plain, err = dec.Recover(res)
+		plain, err = dec.Recover(context.Background(), res)
 		fatal(err)
 	} else {
 		dec, err := core.NewDecryptor(cfg)
 		fatal(err)
-		plain, err = dec.StripArtificial(encTbl)
+		plain, err = dec.StripArtificial(context.Background(), encTbl)
 		fatal(err)
 		fmt.Fprintln(os.Stderr, "f2decrypt: no -prov given; conflict-split tuples (if any) were dropped")
 	}

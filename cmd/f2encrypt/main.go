@@ -9,6 +9,7 @@
 package main
 
 import (
+	"context"
 	"encoding/hex"
 	"encoding/json"
 	"flag"
@@ -64,7 +65,7 @@ func main() {
 
 	enc, err := core.NewEncryptor(cfg)
 	fatal(err)
-	res, err := enc.Encrypt(tbl)
+	res, err := enc.Encrypt(context.Background(), tbl)
 	fatal(err)
 
 	fatal(relation.WriteCSVFile(*out, res.Encrypted))

@@ -1,0 +1,79 @@
+// f2served runs the F² encryption service: a long-lived HTTP/JSON process
+// exposing upload+encrypt, incremental append with buffered flush,
+// owner-side decryption, FD discovery on the encrypted view, and
+// attack-resilience reports, with /healthz and Prometheus-style /metrics.
+//
+//	f2served -addr :8089 -workers 8
+//
+// See the top-level README.md for the endpoint reference and curl
+// examples.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"f2/internal/server"
+)
+
+func main() {
+	var (
+		addr    = flag.String("addr", ":8089", "listen address")
+		workers = flag.Int("workers", 0, "pipeline worker pool size (default: GOMAXPROCS)")
+		maxBody = flag.Int64("max-body", 32<<20, "maximum request body bytes")
+		trials  = flag.Int("trials", 1000, "default attack-game trials for /report")
+		quiet   = flag.Bool("q", false, "suppress request logs")
+	)
+	flag.Parse()
+
+	logger := log.New(os.Stderr, "f2served ", log.LstdFlags)
+	opts := server.Options{
+		Workers:      *workers,
+		MaxBodyBytes: *maxBody,
+		AttackTrials: *trials,
+		Logger:       logger,
+	}
+	if *quiet {
+		opts.Logger = nil
+	}
+	srv := server.New(opts)
+	defer srv.Close()
+
+	httpSrv := &http.Server{
+		Addr:              *addr,
+		Handler:           srv.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	shutdownDone := make(chan struct{})
+	go func() {
+		defer close(shutdownDone)
+		<-ctx.Done()
+		logger.Printf("shutting down")
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), 15*time.Second)
+		defer cancel()
+		if err := httpSrv.Shutdown(shutdownCtx); err != nil {
+			logger.Printf("shutdown: %v", err)
+		}
+	}()
+
+	logger.Printf("listening on %s", *addr)
+	err := httpSrv.ListenAndServe()
+	// ListenAndServe returns the moment Shutdown is called; wait for the
+	// drain to finish before the deferred pool.Close, so in-flight
+	// handlers keep their workers until they complete.
+	stop()
+	<-shutdownDone
+	if err != nil && !errors.Is(err, http.ErrServerClosed) {
+		logger.Fatal(err)
+	}
+}

@@ -17,6 +17,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -80,7 +81,7 @@ func runColumn(key crypt.Key, table *relation.Table, attr int, alphas []float64)
 		if err != nil {
 			log.Fatal(err)
 		}
-		res, err := enc.Encrypt(table)
+		res, err := enc.Encrypt(context.Background(), table)
 		if err != nil {
 			log.Fatal(err)
 		}

@@ -18,6 +18,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -46,7 +47,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	res, err := enc.Encrypt(reference)
+	res, err := enc.Encrypt(context.Background(), reference)
 	if err != nil {
 		log.Fatal(err)
 	}

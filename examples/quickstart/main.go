@@ -4,6 +4,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -40,7 +41,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	res, err := enc.Encrypt(table)
+	res, err := enc.Encrypt(context.Background(), table)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -61,7 +62,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	back, err := dec.Recover(res)
+	back, err := dec.Recover(context.Background(), res)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -8,6 +8,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -38,7 +39,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	res, err := enc.Encrypt(table)
+	res, err := enc.Encrypt(context.Background(), table)
 	if err != nil {
 		log.Fatal(err)
 	}

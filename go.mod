@@ -1,0 +1,3 @@
+module f2
+
+go 1.22

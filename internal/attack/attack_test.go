@@ -1,6 +1,7 @@
 package attack
 
 import (
+	"context"
 	"math/rand"
 	"testing"
 
@@ -64,7 +65,7 @@ func f2Encrypt(t *testing.T, tbl *relation.Table, alpha float64) (*relation.Tabl
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := enc.Encrypt(tbl)
+	res, err := enc.Encrypt(context.Background(), tbl)
 	if err != nil {
 		t.Fatal(err)
 	}

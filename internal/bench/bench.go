@@ -6,6 +6,7 @@
 package bench
 
 import (
+	"context"
 	"fmt"
 	"strings"
 	"time"
@@ -115,7 +116,7 @@ func encrypt(tbl *relation.Table, cfg core.Config) (*core.Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	return enc.Encrypt(tbl)
+	return enc.Encrypt(context.Background(), tbl)
 }
 
 // genCache memoizes generated datasets within one harness run.

@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -72,7 +73,7 @@ func RunTable1(o Options) ([]*Table, error) {
 		if err != nil {
 			return nil, err
 		}
-		res, err := enc.Encrypt(tbl)
+		res, err := enc.Encrypt(context.Background(), tbl)
 		if err != nil {
 			return nil, err
 		}

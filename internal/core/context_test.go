@@ -1,0 +1,58 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"f2/internal/workload"
+)
+
+// TestEncryptCancelledContext checks that a cancelled context aborts the
+// pipeline with ctx.Err() instead of producing a result.
+func TestEncryptCancelledContext(t *testing.T) {
+	tbl, err := workload.Generate(workload.NameOrders, 500, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	enc, err := NewEncryptor(testConfig(0.25))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	res, err := enc.Encrypt(ctx, tbl)
+	if res != nil || !errors.Is(err, context.Canceled) {
+		t.Fatalf("Encrypt with cancelled ctx = (%v, %v), want (nil, context.Canceled)", res, err)
+	}
+}
+
+// TestUpdaterFlushCancelledKeepsBuffer checks that a cancelled rebuild
+// leaves the updater consistent: the buffered rows stay pending and a
+// later Flush with a live context commits them.
+func TestUpdaterFlushCancelledKeepsBuffer(t *testing.T) {
+	u, _, err := NewUpdater(context.Background(), testConfig(0.5), figure1Table())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rowsBefore := u.Rows()
+	if err := u.buffer.AppendRows([][]string{{"x1", "y1", "z1"}}); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := u.Flush(ctx); !errors.Is(err, context.Canceled) {
+		t.Fatalf("Flush with cancelled ctx: err = %v, want context.Canceled", err)
+	}
+	if u.Pending() != 1 || u.Rows() != rowsBefore {
+		t.Fatalf("after cancelled flush: pending=%d rows=%d, want pending=1 rows=%d",
+			u.Pending(), u.Rows(), rowsBefore)
+	}
+	res, err := u.Flush(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res == nil || u.Pending() != 0 || u.Rows() != rowsBefore+1 {
+		t.Fatalf("retry flush: res=%v pending=%d rows=%d", res, u.Pending(), u.Rows())
+	}
+}

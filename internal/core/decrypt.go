@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"f2/internal/crypt"
@@ -29,11 +30,17 @@ func NewDecryptor(cfg Config) (*Decryptor, error) {
 // DecryptTable decrypts every cell of an encrypted table. Artificial cells
 // decrypt to marker values recognizable via IsArtificialValue; real cells
 // decrypt to their original plaintext. This needs only the key, not the
-// encryption-time provenance.
-func (d *Decryptor) DecryptTable(t *relation.Table) (*relation.Table, error) {
+// encryption-time provenance. The context is checked periodically so a
+// large decryption can be cancelled.
+func (d *Decryptor) DecryptTable(ctx context.Context, t *relation.Table) (*relation.Table, error) {
 	out := relation.NewTable(t.Schema().Clone())
 	row := make([]string, t.NumAttrs())
 	for i := 0; i < t.NumRows(); i++ {
+		if i%1024 == 0 {
+			if err := ctx.Err(); err != nil {
+				return nil, fmt.Errorf("core: decrypt: %w", err)
+			}
+		}
 		for a := 0; a < t.NumAttrs(); a++ {
 			p, err := d.cipher.DecryptCell(t.Cell(i, a))
 			if err != nil {
@@ -52,12 +59,12 @@ func (d *Decryptor) DecryptTable(t *relation.Table) (*relation.Table, error) {
 // order) from an encryption Result: artificial rows are dropped and the
 // parts of conflict-split tuples are stitched back together using the
 // per-row provenance.
-func (d *Decryptor) Recover(res *Result) (*relation.Table, error) {
+func (d *Decryptor) Recover(ctx context.Context, res *Result) (*relation.Table, error) {
 	enc := res.Encrypted
 	if len(res.Origins) != enc.NumRows() {
 		return nil, fmt.Errorf("core: provenance covers %d rows, table has %d", len(res.Origins), enc.NumRows())
 	}
-	plain, err := d.DecryptTable(enc)
+	plain, err := d.DecryptTable(ctx, enc)
 	if err != nil {
 		return nil, err
 	}
@@ -115,8 +122,8 @@ func (d *Decryptor) Recover(res *Result) (*relation.Table, error) {
 // decrypt to exact duplicates of real tuples and are kept (without
 // provenance they are indistinguishable). Use Recover when the provenance
 // survived.
-func (d *Decryptor) StripArtificial(t *relation.Table) (*relation.Table, error) {
-	plain, err := d.DecryptTable(t)
+func (d *Decryptor) StripArtificial(ctx context.Context, t *relation.Table) (*relation.Table, error) {
+	plain, err := d.DecryptTable(ctx, t)
 	if err != nil {
 		return nil, err
 	}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"reflect"
 	"testing"
 
@@ -28,7 +29,7 @@ func TestRecoverWithConflictSplitTuples(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	back, err := dec.Recover(res)
+	back, err := dec.Recover(context.Background(), res)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -44,6 +45,9 @@ func TestRecoverWithConflictSplitTuples(t *testing.T) {
 }
 
 func TestRecoverWorkloadRoundTrip(t *testing.T) {
+	if testing.Short() {
+		t.Skip("all-workload recovery round-trip skipped in -short mode")
+	}
 	for _, name := range workload.Names() {
 		tbl, err := workload.Generate(name, 800, 3)
 		if err != nil {
@@ -55,7 +59,7 @@ func TestRecoverWorkloadRoundTrip(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		back, err := dec.Recover(res)
+		back, err := dec.Recover(context.Background(), res)
 		if err != nil {
 			t.Fatalf("%s: Recover: %v", name, err)
 		}
@@ -87,7 +91,7 @@ func TestStripArtificialKeepsOnlyWholeRows(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	stripped, err := dec.StripArtificial(res.Encrypted)
+	stripped, err := dec.StripArtificial(context.Background(), res.Encrypted)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -110,7 +114,7 @@ func TestDecryptTableWrongKeyFailsOrGarbles(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	plain, err := dec.DecryptTable(res.Encrypted)
+	plain, err := dec.DecryptTable(context.Background(), res.Encrypted)
 	if err != nil {
 		return // malformed is acceptable
 	}
@@ -135,7 +139,7 @@ func TestRecoverRejectsMismatchedProvenance(t *testing.T) {
 		t.Fatal(err)
 	}
 	broken := &Result{Encrypted: res.Encrypted, Origins: res.Origins[:len(res.Origins)-1]}
-	if _, err := dec.Recover(broken); err == nil {
+	if _, err := dec.Recover(context.Background(), broken); err == nil {
 		t.Fatal("short provenance accepted")
 	}
 }

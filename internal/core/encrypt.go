@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"strings"
@@ -107,10 +108,16 @@ type masPlan struct {
 	stats   groupStats
 }
 
-// Encrypt runs the full 4-step pipeline on t.
-func (e *Encryptor) Encrypt(t *relation.Table) (*Result, error) {
+// Encrypt runs the full 4-step pipeline on t. The context is checked at
+// every step boundary and inside the heavy inner loops (instance filling,
+// Step-4 lattice search), so a cancelled or expired ctx aborts a long
+// encryption promptly with ctx.Err().
+func (e *Encryptor) Encrypt(ctx context.Context, t *relation.Table) (*Result, error) {
 	if t.NumAttrs() > relation.MaxAttrs {
 		return nil, fmt.Errorf("core: table has %d attributes, max %d", t.NumAttrs(), relation.MaxAttrs)
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("core: encrypt: %w", err)
 	}
 	e.mint = &freshMinter{}
 	res := &Result{Report: Report{Alpha: e.cfg.Alpha, SplitFactor: e.cfg.SplitFactor, K: e.cfg.K()}}
@@ -119,10 +126,14 @@ func (e *Encryptor) Encrypt(t *relation.Table) (*Result, error) {
 	// ---- Step 1: MAS discovery (MAX) ----
 	start := time.Now()
 	var disc *mas.Result
+	var err error
 	if e.cfg.MAS == MASLevelwise {
-		disc = mas.DiscoverLevelwise(t)
+		disc, err = mas.DiscoverLevelwiseCtx(ctx, t)
 	} else {
-		disc = mas.Discover(t)
+		disc, err = mas.DiscoverCtx(ctx, t)
+	}
+	if err != nil {
+		return nil, fmt.Errorf("core: encrypt: %w", err)
 	}
 	res.MASs = disc.Sets
 	res.Report.MASs = disc.Sets
@@ -132,6 +143,9 @@ func (e *Encryptor) Encrypt(t *relation.Table) (*Result, error) {
 	start = time.Now()
 	plans := make([]*masPlan, 0, len(disc.Sets))
 	for _, m := range disc.Sets {
+		if err := ctx.Err(); err != nil {
+			return nil, fmt.Errorf("core: encrypt: %w", err)
+		}
 		p := &masPlan{attrs: m, cols: m.Attrs(), part: disc.Partitions[m]}
 		p.ecgs = buildECGs(p.part, m, e.cfg.K(), e.mint)
 		for _, g := range p.ecgs {
@@ -142,7 +156,9 @@ func (e *Encryptor) Encrypt(t *relation.Table) (*Result, error) {
 			}
 			assignRows(g)
 		}
-		e.fillInstanceCiphers(p)
+		if err := e.fillInstanceCiphers(ctx, p); err != nil {
+			return nil, err
+		}
 		p.rowInst = make([]*ecInstance, t.NumRows())
 		for _, g := range p.ecgs {
 			for _, mem := range g.members {
@@ -161,6 +177,9 @@ func (e *Encryptor) Encrypt(t *relation.Table) (*Result, error) {
 
 	// ---- Step 3: conflict resolution + table assembly (SYN) ----
 	start = time.Now()
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("core: encrypt: %w", err)
+	}
 	out := relation.NewTable(t.Schema().Clone())
 	e.emitOriginalRows(t, plans, out, res)
 	e.emitScaleCopies(t, plans, out, res)
@@ -170,7 +189,7 @@ func (e *Encryptor) Encrypt(t *relation.Table) (*Result, error) {
 	// ---- Step 4: false-positive elimination (FP) ----
 	start = time.Now()
 	if !e.cfg.SkipFPElimination {
-		if err := e.eliminateFalsePositives(t, plans, out, res); err != nil {
+		if err := e.eliminateFalsePositives(ctx, t, plans, out, res); err != nil {
 			return nil, err
 		}
 	}
@@ -190,7 +209,7 @@ func (e *Encryptor) Encrypt(t *relation.Table) (*Result, error) {
 // EncryptInstance is a pure function of (key, tweak, value, index), so the
 // fill parallelizes across instances without affecting determinism: the
 // same key always produces the same ciphertext table.
-func (e *Encryptor) fillInstanceCiphers(p *masPlan) {
+func (e *Encryptor) fillInstanceCiphers(ctx context.Context, p *masPlan) error {
 	masTag := p.attrs.String()
 	type task struct {
 		mem  *ecMember
@@ -209,13 +228,19 @@ func (e *Encryptor) fillInstanceCiphers(p *masPlan) {
 		workers = len(tasks)
 	}
 	if workers <= 1 {
-		for _, t := range tasks {
+		for i, t := range tasks {
+			if i%1024 == 0 {
+				if err := ctx.Err(); err != nil {
+					return fmt.Errorf("core: encrypt: %w", err)
+				}
+			}
 			e.fillOneInstance(masTag, p.cols, t.mem, t.inst)
 		}
-		return
+		return nil
 	}
 	var wg sync.WaitGroup
 	next := make(chan task, workers)
+	done := ctx.Done()
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func() {
@@ -225,11 +250,20 @@ func (e *Encryptor) fillInstanceCiphers(p *masPlan) {
 			}
 		}()
 	}
+feed:
 	for _, t := range tasks {
-		next <- t
+		select {
+		case next <- t:
+		case <-done:
+			break feed
+		}
 	}
 	close(next)
 	wg.Wait()
+	if err := ctx.Err(); err != nil {
+		return fmt.Errorf("core: encrypt: %w", err)
+	}
+	return nil
 }
 
 func (e *Encryptor) fillOneInstance(masTag string, cols []int, mem *ecMember, inst *ecInstance) {

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"math/rand"
 	"testing"
 
@@ -21,7 +22,7 @@ func encryptTable(t *testing.T, tbl *relation.Table, cfg Config) *Result {
 	if err != nil {
 		t.Fatalf("NewEncryptor: %v", err)
 	}
-	res, err := enc.Encrypt(tbl)
+	res, err := enc.Encrypt(context.Background(), tbl)
 	if err != nil {
 		t.Fatalf("Encrypt: %v", err)
 	}
@@ -61,7 +62,7 @@ func TestEncryptRoundTrip(t *testing.T) {
 	if err != nil {
 		t.Fatalf("NewDecryptor: %v", err)
 	}
-	back, err := dec.Recover(res)
+	back, err := dec.Recover(context.Background(), res)
 	if err != nil {
 		t.Fatalf("Recover: %v\nreport: %v", err, res.Report.String())
 	}

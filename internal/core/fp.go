@@ -1,6 +1,9 @@
 package core
 
 import (
+	"context"
+	"fmt"
+
 	"f2/internal/border"
 	"f2/internal/relation"
 )
@@ -40,7 +43,7 @@ type fpWitness struct {
 // the artificial records exhibit is therefore already realized by real
 // tuples, so no FD and no MAS of D is disturbed, while the
 // X-agreement/Y-difference that kills the false positive is preserved.
-func (e *Encryptor) eliminateFalsePositives(t *relation.Table, plans []*masPlan, out *relation.Table, res *Result) error {
+func (e *Encryptor) eliminateFalsePositives(ctx context.Context, t *relation.Table, plans []*masPlan, out *relation.Table, res *Result) error {
 	// Violation oracle results are shared across MASs: for X∪{Y} inside
 	// two overlapping MASs the answer is identical (violations are a
 	// property of D, not of the covering MAS).
@@ -86,6 +89,9 @@ func (e *Encryptor) eliminateFalsePositives(t *relation.Table, plans []*masPlan,
 	// is exactly the set of globally maximal false-positive dependencies,
 	// with no duplicated work across overlapping MASs.
 	for y := 0; y < t.NumAttrs(); y++ {
+		if err := ctx.Err(); err != nil {
+			return fmt.Errorf("core: encrypt: %w", err)
+		}
 		universe := relation.AttrSet(0)
 		for _, m := range masSets {
 			if m.Has(y) && m.Size() >= 2 {
@@ -97,7 +103,10 @@ func (e *Encryptor) eliminateFalsePositives(t *relation.Table, plans []*masPlan,
 			continue
 		}
 		sets, _ := border.Find(universe, func(x relation.AttrSet) bool {
-			if !nonUnique(x) {
+			// A cancelled ctx makes the oracle constant-false so the
+			// border search drains quickly; the ctx.Err() check after
+			// Find discards the bogus result.
+			if ctx.Err() != nil || !nonUnique(x) {
 				return false
 			}
 			node := fpNode{x, y}
@@ -112,6 +121,9 @@ func (e *Encryptor) eliminateFalsePositives(t *relation.Table, plans []*masPlan,
 			}
 			return w != nil
 		})
+		if err := ctx.Err(); err != nil {
+			return fmt.Errorf("core: encrypt: %w", err)
+		}
 		for _, x := range sets {
 			w := cache[fpNode{x, y}]
 			res.Report.FPNodes++

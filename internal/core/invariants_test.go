@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"testing"
 
 	"f2/internal/mas"
@@ -12,6 +13,9 @@ import (
 // generated workload, inspecting the internal plan (not just the output
 // table).
 func TestPipelineInvariantsOnWorkloads(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-workload invariant sweep skipped in -short mode")
+	}
 	for _, tc := range []struct {
 		name  string
 		rows  int
@@ -30,7 +34,7 @@ func TestPipelineInvariantsOnWorkloads(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		res, err := enc.Encrypt(tbl)
+		res, err := enc.Encrypt(context.Background(), tbl)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -137,6 +141,9 @@ func TestFrequencyFlatnessOnWorkloads(t *testing.T) {
 // TestCiphertextValueSetsDisjointAcrossAttrs guards against tweak reuse:
 // no ciphertext string may appear in two different columns.
 func TestCiphertextValueSetsDisjointAcrossAttrs(t *testing.T) {
+	if testing.Short() {
+		t.Skip("20k-row tweak-reuse sweep skipped in -short mode")
+	}
 	tbl, err := workload.Generate(workload.NameSynthetic, 20000, 7)
 	if err != nil {
 		t.Fatal(err)

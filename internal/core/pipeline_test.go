@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"strings"
 	"testing"
 
@@ -134,7 +135,7 @@ func TestRequirement2InstancesCollisionFree(t *testing.T) {
 			t.Fatal(err)
 		}
 		plainOf := map[string]string{}
-		plain, err := dec.DecryptTable(enc)
+		plain, err := dec.DecryptTable(context.Background(), enc)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -176,7 +177,7 @@ func TestScaleCopiesAndFakeRowsCarryMASOnly(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	plain, err := dec.DecryptTable(res.Encrypted)
+	plain, err := dec.DecryptTable(context.Background(), res.Encrypted)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -279,7 +280,7 @@ func TestTooWideTableRejected(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := enc.Encrypt(tbl); err != nil {
+	if _, err := enc.Encrypt(context.Background(), tbl); err != nil {
 		t.Errorf("64-column table rejected: %v", err)
 	}
 }

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"f2/internal/relation"
@@ -42,13 +43,13 @@ type Updater struct {
 }
 
 // NewUpdater encrypts the initial table and returns an updater managing
-// subsequent appends.
-func NewUpdater(cfg Config, initial *relation.Table) (*Updater, *Result, error) {
+// subsequent appends. The context bounds the initial encryption.
+func NewUpdater(ctx context.Context, cfg Config, initial *relation.Table) (*Updater, *Result, error) {
 	enc, err := NewEncryptor(cfg)
 	if err != nil {
 		return nil, nil, err
 	}
-	res, err := enc.Encrypt(initial)
+	res, err := enc.Encrypt(ctx, initial)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -73,34 +74,58 @@ func (u *Updater) Pending() int { return u.buffer.NumRows() }
 // outsourced ciphertext.
 func (u *Updater) Rows() int { return u.current.NumRows() }
 
+// Current returns the plaintext table covered by the latest outsourced
+// ciphertext (the owner-side copy of D). Callers must treat it as
+// read-only; it is the updater's working state, not a clone.
+func (u *Updater) Current() *relation.Table { return u.current }
+
+// Buffer validates and buffers rows without flushing. Atomic: a ragged
+// batch leaves the buffer unchanged.
+func (u *Updater) Buffer(rows [][]string) error {
+	return u.buffer.AppendRows(rows)
+}
+
+// ShouldFlush reports whether the pending buffer has crossed
+// FlushFraction of the outsourced table.
+func (u *Updater) ShouldFlush() bool {
+	return u.buffer.NumRows() > 0 &&
+		float64(u.buffer.NumRows()) >= u.FlushFraction*float64(u.current.NumRows())
+}
+
 // Append buffers rows and rebuilds when the buffer crosses FlushFraction.
-// It returns the fresh Result if a rebuild happened, nil otherwise.
-func (u *Updater) Append(rows [][]string) (*Result, error) {
-	if err := u.buffer.AppendRows(rows); err != nil {
+// It returns the fresh Result if a rebuild happened, nil otherwise. The
+// context bounds the rebuild, if one triggers. Callers that need to treat
+// "rows accepted, rebuild failed" differently from "rows rejected" should
+// use Buffer + ShouldFlush + Flush directly.
+func (u *Updater) Append(ctx context.Context, rows [][]string) (*Result, error) {
+	if err := u.Buffer(rows); err != nil {
 		return nil, err
 	}
-	threshold := u.FlushFraction * float64(u.current.NumRows())
-	if float64(u.buffer.NumRows()) >= threshold {
-		return u.Flush()
+	if u.ShouldFlush() {
+		return u.Flush(ctx)
 	}
 	return nil, nil
 }
 
-// Flush re-encrypts D ∪ buffer from scratch and resets the buffer.
-func (u *Updater) Flush() (*Result, error) {
+// Flush re-encrypts D ∪ buffer from scratch and resets the buffer. A
+// failed (e.g. cancelled) rebuild leaves the updater unchanged: the
+// buffered rows stay pending and a later Flush retries them.
+func (u *Updater) Flush(ctx context.Context) (*Result, error) {
 	if u.buffer.NumRows() == 0 {
 		return u.last, nil
 	}
+	combined := u.current.Clone()
 	for i := 0; i < u.buffer.NumRows(); i++ {
-		if err := u.current.AppendRow(u.buffer.Row(i)); err != nil {
+		if err := combined.AppendRow(u.buffer.Row(i)); err != nil {
 			return nil, err
 		}
 	}
-	u.buffer = relation.NewTable(u.current.Schema().Clone())
-	res, err := u.enc.Encrypt(u.current)
+	res, err := u.enc.Encrypt(ctx, combined)
 	if err != nil {
 		return nil, fmt.Errorf("core: update rebuild: %w", err)
 	}
+	u.current = combined
+	u.buffer = relation.NewTable(u.current.Schema().Clone())
 	u.last = res
 	u.Rebuilds++
 	return res, nil

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"testing"
 
 	"f2/internal/fd"
@@ -9,7 +10,7 @@ import (
 func TestUpdaterAppendAndFlush(t *testing.T) {
 	tbl := figure1Table()
 	cfg := testConfig(0.5)
-	u, res, err := NewUpdater(cfg, tbl)
+	u, res, err := NewUpdater(context.Background(), cfg, tbl)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -20,7 +21,7 @@ func TestUpdaterAppendAndFlush(t *testing.T) {
 	// Small append stays buffered (10% of 4 rows < 1 row... threshold
 	// 0.4, so one row triggers; raise the fraction to test buffering).
 	u.FlushFraction = 2.0
-	if res, err := u.Append([][]string{{"a2", "b2", "c9"}}); err != nil || res != nil {
+	if res, err := u.Append(context.Background(), [][]string{{"a2", "b2", "c9"}}); err != nil || res != nil {
 		t.Fatalf("append flushed unexpectedly: %v, %v", res, err)
 	}
 	if u.Pending() != 1 || u.Rows() != 4 {
@@ -28,7 +29,7 @@ func TestUpdaterAppendAndFlush(t *testing.T) {
 	}
 
 	// Explicit flush rebuilds and covers the appended row.
-	res2, err := u.Flush()
+	res2, err := u.Flush(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -49,7 +50,7 @@ func TestUpdaterAppendAndFlush(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	back, err := dec.Recover(res2)
+	back, err := dec.Recover(context.Background(), res2)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -60,15 +61,15 @@ func TestUpdaterAppendAndFlush(t *testing.T) {
 
 func TestUpdaterAutoFlushThreshold(t *testing.T) {
 	tbl := figure1Table() // 4 rows
-	u, _, err := NewUpdater(testConfig(0.5), tbl)
+	u, _, err := NewUpdater(context.Background(), testConfig(0.5), tbl)
 	if err != nil {
 		t.Fatal(err)
 	}
 	u.FlushFraction = 0.5 // flush at ≥ 2 buffered rows
-	if res, err := u.Append([][]string{{"a5", "b5", "c5"}}); err != nil || res != nil {
+	if res, err := u.Append(context.Background(), [][]string{{"a5", "b5", "c5"}}); err != nil || res != nil {
 		t.Fatalf("first append should buffer: %v %v", res, err)
 	}
-	res, err := u.Append([][]string{{"a6", "b6", "c6"}})
+	res, err := u.Append(context.Background(), [][]string{{"a6", "b6", "c6"}})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -81,11 +82,11 @@ func TestUpdaterAutoFlushThreshold(t *testing.T) {
 }
 
 func TestUpdaterFlushEmptyIsNoop(t *testing.T) {
-	u, res, err := NewUpdater(testConfig(0.5), figure1Table())
+	u, res, err := NewUpdater(context.Background(), testConfig(0.5), figure1Table())
 	if err != nil {
 		t.Fatal(err)
 	}
-	res2, err := u.Flush()
+	res2, err := u.Flush(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -95,11 +96,11 @@ func TestUpdaterFlushEmptyIsNoop(t *testing.T) {
 }
 
 func TestUpdaterRejectsBadRows(t *testing.T) {
-	u, _, err := NewUpdater(testConfig(0.5), figure1Table())
+	u, _, err := NewUpdater(context.Background(), testConfig(0.5), figure1Table())
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := u.Append([][]string{{"too", "short"}}); err == nil {
+	if _, err := u.Append(context.Background(), [][]string{{"too", "short"}}); err == nil {
 		t.Fatal("short row accepted")
 	}
 }

@@ -1,6 +1,9 @@
 package fd
 
 import (
+	"context"
+	"fmt"
+
 	"f2/internal/partition"
 	"f2/internal/relation"
 )
@@ -17,6 +20,7 @@ import (
 type TANE struct {
 	table *relation.Table
 	m     int
+	ctx   context.Context
 
 	// Per-level state.
 	parts map[relation.AttrSet]*partition.Stripped
@@ -28,15 +32,26 @@ type TANE struct {
 // Discover runs TANE on t and returns the set of minimal non-trivial FDs
 // (non-empty LHS).
 func Discover(t *relation.Table) *Set {
+	s, _ := DiscoverCtx(context.Background(), t)
+	return s
+}
+
+// DiscoverCtx is Discover with cancellation: the context is checked
+// between lattice levels, bounding the cancellation latency to one
+// levelwise pass.
+func DiscoverCtx(ctx context.Context, t *relation.Table) (*Set, error) {
 	tane := &TANE{
 		table: t,
 		m:     t.NumAttrs(),
+		ctx:   ctx,
 		parts: make(map[relation.AttrSet]*partition.Stripped),
 		cplus: make(map[relation.AttrSet]relation.AttrSet),
 		out:   NewSet(),
 	}
-	tane.run()
-	return tane.out
+	if err := tane.run(); err != nil {
+		return nil, err
+	}
+	return tane.out, nil
 }
 
 // DiscoverWitnessed runs TANE and keeps only witnessed FDs: minimal FDs
@@ -44,10 +59,19 @@ func Discover(t *relation.Table) *Set {
 // sets are downward closed, so the minimal witnessed FDs are exactly the
 // minimal FDs with non-unique LHS.)
 func DiscoverWitnessed(t *relation.Table) *Set {
-	all := Discover(t)
+	s, _ := DiscoverWitnessedCtx(context.Background(), t)
+	return s
+}
+
+// DiscoverWitnessedCtx is DiscoverWitnessed with cancellation.
+func DiscoverWitnessedCtx(ctx context.Context, t *relation.Table) (*Set, error) {
+	all, err := DiscoverCtx(ctx, t)
+	if err != nil {
+		return nil, err
+	}
 	out := NewSet()
 	if all.Len() == 0 {
-		return out
+		return out, nil
 	}
 	coded := relation.Encode(t)
 	nonUnique := make(map[relation.AttrSet]bool)
@@ -61,12 +85,12 @@ func DiscoverWitnessed(t *relation.Table) *Set {
 			out.Add(f)
 		}
 	}
-	return out
+	return out, nil
 }
 
-func (ta *TANE) run() {
+func (ta *TANE) run() error {
 	if ta.table.NumRows() == 0 || ta.m == 0 {
-		return
+		return nil
 	}
 	all := relation.FullAttrSet(ta.m)
 
@@ -85,6 +109,9 @@ func (ta *TANE) run() {
 
 	ws := partition.NewWorkspace(ta.table.NumRows())
 	for len(level) > 0 {
+		if err := ta.ctx.Err(); err != nil {
+			return fmt.Errorf("fd: discovery: %w", err)
+		}
 		next := ta.generateNextLevel(level)
 		if len(next) == 0 {
 			break
@@ -112,6 +139,7 @@ func (ta *TANE) run() {
 		}
 		level = next
 	}
+	return nil
 }
 
 // computeDependencies implements COMPUTE_DEPENDENCIES(Lℓ).

@@ -19,6 +19,8 @@
 package mas
 
 import (
+	"context"
+	"fmt"
 	"sort"
 
 	"f2/internal/border"
@@ -43,18 +45,34 @@ type Result struct {
 // completion finds the holes, and the returned positive border is provably
 // the full set of maximal non-unique column combinations.
 func Discover(t *relation.Table) *Result {
+	r, _ := DiscoverCtx(context.Background(), t)
+	return r
+}
+
+// DiscoverCtx is Discover with cancellation: a done context makes the
+// uniqueness oracle constant-false so the border search drains quickly,
+// and the bogus result is discarded.
+func DiscoverCtx(ctx context.Context, t *relation.Table) (*Result, error) {
 	r := &Result{Partitions: make(map[relation.AttrSet]*partition.Partition)}
 	if t.NumRows() < 2 || t.NumAttrs() == 0 {
-		return r
+		return r, nil
 	}
 	coded := relation.Encode(t)
-	sets, checked := border.Find(relation.FullAttrSet(t.NumAttrs()), coded.HasDuplicateOn)
+	sets, checked := border.Find(relation.FullAttrSet(t.NumAttrs()), func(x relation.AttrSet) bool {
+		return ctx.Err() == nil && coded.HasDuplicateOn(x)
+	})
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("mas: discovery: %w", err)
+	}
 	r.Sets = sets
 	r.Checked = checked
 	for _, x := range r.Sets {
+		if err := ctx.Err(); err != nil {
+			return nil, fmt.Errorf("mas: discovery: %w", err)
+		}
 		r.Partitions[x] = partition.Of(t, x)
 	}
-	return r
+	return r, nil
 }
 
 // DiscoverLevelwise finds all MASs via a bottom-up Apriori sweep over
@@ -62,9 +80,16 @@ func Discover(t *relation.Table) *Result {
 // non-unique level-ℓ sets all of whose immediate subsets are non-unique.
 // A set is maximal if no generated superset is non-unique.
 func DiscoverLevelwise(t *relation.Table) *Result {
+	r, _ := DiscoverLevelwiseCtx(context.Background(), t)
+	return r
+}
+
+// DiscoverLevelwiseCtx is DiscoverLevelwise with cancellation, checked
+// once per lattice level.
+func DiscoverLevelwiseCtx(ctx context.Context, t *relation.Table) (*Result, error) {
 	r := &Result{Partitions: make(map[relation.AttrSet]*partition.Partition)}
 	if t.NumRows() < 2 {
-		return r
+		return r, nil
 	}
 	m := t.NumAttrs()
 	coded := relation.Encode(t)
@@ -81,6 +106,9 @@ func DiscoverLevelwise(t *relation.Table) *Result {
 		candidates[x] = true
 	}
 	for len(level) > 0 {
+		if err := ctx.Err(); err != nil {
+			return nil, fmt.Errorf("mas: discovery: %w", err)
+		}
 		inLevel := make(map[relation.AttrSet]bool, len(level))
 		for _, x := range level {
 			inLevel[x] = true
@@ -128,9 +156,12 @@ func DiscoverLevelwise(t *relation.Table) *Result {
 	}
 	relation.SortAttrSets(r.Sets)
 	for _, x := range r.Sets {
+		if err := ctx.Err(); err != nil {
+			return nil, fmt.Errorf("mas: discovery: %w", err)
+		}
 		r.Partitions[x] = partition.Of(t, x)
 	}
-	return r
+	return r, nil
 }
 
 // BruteForce enumerates every column combination, classifies it, and

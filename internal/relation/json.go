@@ -1,0 +1,53 @@
+package relation
+
+import (
+	"encoding/json"
+	"fmt"
+)
+
+// JSONTable is the wire encoding of a table used by the HTTP service:
+// column names plus row-major cells. It round-trips through
+// encoding/json and validates on decode (unique non-empty column names,
+// uniform row width).
+type JSONTable struct {
+	Columns []string   `json:"columns"`
+	Rows    [][]string `json:"rows"`
+}
+
+// JSON materializes the table in wire form. Rows are fresh slices; the
+// caller may mutate them freely.
+func (t *Table) JSON() *JSONTable {
+	j := &JSONTable{Columns: t.schema.Names(), Rows: make([][]string, t.n)}
+	for i := 0; i < t.n; i++ {
+		j.Rows[i] = t.Row(i)
+	}
+	return j
+}
+
+// Table validates the wire form and builds an in-memory table from it.
+func (j *JSONTable) Table() (*Table, error) {
+	sch, err := NewSchema(j.Columns...)
+	if err != nil {
+		return nil, err
+	}
+	return FromRows(sch, j.Rows)
+}
+
+// MarshalJSON encodes the table in wire form.
+func (t *Table) MarshalJSON() ([]byte, error) {
+	return json.Marshal(t.JSON())
+}
+
+// UnmarshalJSON decodes and validates the wire form in place.
+func (t *Table) UnmarshalJSON(data []byte) error {
+	var j JSONTable
+	if err := json.Unmarshal(data, &j); err != nil {
+		return fmt.Errorf("relation: decoding table JSON: %w", err)
+	}
+	decoded, err := j.Table()
+	if err != nil {
+		return err
+	}
+	*t = *decoded
+	return nil
+}

@@ -1,0 +1,49 @@
+package relation
+
+import (
+	"encoding/json"
+	"reflect"
+	"testing"
+)
+
+func TestTableJSONRoundTrip(t *testing.T) {
+	tbl := MustFromRows(MustSchema("A", "B"), [][]string{{"a1", "b1"}, {"a2", "b2"}})
+	data, err := json.Marshal(tbl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Table
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(back.SortedRows(), tbl.SortedRows()) {
+		t.Fatalf("round-trip rows mismatch: %v vs %v", back.SortedRows(), tbl.SortedRows())
+	}
+	if !reflect.DeepEqual(back.Schema().Names(), tbl.Schema().Names()) {
+		t.Fatalf("round-trip schema mismatch: %v", back.Schema().Names())
+	}
+}
+
+func TestJSONTableEmptyRows(t *testing.T) {
+	j := &JSONTable{Columns: []string{"A", "B"}}
+	tbl, err := j.Table()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tbl.NumRows() != 0 || tbl.NumAttrs() != 2 {
+		t.Fatalf("empty table decode: %d rows, %d attrs", tbl.NumRows(), tbl.NumAttrs())
+	}
+}
+
+func TestJSONTableRejectsBadShapes(t *testing.T) {
+	for name, j := range map[string]*JSONTable{
+		"no columns":        {Rows: [][]string{{"x"}}},
+		"duplicate columns": {Columns: []string{"A", "A"}},
+		"empty column name": {Columns: []string{"A", ""}},
+		"ragged row":        {Columns: []string{"A", "B"}, Rows: [][]string{{"a", "b"}, {"only-one"}}},
+	} {
+		if _, err := j.Table(); err == nil {
+			t.Errorf("%s: expected error, got none", name)
+		}
+	}
+}

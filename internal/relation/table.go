@@ -162,11 +162,18 @@ func (t *Table) AppendRow(row []string) error {
 	return nil
 }
 
-// AppendRows appends many rows.
+// AppendRows appends many rows atomically: the whole batch is validated
+// before the first row is committed, so a ragged batch leaves the table
+// unchanged.
 func (t *Table) AppendRows(rows [][]string) error {
+	for i, r := range rows {
+		if len(r) != t.schema.NumAttrs() {
+			return fmt.Errorf("relation: row %d has %d cells, schema has %d", i, len(r), t.schema.NumAttrs())
+		}
+	}
 	for _, r := range rows {
 		if err := t.AppendRow(r); err != nil {
-			return err
+			return err // unreachable: widths were validated above
 		}
 	}
 	return nil

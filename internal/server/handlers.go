@@ -1,0 +1,499 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"io"
+	"net/http"
+	"strconv"
+	"time"
+
+	"f2/internal/attack"
+	"f2/internal/core"
+	"f2/internal/crypt"
+	"f2/internal/fd"
+	"f2/internal/relation"
+	"f2/internal/verify"
+)
+
+// createDatasetRequest is the body of POST /v1/datasets.
+type createDatasetRequest struct {
+	Name    string     `json:"name"`
+	Columns []string   `json:"columns"`
+	Rows    [][]string `json:"rows"`
+	// Alpha is the α-security threshold; 0 means the default 0.2.
+	Alpha float64 `json:"alpha,omitempty"`
+	// SplitFactor is ϖ; 0 means the default 2.
+	SplitFactor int `json:"splitFactor,omitempty"`
+	// FlushFraction tunes the append buffer; 0 means the default 0.1.
+	FlushFraction float64 `json:"flushFraction,omitempty"`
+	// KeySeed derives the dataset key deterministically (tests and
+	// reproducible demos); empty draws a random key.
+	KeySeed string `json:"keySeed,omitempty"`
+}
+
+// reportJSON is the wire form of a core.Report.
+type reportJSON struct {
+	Alpha         float64  `json:"alpha"`
+	K             int      `json:"k"`
+	SplitFactor   int      `json:"splitFactor"`
+	OriginalRows  int      `json:"originalRows"`
+	EncryptedRows int      `json:"encryptedRows"`
+	Overhead      float64  `json:"overhead"`
+	MASs          []string `json:"mass"`
+	GroupRows     int      `json:"groupRows"`
+	ScaleRows     int      `json:"scaleRows"`
+	ConflictRows  int      `json:"conflictRows"`
+	FPRows        int      `json:"fpRows"`
+	TimeMAXMs     float64  `json:"timeMaxMs"`
+	TimeSSEMs     float64  `json:"timeSseMs"`
+	TimeSYNMs     float64  `json:"timeSynMs"`
+	TimeFPMs      float64  `json:"timeFpMs"`
+}
+
+func reportToJSON(sch *relation.Schema, r *core.Report) reportJSON {
+	mass := make([]string, len(r.MASs))
+	for i, m := range r.MASs {
+		mass[i] = m.Names(sch)
+	}
+	return reportJSON{
+		Alpha:         r.Alpha,
+		K:             r.K,
+		SplitFactor:   r.SplitFactor,
+		OriginalRows:  r.OriginalRows,
+		EncryptedRows: r.EncryptedRows,
+		Overhead:      r.Overhead(),
+		MASs:          mass,
+		GroupRows:     r.GroupRows,
+		ScaleRows:     r.ScaleRows,
+		ConflictRows:  r.ConflictRows,
+		FPRows:        r.FPRows,
+		TimeMAXMs:     float64(r.TimeMAX.Microseconds()) / 1000,
+		TimeSSEMs:     float64(r.TimeSSE.Microseconds()) / 1000,
+		TimeSYNMs:     float64(r.TimeSYN.Microseconds()) / 1000,
+		TimeFPMs:      float64(r.TimeFP.Microseconds()) / 1000,
+	}
+}
+
+// decodeBody decodes a JSON request body into v with the configured size
+// cap. Unknown fields are rejected so client typos surface as 400s.
+func (s *Server) decodeBody(w http.ResponseWriter, r *http.Request, v any) bool {
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, s.opts.MaxBodyBytes))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		var tooLarge *http.MaxBytesError
+		if errors.As(err, &tooLarge) {
+			writeError(w, http.StatusRequestEntityTooLarge, "body exceeds %d bytes", tooLarge.Limit)
+		} else {
+			writeError(w, http.StatusBadRequest, "invalid JSON body: %v", err)
+		}
+		return false
+	}
+	if err := dec.Decode(&struct{}{}); err != io.EOF {
+		writeError(w, http.StatusBadRequest, "trailing data after JSON body")
+		return false
+	}
+	return true
+}
+
+// dataset resolves the {id} path value, writing a 404 on miss.
+func (s *Server) dataset(w http.ResponseWriter, r *http.Request) (*Dataset, bool) {
+	id := r.PathValue("id")
+	ds, ok := s.reg.Get(id)
+	if !ok {
+		writeError(w, http.StatusNotFound, "no dataset %q", id)
+		return nil, false
+	}
+	return ds, true
+}
+
+func (s *Server) handleCreateDataset(w http.ResponseWriter, r *http.Request) {
+	var req createDatasetRequest
+	if !s.decodeBody(w, r, &req) {
+		return
+	}
+	if len(req.Rows) == 0 {
+		writeError(w, http.StatusBadRequest, "dataset needs at least one row")
+		return
+	}
+	jt := &relation.JSONTable{Columns: req.Columns, Rows: req.Rows}
+	tbl, err := jt.Table()
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "invalid table: %v", err)
+		return
+	}
+
+	var key crypt.Key
+	if req.KeySeed != "" {
+		key = crypt.KeyFromSeed(req.KeySeed)
+	} else if key, err = crypt.GenerateKey(); err != nil {
+		writeError(w, http.StatusInternalServerError, "generating key: %v", err)
+		return
+	}
+	if req.FlushFraction < 0 {
+		writeError(w, http.StatusBadRequest, "flushFraction must be non-negative, got %v", req.FlushFraction)
+		return
+	}
+	cfg := core.DefaultConfig(key)
+	if req.Alpha != 0 {
+		cfg.Alpha = req.Alpha
+	}
+	if req.SplitFactor != 0 {
+		cfg.SplitFactor = req.SplitFactor
+	}
+	if err := cfg.Validate(); err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+
+	var upd *core.Updater
+	var res *core.Result
+	jobCtx, cancel := s.jobContext(r.Context())
+	defer cancel()
+	err = s.pool.Run(jobCtx, func(ctx context.Context) error {
+		var err error
+		upd, res, err = core.NewUpdater(ctx, cfg, tbl)
+		return err
+	})
+	if err != nil {
+		writeError(w, httpStatusOf(err), "encrypting dataset: %v", err)
+		return
+	}
+	if req.FlushFraction > 0 {
+		upd.FlushFraction = req.FlushFraction
+	}
+	ds, err := s.reg.Add(req.Name, cfg, upd)
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, "%v", err)
+		return
+	}
+	s.logf("dataset %s (%q): %d rows -> %d encrypted", ds.ID, ds.Name, tbl.NumRows(), res.Encrypted.NumRows())
+	w.Header().Set("Location", "/v1/datasets/"+ds.ID)
+	writeJSON(w, http.StatusCreated, map[string]any{
+		"dataset": ds.Summary(),
+		"report":  reportToJSON(tbl.Schema(), &res.Report),
+	})
+}
+
+func (s *Server) handleListDatasets(w http.ResponseWriter, r *http.Request) {
+	all := s.reg.List()
+	summaries := make([]Summary, len(all))
+	for i, ds := range all {
+		summaries[i] = ds.Summary()
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"datasets": summaries})
+}
+
+func (s *Server) handleGetDataset(w http.ResponseWriter, r *http.Request) {
+	ds, ok := s.dataset(w, r)
+	if !ok {
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"dataset": ds.Summary()})
+}
+
+// appendRowsRequest is the body of POST /v1/datasets/{id}/rows.
+type appendRowsRequest struct {
+	Rows [][]string `json:"rows"`
+}
+
+func (s *Server) handleAppendRows(w http.ResponseWriter, r *http.Request) {
+	ds, ok := s.dataset(w, r)
+	if !ok {
+		return
+	}
+	var req appendRowsRequest
+	if !s.decodeBody(w, r, &req) {
+		return
+	}
+	if len(req.Rows) == 0 {
+		writeError(w, http.StatusBadRequest, "no rows to append")
+		return
+	}
+
+	var flushed bool
+	var flushErr error
+	var summary Summary
+	// The dataset lock is taken on the request goroutine, not inside the
+	// pooled job: a request waiting its turn on a hot dataset must not
+	// occupy a worker that a runnable job for another dataset could use.
+	ds.Lock()
+	defer ds.Unlock()
+	jobCtx, cancel := s.jobContext(r.Context())
+	defer cancel()
+	err := s.pool.Run(jobCtx, func(ctx context.Context) error {
+		// Buffer is atomic: a ragged batch is rejected whole. A failed
+		// rebuild after a successful buffer is NOT a failed append — the
+		// rows are durably pending and the next flush retries them — so
+		// it must not surface as an error (a client retry would append
+		// duplicates).
+		if err := ds.upd.Buffer(req.Rows); err != nil {
+			return &badRequestError{err.Error()}
+		}
+		if ds.upd.ShouldFlush() {
+			if _, err := ds.upd.Flush(ctx); err != nil {
+				flushErr = err
+			} else {
+				flushed = true
+			}
+		}
+		summary = ds.refreshSummaryLocked()
+		return nil
+	})
+	if err != nil {
+		var bad *badRequestError
+		if errors.As(err, &bad) {
+			writeError(w, http.StatusBadRequest, "%s", bad.msg)
+		} else {
+			writeError(w, httpStatusOf(err), "appending rows: %v", err)
+		}
+		return
+	}
+	resp := map[string]any{"flushed": flushed, "dataset": summary}
+	if flushErr != nil {
+		resp["flushDeferred"] = true
+		resp["flushError"] = flushErr.Error()
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// badRequestError marks a pooled-job failure as the client's fault.
+type badRequestError struct{ msg string }
+
+func (e *badRequestError) Error() string { return e.msg }
+
+func (s *Server) handleFlush(w http.ResponseWriter, r *http.Request) {
+	ds, ok := s.dataset(w, r)
+	if !ok {
+		return
+	}
+	var summary Summary
+	var rep reportJSON
+	ds.Lock()
+	defer ds.Unlock()
+	jobCtx, cancel := s.jobContext(r.Context())
+	defer cancel()
+	err := s.pool.Run(jobCtx, func(ctx context.Context) error {
+		res, err := ds.upd.Flush(ctx)
+		if err != nil {
+			return err
+		}
+		summary = ds.refreshSummaryLocked()
+		rep = reportToJSON(ds.upd.Current().Schema(), &res.Report)
+		return nil
+	})
+	if err != nil {
+		writeError(w, httpStatusOf(err), "flushing: %v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"dataset": summary, "report": rep})
+}
+
+func (s *Server) handleDecrypt(w http.ResponseWriter, r *http.Request) {
+	ds, ok := s.dataset(w, r)
+	if !ok {
+		return
+	}
+	// Snapshot under a brief lock; the transactional Flush replaces (never
+	// mutates) the updater's Result, so the heavy decryption can run
+	// without blocking appends to this dataset.
+	ds.Lock()
+	res := ds.upd.Result()
+	pending := ds.upd.Pending()
+	ds.Unlock()
+	var recovered *relation.JSONTable
+	jobCtx, cancel := s.jobContext(r.Context())
+	defer cancel()
+	err := s.pool.Run(jobCtx, func(ctx context.Context) error {
+		dec, err := core.NewDecryptor(ds.cfg)
+		if err != nil {
+			return err
+		}
+		back, err := dec.Recover(ctx, res)
+		if err != nil {
+			return err
+		}
+		recovered = back.JSON()
+		return nil
+	})
+	if err != nil {
+		writeError(w, httpStatusOf(err), "decrypting: %v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"columns":     recovered.Columns,
+		"rows":        recovered.Rows,
+		"pendingRows": pending,
+	})
+}
+
+// fdJSON is the wire form of one functional dependency.
+type fdJSON struct {
+	LHS []string `json:"lhs"`
+	RHS string   `json:"rhs"`
+}
+
+// handleFDs runs witnessed-FD discovery on the *encrypted* view — the
+// computation the paper outsources to the untrusted server. By Theorem 3.7
+// the result equals the witnessed FDs of the plaintext.
+func (s *Server) handleFDs(w http.ResponseWriter, r *http.Request) {
+	ds, ok := s.dataset(w, r)
+	if !ok {
+		return
+	}
+	ds.Lock()
+	enc := ds.upd.Result().Encrypted // immutable snapshot: Flush replaces, never mutates
+	ds.Unlock()
+	fds := []fdJSON{}
+	jobCtx, cancel := s.jobContext(r.Context())
+	defer cancel()
+	err := s.pool.Run(jobCtx, func(ctx context.Context) error {
+		sch := enc.Schema()
+		claimed, err := fd.DiscoverWitnessedCtx(ctx, enc)
+		if err != nil {
+			return err
+		}
+		for _, f := range claimed.Slice() {
+			j := fdJSON{RHS: sch.Name(f.RHS), LHS: []string{}}
+			for _, a := range f.LHS.Attrs() {
+				j.LHS = append(j.LHS, sch.Name(a))
+			}
+			fds = append(fds, j)
+		}
+		return nil
+	})
+	if err != nil {
+		writeError(w, httpStatusOf(err), "discovering FDs: %v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"count": len(fds), "fds": fds})
+}
+
+// columnReport is one attribute's slice of the attack report.
+type columnReport struct {
+	Name             string  `json:"name"`
+	Distinct         int     `json:"distinct"`
+	BlindGuess       float64 `json:"blindGuess"`
+	FrequencyMatcher float64 `json:"frequencyMatcher"`
+	Kerckhoffs       float64 `json:"kerckhoffs"`
+	Bound            float64 `json:"bound"`
+	OK               bool    `json:"ok"`
+}
+
+// handleReport audits the outsourced dataset: per-column frequency-attack
+// success rates against the ciphertext (must stay at or below
+// max(α, blind-guess)) and a verification pass over the FDs discoverable
+// from the encrypted view (soundness + sampled completeness).
+func (s *Server) handleReport(w http.ResponseWriter, r *http.Request) {
+	ds, ok := s.dataset(w, r)
+	if !ok {
+		return
+	}
+	trials := s.opts.AttackTrials
+	if t := r.URL.Query().Get("trials"); t != "" {
+		n, err := strconv.Atoi(t)
+		if err != nil || n < 1 || n > 100000 {
+			writeError(w, http.StatusBadRequest, "trials must be an integer in [1, 100000]")
+			return
+		}
+		trials = n
+	}
+	// Each report draws a fresh sample so repeated audits grow coverage;
+	// ?seed= pins it for reproducible runs.
+	seed := time.Now().UnixNano()
+	if sv := r.URL.Query().Get("seed"); sv != "" {
+		n, err := strconv.ParseInt(sv, 10, 64)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, "seed must be an integer")
+			return
+		}
+		seed = n
+	}
+
+	// Snapshot a consistent (plaintext, ciphertext) pair under a brief
+	// lock; both are replaced — never mutated — by a flush, so the
+	// multi-second audit runs without blocking appends.
+	ds.Lock()
+	plain := ds.upd.Current()
+	res := ds.upd.Result()
+	ds.Unlock()
+	var payload map[string]any
+	jobCtx, cancel := s.jobContext(r.Context())
+	defer cancel()
+	err := s.pool.Run(jobCtx, func(ctx context.Context) error {
+		cipher, err := crypt.NewProbCipher(ds.cfg.Key, ds.cfg.PRF)
+		if err != nil {
+			return err
+		}
+		oracle := func(ct string) (string, bool) {
+			p, err := cipher.DecryptCell(ct)
+			if err != nil {
+				return "", false
+			}
+			return p, !core.IsArtificialValue(p)
+		}
+
+		sch := plain.Schema()
+		cols := make([]columnReport, 0, plain.NumAttrs())
+		allOK := true
+		for a := 0; a < plain.NumAttrs(); a++ {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+			distinct := plain.DistinctCount(a)
+			blind := 0.0
+			if distinct > 0 {
+				blind = 1.0 / float64(distinct)
+			}
+			fm := attack.RunGame(plain, res.Encrypted, a, attack.FrequencyMatcher{}, oracle, trials, seed)
+			kk := attack.RunGame(plain, res.Encrypted, a, attack.Kerckhoffs{}, oracle, trials, seed+1)
+			bound := ds.cfg.Alpha
+			if blind > bound {
+				bound = blind
+			}
+			// 3-σ-ish slack over `trials` Bernoulli draws, matching the
+			// tolerance of examples/attacksim.
+			ok := fm.Rate() <= bound+0.03 && kk.Rate() <= bound+0.03
+			allOK = allOK && ok
+			cols = append(cols, columnReport{
+				Name:             sch.Name(a),
+				Distinct:         distinct,
+				BlindGuess:       blind,
+				FrequencyMatcher: fm.Rate(),
+				Kerckhoffs:       kk.Rate(),
+				Bound:            bound,
+				OK:               ok,
+			})
+		}
+
+		claimed, err := fd.DiscoverWitnessedCtx(ctx, res.Encrypted)
+		if err != nil {
+			return err
+		}
+		verdict := verify.CheckWitnessedClaims(plain, claimed, s.opts.VerifyProbes, seed+2)
+		payload = map[string]any{
+			"alpha": ds.cfg.Alpha,
+			"seed":  seed,
+			"attack": map[string]any{
+				"trials":  trials,
+				"ok":      allOK,
+				"columns": cols,
+			},
+			"verify": map[string]any{
+				"claimedFDs":  claimed.Len(),
+				"sound":       verdict.Sound,
+				"falseClaims": len(verdict.FalseClaims),
+				"probes":      verdict.Probes,
+				"missed":      len(verdict.Missed),
+				"ok":          verdict.OK(),
+			},
+		}
+		return nil
+	})
+	if err != nil {
+		writeError(w, httpStatusOf(err), "building report: %v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, payload)
+}

@@ -1,0 +1,121 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime/debug"
+	"sync"
+	"sync/atomic"
+)
+
+// ErrPoolClosed is returned by Pool.Run once Close has been called.
+var ErrPoolClosed = errors.New("server: worker pool closed")
+
+// Job is a unit of CPU-heavy work (encrypt, rebuild, FD discovery, attack
+// simulation) executed on the server's bounded worker pool.
+type Job func(ctx context.Context) error
+
+// Pool is a fixed-size worker pool. HTTP handlers submit their heavy work
+// through Run instead of executing it on the request goroutine, so the
+// number of concurrent pipeline runs is bounded by the worker count no
+// matter how many requests are in flight, while requests for different
+// datasets genuinely run in parallel up to that bound.
+type Pool struct {
+	jobs    chan poolJob
+	quit    chan struct{}
+	wg      sync.WaitGroup
+	workers int
+	logf    func(format string, args ...any)
+	queued  atomic.Int64
+	active  atomic.Int64
+}
+
+type poolJob struct {
+	ctx  context.Context
+	fn   Job
+	done chan error
+}
+
+// NewPool starts a pool with the given number of workers (minimum 1).
+// logf, if non-nil, receives diagnostics (job panic stacks).
+func NewPool(workers int, logf func(format string, args ...any)) *Pool {
+	if workers < 1 {
+		workers = 1
+	}
+	p := &Pool{jobs: make(chan poolJob), quit: make(chan struct{}), workers: workers, logf: logf}
+	p.wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go p.worker()
+	}
+	return p
+}
+
+func (p *Pool) worker() {
+	defer p.wg.Done()
+	for {
+		select {
+		case <-p.quit:
+			return
+		case j := <-p.jobs:
+			p.queued.Add(-1)
+			if err := j.ctx.Err(); err != nil {
+				j.done <- err // abandoned while queued
+				continue
+			}
+			p.active.Add(1)
+			j.done <- p.runJob(j)
+			p.active.Add(-1)
+		}
+	}
+}
+
+// runJob executes one job, converting a panic into an error so a bug in
+// one dataset's pipeline cannot take down the whole process (and every
+// in-memory dataset with it). The stack goes to the pool's log only; the
+// returned error — which handlers interpolate into client-facing JSON —
+// carries just the panic value.
+func (p *Pool) runJob(j poolJob) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			if p.logf != nil {
+				p.logf("job panic: %v\n%s", r, debug.Stack())
+			}
+			err = fmt.Errorf("server: job panic: %v", r)
+		}
+	}()
+	return j.fn(j.ctx)
+}
+
+// Run executes fn on a pool worker and blocks until it finishes,
+// returning its error. While the job is still queued, a cancelled ctx
+// abandons it; once running, cancellation is fn's responsibility (the
+// F² pipeline checks ctx internally). After Close, Run safely returns
+// ErrPoolClosed.
+func (p *Pool) Run(ctx context.Context, fn Job) error {
+	j := poolJob{ctx: ctx, fn: fn, done: make(chan error, 1)}
+	p.queued.Add(1)
+	select {
+	case p.jobs <- j:
+	case <-ctx.Done():
+		p.queued.Add(-1)
+		return ctx.Err()
+	case <-p.quit:
+		p.queued.Add(-1)
+		return ErrPoolClosed
+	}
+	return <-j.done
+}
+
+// Stats reports the pool shape for /metrics: configured workers, jobs
+// currently executing, and jobs waiting for a worker.
+func (p *Pool) Stats() (workers int, active, queued int64) {
+	return p.workers, p.active.Load(), p.queued.Load()
+}
+
+// Close stops accepting jobs and waits for running ones to finish.
+// Queued-but-unstarted jobs see their Run return ErrPoolClosed.
+func (p *Pool) Close() {
+	close(p.quit)
+	p.wg.Wait()
+}

@@ -1,0 +1,138 @@
+package server
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+	"time"
+)
+
+// latencyBuckets are the upper bounds of the request-latency histogram,
+// exponential from 1ms to 10s (the F² rebuild of a large dataset sits in
+// the upper buckets, metadata reads in the lowest).
+var latencyBuckets = []time.Duration{
+	time.Millisecond,
+	5 * time.Millisecond,
+	25 * time.Millisecond,
+	100 * time.Millisecond,
+	500 * time.Millisecond,
+	2500 * time.Millisecond,
+	10 * time.Second,
+}
+
+// opStats accumulates one operation's counters and latency histogram.
+type opStats struct {
+	byClass map[string]uint64 // "2xx", "4xx", "5xx"
+	count   uint64
+	sum     time.Duration
+	max     time.Duration
+	buckets []uint64 // len(latencyBuckets)+1, last is +Inf
+}
+
+// Metrics records per-operation request counts and latency histograms and
+// renders them in Prometheus text exposition format. Gauges (pool depth,
+// dataset count) are registered as callbacks so the render reflects live
+// state without Metrics knowing about its producers.
+type Metrics struct {
+	mu     sync.Mutex
+	ops    map[string]*opStats
+	gauges map[string]func() float64
+	start  time.Time
+}
+
+// NewMetrics returns an empty metrics registry.
+func NewMetrics() *Metrics {
+	return &Metrics{
+		ops:    make(map[string]*opStats),
+		gauges: make(map[string]func() float64),
+		start:  time.Now(),
+	}
+}
+
+// Observe records one completed request for op with its HTTP status and
+// latency.
+func (m *Metrics) Observe(op string, status int, d time.Duration) {
+	class := fmt.Sprintf("%dxx", status/100)
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	s, ok := m.ops[op]
+	if !ok {
+		s = &opStats{byClass: make(map[string]uint64), buckets: make([]uint64, len(latencyBuckets)+1)}
+		m.ops[op] = s
+	}
+	s.byClass[class]++
+	s.count++
+	s.sum += d
+	if d > s.max {
+		s.max = d
+	}
+	i := sort.Search(len(latencyBuckets), func(i int) bool { return d <= latencyBuckets[i] })
+	s.buckets[i]++
+}
+
+// RegisterGauge exposes a live value under the given metric name.
+func (m *Metrics) RegisterGauge(name string, fn func() float64) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.gauges[name] = fn
+}
+
+// Render writes the registry in Prometheus text format.
+func (m *Metrics) Render(w io.Writer) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+
+	fmt.Fprintf(w, "# TYPE f2_uptime_seconds gauge\n")
+	fmt.Fprintf(w, "f2_uptime_seconds %.3f\n", time.Since(m.start).Seconds())
+
+	names := make([]string, 0, len(m.gauges))
+	for n := range m.gauges {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		fmt.Fprintf(w, "# TYPE %s gauge\n%s %g\n", n, n, m.gauges[n]())
+	}
+
+	opNames := make([]string, 0, len(m.ops))
+	for n := range m.ops {
+		opNames = append(opNames, n)
+	}
+	sort.Strings(opNames)
+	if len(opNames) > 0 {
+		fmt.Fprintf(w, "# TYPE f2_http_requests_total counter\n")
+		for _, n := range opNames {
+			s := m.ops[n]
+			classes := make([]string, 0, len(s.byClass))
+			for c := range s.byClass {
+				classes = append(classes, c)
+			}
+			sort.Strings(classes)
+			for _, c := range classes {
+				fmt.Fprintf(w, "f2_http_requests_total{op=%q,class=%q} %d\n", n, c, s.byClass[c])
+			}
+		}
+		fmt.Fprintf(w, "# TYPE f2_http_request_duration_seconds histogram\n")
+		for _, n := range opNames {
+			s := m.ops[n]
+			cum := uint64(0)
+			for i, ub := range latencyBuckets {
+				cum += s.buckets[i]
+				fmt.Fprintf(w, "f2_http_request_duration_seconds_bucket{op=%q,le=\"%s\"} %d\n",
+					n, formatSeconds(ub), cum)
+			}
+			cum += s.buckets[len(latencyBuckets)]
+			fmt.Fprintf(w, "f2_http_request_duration_seconds_bucket{op=%q,le=\"+Inf\"} %d\n", n, cum)
+			fmt.Fprintf(w, "f2_http_request_duration_seconds_sum{op=%q} %.6f\n", n, s.sum.Seconds())
+			fmt.Fprintf(w, "f2_http_request_duration_seconds_count{op=%q} %d\n", n, s.count)
+			fmt.Fprintf(w, "f2_http_request_duration_seconds_max{op=%q} %.6f\n", n, s.max.Seconds())
+		}
+	}
+}
+
+// formatSeconds renders a bucket bound the Prometheus way ("0.005", "10");
+// %g already emits the shortest form.
+func formatSeconds(d time.Duration) string {
+	return fmt.Sprintf("%g", d.Seconds())
+}

@@ -1,0 +1,91 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"runtime/debug"
+	"time"
+)
+
+// statusRecorder captures the status code a handler writes — and whether
+// any body bytes went out — so the instrumentation middleware can label
+// its metrics and knows when a response is already committed.
+type statusRecorder struct {
+	http.ResponseWriter
+	status int
+	wrote  bool
+}
+
+func (r *statusRecorder) WriteHeader(code int) {
+	r.status = code
+	r.wrote = true
+	r.ResponseWriter.WriteHeader(code)
+}
+
+func (r *statusRecorder) Write(p []byte) (int, error) {
+	r.wrote = true
+	return r.ResponseWriter.Write(p)
+}
+
+// instrument wraps a handler with panic recovery, request logging, and
+// per-op metrics (count by status class + latency histogram under the op
+// label).
+func (s *Server) instrument(op string, h http.HandlerFunc) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		rec := &statusRecorder{ResponseWriter: w, status: http.StatusOK}
+		start := time.Now()
+		defer func() {
+			if p := recover(); p != nil {
+				s.logf("panic in %s: %v\n%s", op, p, debug.Stack())
+				if !rec.wrote {
+					writeError(rec, http.StatusInternalServerError, "internal error")
+				}
+				// A panic after the response committed can't be
+				// reported to the client, but the metric must still
+				// count a server failure, not whatever status the
+				// truncated response started with.
+				rec.status = http.StatusInternalServerError
+			}
+			d := time.Since(start)
+			s.metrics.Observe(op, rec.status, d)
+			s.logf("%s %s -> %d (%s)", r.Method, r.URL.Path, rec.status, d.Round(time.Microsecond))
+		}()
+		h(rec, r)
+	})
+}
+
+// apiError is the JSON error envelope of every non-2xx response.
+type apiError struct {
+	Error string `json:"error"`
+}
+
+// writeJSON writes v with the given status; encoding failures surface in
+// the log, not the (already committed) response.
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetEscapeHTML(false)
+	_ = enc.Encode(v)
+}
+
+// writeError writes the JSON error envelope.
+func writeError(w http.ResponseWriter, status int, format string, args ...any) {
+	writeJSON(w, status, apiError{Error: fmt.Sprintf(format, args...)})
+}
+
+// httpStatusOf maps pipeline errors to status codes: client cancellation
+// is 499-style (we use 408 Request Timeout, the closest standard code),
+// a closing server is 503 (retryable), everything else is a 500.
+func httpStatusOf(err error) int {
+	switch {
+	case errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded):
+		return http.StatusRequestTimeout
+	case errors.Is(err, ErrPoolClosed):
+		return http.StatusServiceUnavailable
+	}
+	return http.StatusInternalServerError
+}

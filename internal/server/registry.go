@@ -1,0 +1,152 @@
+package server
+
+import (
+	"crypto/rand"
+	"encoding/hex"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"f2/internal/core"
+)
+
+// Dataset is one registered relation: its F² configuration (including the
+// owner key — f2served is an *owner-side* service, the untrusted storage
+// server of the paper's model never sees this struct) and the updater
+// holding the plaintext copy, the append buffer, and the latest
+// ciphertext. All access to the updater goes through Lock/Unlock; the
+// registry itself only guards the id → dataset map.
+type Dataset struct {
+	ID      string
+	Name    string
+	Created time.Time
+
+	mu  sync.Mutex
+	cfg core.Config
+	upd *core.Updater
+
+	// statMu guards the cached summary so metadata reads (list, get)
+	// never wait on d.mu while a multi-second rebuild holds it.
+	statMu sync.Mutex
+	stats  Summary
+}
+
+// Lock serializes pipeline operations (append, flush, decrypt, report) on
+// this dataset. Operations on different datasets proceed in parallel.
+func (d *Dataset) Lock() { d.mu.Lock() }
+
+// Unlock releases Lock.
+func (d *Dataset) Unlock() { d.mu.Unlock() }
+
+// Summary is the JSON shape of a dataset's metadata.
+type Summary struct {
+	ID            string    `json:"id"`
+	Name          string    `json:"name"`
+	Created       time.Time `json:"created"`
+	Rows          int       `json:"rows"`
+	PendingRows   int       `json:"pendingRows"`
+	EncryptedRows int       `json:"encryptedRows"`
+	Alpha         float64   `json:"alpha"`
+	SplitFactor   int       `json:"splitFactor"`
+	MASCount      int       `json:"masCount"`
+	Rebuilds      int       `json:"rebuilds"`
+	Overhead      float64   `json:"overhead"`
+}
+
+// refreshSummaryLocked recomputes and caches the summary; the caller
+// holds d.mu (every state-changing handler does).
+func (d *Dataset) refreshSummaryLocked() Summary {
+	res := d.upd.Result()
+	s := Summary{
+		ID:            d.ID,
+		Name:          d.Name,
+		Created:       d.Created,
+		Rows:          d.upd.Rows(),
+		PendingRows:   d.upd.Pending(),
+		EncryptedRows: res.Encrypted.NumRows(),
+		Alpha:         d.cfg.Alpha,
+		SplitFactor:   d.cfg.SplitFactor,
+		MASCount:      len(res.MASs),
+		Rebuilds:      d.upd.Rebuilds,
+		Overhead:      res.Report.Overhead(),
+	}
+	d.statMu.Lock()
+	d.stats = s
+	d.statMu.Unlock()
+	return s
+}
+
+// Summary returns the cached metadata without touching d.mu, so it stays
+// responsive while a rebuild runs.
+func (d *Dataset) Summary() Summary {
+	d.statMu.Lock()
+	defer d.statMu.Unlock()
+	return d.stats
+}
+
+// Registry maps dataset ids to datasets under a read-write lock.
+type Registry struct {
+	mu   sync.RWMutex
+	data map[string]*Dataset
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{data: make(map[string]*Dataset)}
+}
+
+// Add registers a freshly encrypted dataset and assigns it an id.
+func (r *Registry) Add(name string, cfg core.Config, upd *core.Updater) (*Dataset, error) {
+	id, err := newDatasetID()
+	if err != nil {
+		return nil, err
+	}
+	ds := &Dataset{ID: id, Name: name, Created: time.Now().UTC(), cfg: cfg, upd: upd}
+	ds.refreshSummaryLocked() // no concurrency yet: ds is not published
+	r.mu.Lock()
+	r.data[id] = ds
+	r.mu.Unlock()
+	return ds, nil
+}
+
+// Get looks a dataset up by id.
+func (r *Registry) Get(id string) (*Dataset, bool) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	ds, ok := r.data[id]
+	return ds, ok
+}
+
+// List returns all datasets ordered by creation time, then id.
+func (r *Registry) List() []*Dataset {
+	r.mu.RLock()
+	out := make([]*Dataset, 0, len(r.data))
+	for _, ds := range r.data {
+		out = append(out, ds)
+	}
+	r.mu.RUnlock()
+	sort.Slice(out, func(i, j int) bool {
+		if !out[i].Created.Equal(out[j].Created) {
+			return out[i].Created.Before(out[j].Created)
+		}
+		return out[i].ID < out[j].ID
+	})
+	return out
+}
+
+// Len returns the number of registered datasets.
+func (r *Registry) Len() int {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return len(r.data)
+}
+
+// newDatasetID draws a random 12-hex-digit id.
+func newDatasetID() (string, error) {
+	var b [6]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		return "", fmt.Errorf("server: generating dataset id: %w", err)
+	}
+	return "ds_" + hex.EncodeToString(b[:]), nil
+}

@@ -1,0 +1,142 @@
+// Package server implements f2served, a long-lived HTTP/JSON service over
+// the F² pipeline. It exposes the full lifecycle of the paper's scheme —
+// upload + encrypt, incremental append with buffered flush (core.Updater),
+// owner-side decryption, FD discovery on the encrypted view (the untrusted
+// server's job in the paper's model), and a frequency-attack /
+// verification report — behind a dataset registry with per-dataset
+// locking, a bounded worker pool for the CPU-heavy pipeline runs, and
+// Prometheus-style /metrics.
+//
+// Trust model note: f2served plays the *data owner* (it holds the keys and
+// the plaintext working copy). The /fds endpoint simulates what the
+// paper's untrusted storage server computes: it reads only the encrypted
+// view. The /report endpoint is the owner auditing that outsourcing:
+// attack success rates on the ciphertext and a verify.CheckWitnessedClaims
+// pass over the discovered dependencies.
+package server
+
+import (
+	"context"
+	"log"
+	"net/http"
+	"runtime"
+	"time"
+)
+
+// Options configures a Server.
+type Options struct {
+	// Workers bounds the number of concurrently executing pipeline jobs
+	// (encrypt, rebuild, discovery, report). Default: GOMAXPROCS.
+	Workers int
+	// MaxBodyBytes caps request bodies. Default 32 MiB.
+	MaxBodyBytes int64
+	// Logger receives request logs and panics; nil disables logging.
+	Logger *log.Logger
+	// AttackTrials is the per-adversary game count used by /report when
+	// the request does not override it. Default 1000.
+	AttackTrials int
+	// VerifyProbes is the completeness-probe count for /report's
+	// verification pass. Default 200.
+	VerifyProbes int
+}
+
+func (o *Options) fillDefaults() {
+	if o.Workers <= 0 {
+		o.Workers = runtime.GOMAXPROCS(0)
+	}
+	if o.MaxBodyBytes <= 0 {
+		o.MaxBodyBytes = 32 << 20
+	}
+	if o.AttackTrials <= 0 {
+		o.AttackTrials = 1000
+	}
+	if o.VerifyProbes <= 0 {
+		o.VerifyProbes = 200
+	}
+}
+
+// Server is the f2served HTTP service: registry + worker pool + metrics
+// wired into a route table.
+type Server struct {
+	opts    Options
+	reg     *Registry
+	pool    *Pool
+	metrics *Metrics
+	mux     *http.ServeMux
+	start   time.Time
+
+	// lifecycle is cancelled by Close so in-flight pipeline jobs abort
+	// promptly instead of holding the pool open for a full rebuild.
+	lifecycle context.Context
+	stop      context.CancelFunc
+}
+
+// New builds a server and its routes.
+func New(opts Options) *Server {
+	opts.fillDefaults()
+	lifecycle, stop := context.WithCancel(context.Background())
+	s := &Server{
+		opts:      opts,
+		reg:       NewRegistry(),
+		metrics:   NewMetrics(),
+		mux:       http.NewServeMux(),
+		start:     time.Now(),
+		lifecycle: lifecycle,
+		stop:      stop,
+	}
+	s.pool = NewPool(opts.Workers, s.logf)
+	s.metrics.RegisterGauge("f2_datasets", func() float64 { return float64(s.reg.Len()) })
+	s.metrics.RegisterGauge("f2_pool_workers", func() float64 { w, _, _ := s.pool.Stats(); return float64(w) })
+	s.metrics.RegisterGauge("f2_pool_active_jobs", func() float64 { _, a, _ := s.pool.Stats(); return float64(a) })
+	s.metrics.RegisterGauge("f2_pool_queued_jobs", func() float64 { _, _, q := s.pool.Stats(); return float64(q) })
+
+	s.mux.Handle("POST /v1/datasets", s.instrument("create_dataset", s.handleCreateDataset))
+	s.mux.Handle("GET /v1/datasets", s.instrument("list_datasets", s.handleListDatasets))
+	s.mux.Handle("GET /v1/datasets/{id}", s.instrument("get_dataset", s.handleGetDataset))
+	s.mux.Handle("POST /v1/datasets/{id}/rows", s.instrument("append_rows", s.handleAppendRows))
+	s.mux.Handle("POST /v1/datasets/{id}/flush", s.instrument("flush", s.handleFlush))
+	s.mux.Handle("POST /v1/datasets/{id}/decrypt", s.instrument("decrypt", s.handleDecrypt))
+	s.mux.Handle("GET /v1/datasets/{id}/fds", s.instrument("discover_fds", s.handleFDs))
+	s.mux.Handle("GET /v1/datasets/{id}/report", s.instrument("report", s.handleReport))
+	s.mux.Handle("GET /healthz", s.instrument("healthz", s.handleHealthz))
+	s.mux.HandleFunc("GET /metrics", s.handleMetrics) // not instrumented: scrapes shouldn't meter themselves
+	return s
+}
+
+// Handler returns the root handler for use with http.Server or httptest.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Close cancels in-flight pipeline jobs and drains the worker pool.
+// Requests arriving after Close get 408/503-style errors rather than
+// hanging or panicking.
+func (s *Server) Close() {
+	s.stop()
+	s.pool.Close()
+}
+
+// jobContext derives a pipeline-job context that cancels when either the
+// request is done or the server is shutting down.
+func (s *Server) jobContext(req context.Context) (context.Context, context.CancelFunc) {
+	ctx, cancel := context.WithCancel(req)
+	unhook := context.AfterFunc(s.lifecycle, cancel)
+	return ctx, func() { unhook(); cancel() }
+}
+
+func (s *Server) logf(format string, args ...any) {
+	if s.opts.Logger != nil {
+		s.opts.Logger.Printf(format, args...)
+	}
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status":   "ok",
+		"uptime":   time.Since(s.start).Round(time.Millisecond).String(),
+		"datasets": s.reg.Len(),
+	})
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	s.metrics.Render(w)
+}

@@ -1,0 +1,492 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"reflect"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"f2/internal/relation"
+	"f2/internal/workload"
+)
+
+func newTestServer(t *testing.T, workers int) (*Server, *httptest.Server) {
+	t.Helper()
+	srv := New(Options{Workers: workers, AttackTrials: 200, VerifyProbes: 50})
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(func() {
+		ts.Close()
+		srv.Close()
+	})
+	return srv, ts
+}
+
+func doJSON(t *testing.T, method, url string, body any) (*http.Response, []byte) {
+	t.Helper()
+	var reader *bytes.Reader
+	if body != nil {
+		data, err := json.Marshal(body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		reader = bytes.NewReader(data)
+	} else {
+		reader = bytes.NewReader(nil)
+	}
+	req, err := http.NewRequest(method, url, reader)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var buf bytes.Buffer
+	if _, err := buf.ReadFrom(resp.Body); err != nil {
+		t.Fatal(err)
+	}
+	return resp, buf.Bytes()
+}
+
+func createDataset(t *testing.T, base string, columns []string, rows [][]string) string {
+	t.Helper()
+	resp, body := doJSON(t, http.MethodPost, base+"/v1/datasets", map[string]any{
+		"name":    "test",
+		"columns": columns,
+		"rows":    rows,
+		"alpha":   0.25,
+		"keySeed": "server-test-key",
+	})
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("create: status %d, body %s", resp.StatusCode, body)
+	}
+	var created struct {
+		Dataset Summary `json:"dataset"`
+	}
+	if err := json.Unmarshal(body, &created); err != nil {
+		t.Fatal(err)
+	}
+	if created.Dataset.ID == "" {
+		t.Fatalf("create: no id in %s", body)
+	}
+	return created.Dataset.ID
+}
+
+func decryptRows(t *testing.T, base, id string) ([]string, [][]string, int) {
+	t.Helper()
+	resp, body := doJSON(t, http.MethodPost, base+"/v1/datasets/"+id+"/decrypt", map[string]any{})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("decrypt: status %d, body %s", resp.StatusCode, body)
+	}
+	var dec struct {
+		Columns     []string   `json:"columns"`
+		Rows        [][]string `json:"rows"`
+		PendingRows int        `json:"pendingRows"`
+	}
+	if err := json.Unmarshal(body, &dec); err != nil {
+		t.Fatal(err)
+	}
+	return dec.Columns, dec.Rows, dec.PendingRows
+}
+
+func sortedRows(t *testing.T, columns []string, rows [][]string) [][]string {
+	t.Helper()
+	tbl, err := (&relation.JSONTable{Columns: columns, Rows: rows}).Table()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tbl.SortedRows()
+}
+
+// TestRoundTripOverHTTP drives the full lifecycle: upload → encrypt →
+// append → flush → decrypt, and checks the recovered plaintext equals
+// everything uploaded.
+func TestRoundTripOverHTTP(t *testing.T) {
+	_, ts := newTestServer(t, 2)
+	tbl, err := workload.Generate(workload.NameOrders, 300, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	all := tbl.JSON()
+	upload, tail := all.Rows[:250], all.Rows[250:]
+	id := createDataset(t, ts.URL, all.Columns, upload)
+
+	resp, body := doJSON(t, http.MethodPost, ts.URL+"/v1/datasets/"+id+"/rows",
+		map[string]any{"rows": tail})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("append: status %d, body %s", resp.StatusCode, body)
+	}
+	resp, body = doJSON(t, http.MethodPost, ts.URL+"/v1/datasets/"+id+"/flush", map[string]any{})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("flush: status %d, body %s", resp.StatusCode, body)
+	}
+
+	columns, rows, pending := decryptRows(t, ts.URL, id)
+	if pending != 0 {
+		t.Fatalf("pending = %d after explicit flush", pending)
+	}
+	if !reflect.DeepEqual(sortedRows(t, columns, rows), tbl.SortedRows()) {
+		t.Fatal("decrypted rows differ from uploaded rows")
+	}
+
+	// The FD and report endpoints answer on the same session.
+	resp, body = doJSON(t, http.MethodGet, ts.URL+"/v1/datasets/"+id+"/fds", nil)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("fds: status %d, body %s", resp.StatusCode, body)
+	}
+	var fds struct {
+		Count int `json:"count"`
+	}
+	if err := json.Unmarshal(body, &fds); err != nil {
+		t.Fatal(err)
+	}
+	if fds.Count == 0 {
+		t.Error("no witnessed FDs discovered on the encrypted view")
+	}
+
+	resp, body = doJSON(t, http.MethodGet, ts.URL+"/v1/datasets/"+id+"/report?trials=200", nil)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("report: status %d, body %s", resp.StatusCode, body)
+	}
+	var report struct {
+		Attack struct {
+			OK bool `json:"ok"`
+		} `json:"attack"`
+		Verify struct {
+			OK bool `json:"ok"`
+		} `json:"verify"`
+	}
+	if err := json.Unmarshal(body, &report); err != nil {
+		t.Fatal(err)
+	}
+	if !report.Attack.OK {
+		t.Errorf("attack report not ok: %s", body)
+	}
+	if !report.Verify.OK {
+		t.Errorf("verify report not ok: %s", body)
+	}
+}
+
+// TestBadRequests covers the 4xx surface.
+func TestBadRequests(t *testing.T) {
+	_, ts := newTestServer(t, 1)
+	id := createDataset(t, ts.URL, []string{"A", "B"}, [][]string{
+		{"a1", "b1"}, {"a1", "b1"}, {"a2", "b2"}, {"a3", "b3"},
+	})
+
+	cases := []struct {
+		name   string
+		method string
+		path   string
+		body   any
+		raw    string
+		want   int
+	}{
+		{"unknown dataset", http.MethodGet, "/v1/datasets/ds_nope", nil, "", http.StatusNotFound},
+		{"append to unknown dataset", http.MethodPost, "/v1/datasets/ds_nope/rows",
+			map[string]any{"rows": [][]string{{"x", "y"}}}, "", http.StatusNotFound},
+		{"malformed JSON", http.MethodPost, "/v1/datasets", nil, "{not json", http.StatusBadRequest},
+		{"unknown field", http.MethodPost, "/v1/datasets", nil,
+			`{"name":"x","columns":["A"],"rows":[["1"]],"bogus":true}`, http.StatusBadRequest},
+		{"no rows", http.MethodPost, "/v1/datasets",
+			map[string]any{"name": "x", "columns": []string{"A"}, "rows": [][]string{}}, "", http.StatusBadRequest},
+		{"ragged rows", http.MethodPost, "/v1/datasets",
+			map[string]any{"name": "x", "columns": []string{"A", "B"},
+				"rows": [][]string{{"a", "b"}, {"only"}}}, "", http.StatusBadRequest},
+		{"duplicate columns", http.MethodPost, "/v1/datasets",
+			map[string]any{"name": "x", "columns": []string{"A", "A"},
+				"rows": [][]string{{"a", "b"}}}, "", http.StatusBadRequest},
+		{"bad alpha", http.MethodPost, "/v1/datasets",
+			map[string]any{"name": "x", "columns": []string{"A"},
+				"rows": [][]string{{"a"}}, "alpha": 1.5}, "", http.StatusBadRequest},
+		{"append no rows", http.MethodPost, "/v1/datasets/" + id + "/rows",
+			map[string]any{"rows": [][]string{}}, "", http.StatusBadRequest},
+		{"append ragged row", http.MethodPost, "/v1/datasets/" + id + "/rows",
+			map[string]any{"rows": [][]string{{"a", "b"}, {"wrong", "cell", "count"}}}, "", http.StatusBadRequest},
+		{"bad trials", http.MethodGet, "/v1/datasets/" + id + "/report?trials=zillion", nil, "", http.StatusBadRequest},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var resp *http.Response
+			var body []byte
+			if tc.raw != "" {
+				r, err := http.Post(ts.URL+tc.path, "application/json", strings.NewReader(tc.raw))
+				if err != nil {
+					t.Fatal(err)
+				}
+				defer r.Body.Close()
+				resp = r
+			} else {
+				resp, body = doJSON(t, tc.method, ts.URL+tc.path, tc.body)
+			}
+			if resp.StatusCode != tc.want {
+				t.Fatalf("status = %d, want %d (body %s)", resp.StatusCode, tc.want, body)
+			}
+		})
+	}
+
+	// A failed ragged append must not corrupt the buffer: the dataset
+	// still round-trips to exactly the original rows.
+	columns, rows, _ := decryptRows(t, ts.URL, id)
+	got := sortedRows(t, columns, rows)
+	want := sortedRows(t, []string{"A", "B"}, [][]string{
+		{"a1", "b1"}, {"a1", "b1"}, {"a2", "b2"}, {"a3", "b3"},
+	})
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("rows after rejected append: %v, want %v", got, want)
+	}
+}
+
+// TestConcurrentAppendsOneDataset races many append batches (some
+// triggering buffered rebuilds) against one dataset; afterwards every row
+// must be present exactly once. Run with -race.
+func TestConcurrentAppendsOneDataset(t *testing.T) {
+	_, ts := newTestServer(t, 4)
+	id := createDataset(t, ts.URL, []string{"A", "B", "C"}, [][]string{
+		{"a1", "b1", "c1"}, {"a1", "b1", "c2"}, {"a2", "b2", "c3"}, {"a2", "b2", "c4"},
+	})
+
+	const goroutines = 8
+	const perG = 5
+	var wg sync.WaitGroup
+	errs := make(chan error, goroutines)
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < perG; i++ {
+				row := []string{
+					fmt.Sprintf("a-%d-%d", g, i),
+					fmt.Sprintf("b-%d-%d", g, i),
+					fmt.Sprintf("c-%d-%d", g, i),
+				}
+				resp, body := doJSON(t, http.MethodPost, ts.URL+"/v1/datasets/"+id+"/rows",
+					map[string]any{"rows": [][]string{row}})
+				if resp.StatusCode != http.StatusOK {
+					errs <- fmt.Errorf("append %d/%d: status %d, body %s", g, i, resp.StatusCode, body)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+
+	resp, body := doJSON(t, http.MethodPost, ts.URL+"/v1/datasets/"+id+"/flush", map[string]any{})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("flush: status %d, body %s", resp.StatusCode, body)
+	}
+	columns, rows, pending := decryptRows(t, ts.URL, id)
+	if pending != 0 {
+		t.Fatalf("pending = %d after flush", pending)
+	}
+	if len(rows) != 4+goroutines*perG {
+		t.Fatalf("decrypted %d rows, want %d", len(rows), 4+goroutines*perG)
+	}
+	seen := make(map[string]int)
+	for _, r := range rows {
+		seen[strings.Join(r, "\x1f")]++
+	}
+	for g := 0; g < goroutines; g++ {
+		for i := 0; i < perG; i++ {
+			key := strings.Join([]string{
+				fmt.Sprintf("a-%d-%d", g, i),
+				fmt.Sprintf("b-%d-%d", g, i),
+				fmt.Sprintf("c-%d-%d", g, i),
+			}, "\x1f")
+			if seen[key] != 1 {
+				t.Fatalf("appended row %d/%d appears %d times", g, i, seen[key])
+			}
+		}
+	}
+	_ = columns
+}
+
+// TestPoolRunsJobsInParallel proves the worker pool genuinely overlaps
+// jobs: two jobs rendezvous with each other, which can only succeed if
+// both execute at the same time.
+func TestPoolRunsJobsInParallel(t *testing.T) {
+	pool := NewPool(2, nil)
+	defer pool.Close()
+	barrier := make(chan struct{})
+	var wg sync.WaitGroup
+	errs := make([]error, 2)
+	for i := 0; i < 2; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			errs[i] = pool.Run(t.Context(), func(ctx context.Context) error {
+				select {
+				case barrier <- struct{}{}: // partner arrived second
+				case <-barrier: // partner arrived first
+				case <-time.After(10 * time.Second):
+					return fmt.Errorf("job %d: partner never arrived — jobs serialized", i)
+				}
+				return nil
+			})
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("job %d: %v", i, err)
+		}
+	}
+}
+
+// TestConcurrentEncryptsRunInParallel starts two encrypt requests for
+// different datasets and watches the pool gauge reach two simultaneously
+// active jobs: the requests genuinely overlap on the worker pool.
+func TestConcurrentEncryptsRunInParallel(t *testing.T) {
+	srv, ts := newTestServer(t, 2)
+	tbl, err := workload.Generate(workload.NameSynthetic, 6000, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	all := tbl.JSON()
+
+	var wg sync.WaitGroup
+	for i := 0; i < 2; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			resp, body := doJSON(t, http.MethodPost, ts.URL+"/v1/datasets", map[string]any{
+				"name":    fmt.Sprintf("parallel-%d", i),
+				"columns": all.Columns,
+				"rows":    all.Rows,
+				"keySeed": fmt.Sprintf("parallel-key-%d", i),
+			})
+			if resp.StatusCode != http.StatusCreated {
+				t.Errorf("create %d: status %d, body %s", i, resp.StatusCode, body)
+			}
+		}(i)
+	}
+
+	sawBoth := make(chan bool, 1)
+	go func() {
+		deadline := time.Now().Add(30 * time.Second)
+		for time.Now().Before(deadline) {
+			if _, active, _ := srv.pool.Stats(); active >= 2 {
+				sawBoth <- true
+				return
+			}
+			time.Sleep(2 * time.Millisecond)
+		}
+		sawBoth <- false
+	}()
+	wg.Wait()
+	if !<-sawBoth {
+		t.Fatal("never observed two simultaneously active pool jobs")
+	}
+}
+
+// TestHealthzAndMetrics checks the observability endpoints.
+func TestHealthzAndMetrics(t *testing.T) {
+	_, ts := newTestServer(t, 1)
+	createDataset(t, ts.URL, []string{"A", "B"}, [][]string{
+		{"a1", "b1"}, {"a1", "b1"}, {"a2", "b2"},
+	})
+
+	resp, body := doJSON(t, http.MethodGet, ts.URL+"/healthz", nil)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz: status %d", resp.StatusCode)
+	}
+	var health struct {
+		Status   string `json:"status"`
+		Datasets int    `json:"datasets"`
+	}
+	if err := json.Unmarshal(body, &health); err != nil {
+		t.Fatal(err)
+	}
+	if health.Status != "ok" || health.Datasets != 1 {
+		t.Fatalf("healthz = %s", body)
+	}
+
+	resp, body = doJSON(t, http.MethodGet, ts.URL+"/metrics", nil)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("metrics: status %d", resp.StatusCode)
+	}
+	text := string(body)
+	for _, want := range []string{
+		`f2_http_requests_total{op="create_dataset",class="2xx"} 1`,
+		`f2_http_request_duration_seconds_bucket{op="create_dataset",le="+Inf"} 1`,
+		"f2_datasets 1",
+		"f2_pool_workers 1",
+		"f2_uptime_seconds",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("metrics output missing %q:\n%s", want, text)
+		}
+	}
+}
+
+// TestPoolRunAfterClose checks Run degrades to ErrPoolClosed instead of
+// panicking once the pool is gone.
+func TestPoolRunAfterClose(t *testing.T) {
+	pool := NewPool(1, nil)
+	pool.Close()
+	err := pool.Run(context.Background(), func(ctx context.Context) error { return nil })
+	if !errors.Is(err, ErrPoolClosed) {
+		t.Fatalf("Run after Close = %v, want ErrPoolClosed", err)
+	}
+}
+
+// TestCloseCancelsInFlightJobs checks that Server.Close aborts a running
+// pipeline job via the lifecycle context instead of waiting it out.
+func TestCloseCancelsInFlightJobs(t *testing.T) {
+	srv := New(Options{Workers: 1})
+	started := make(chan struct{})
+	jobErr := make(chan error, 1)
+	go func() {
+		ctx, cancel := srv.jobContext(context.Background())
+		defer cancel()
+		jobErr <- srv.pool.Run(ctx, func(ctx context.Context) error {
+			close(started)
+			<-ctx.Done() // a well-behaved pipeline job notices cancellation
+			return ctx.Err()
+		})
+	}()
+	<-started
+	done := make(chan struct{})
+	go func() { srv.Close(); close(done) }()
+	select {
+	case err := <-jobErr:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("in-flight job returned %v, want context.Canceled", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("in-flight job not cancelled by Close")
+	}
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("Close did not return after job cancellation")
+	}
+}
+
+// TestPoolRecoversJobPanic checks a panicking job surfaces as an error
+// and leaves the worker alive for the next job.
+func TestPoolRecoversJobPanic(t *testing.T) {
+	pool := NewPool(1, nil)
+	defer pool.Close()
+	err := pool.Run(context.Background(), func(ctx context.Context) error { panic("boom") })
+	if err == nil || !strings.Contains(err.Error(), "boom") {
+		t.Fatalf("panicking job returned %v, want wrapped panic", err)
+	}
+	if err := pool.Run(context.Background(), func(ctx context.Context) error { return nil }); err != nil {
+		t.Fatalf("pool dead after panic: %v", err)
+	}
+}

@@ -43,12 +43,29 @@ func (v *Verdict) OK() bool {
 }
 
 // CheckClaims validates the server-returned FD set against the owner's
-// plaintext table with `probes` completeness samples.
+// plaintext table with `probes` completeness samples. The claim is
+// expected to cover every *holding* dependency (fd.Discover's contract).
 func CheckClaims(t *relation.Table, claimed *fd.Set, probes int, seed int64) *Verdict {
+	return checkClaimsWith(t, claimed, probes, seed, fd.Holds)
+}
+
+// CheckWitnessedClaims is CheckClaims for a server that returns the
+// *witnessed* FDs of the outsourced table — the set F² preserves exactly
+// (Theorem 3.7), and what f2served's /fds endpoint computes. Soundness
+// and the completeness probes both test fd.Witnessed instead of fd.Holds:
+// vacuously-true dependencies (unique LHS) are out of scope of a
+// witnessed claim, so flagging them as missing would be spurious.
+func CheckWitnessedClaims(t *relation.Table, claimed *fd.Set, probes int, seed int64) *Verdict {
+	return checkClaimsWith(t, claimed, probes, seed, fd.Witnessed)
+}
+
+// checkClaimsWith runs the soundness scan and completeness probing with
+// `valid` as the notion of a dependency the claim must cover.
+func checkClaimsWith(t *relation.Table, claimed *fd.Set, probes int, seed int64, valid func(*relation.Table, fd.FD) bool) *Verdict {
 	v := &Verdict{Sound: true}
-	// Soundness: every claimed FD must hold. Exact.
+	// Soundness: every claimed FD must be valid. Exact.
 	for _, f := range claimed.Slice() {
-		if !fd.Holds(t, f) {
+		if !valid(t, f) {
 			v.Sound = false
 			v.FalseClaims = append(v.FalseClaims, f)
 		}
@@ -65,7 +82,7 @@ func CheckClaims(t *relation.Table, claimed *fd.Set, probes int, seed int64) *Ve
 		}
 		seen[f] = true
 		v.Probes++
-		if fd.Holds(t, f) && !fd.Implies(claimed, f) {
+		if valid(t, f) && !fd.Implies(claimed, f) {
 			v.Missed = append(v.Missed, f)
 		}
 	}

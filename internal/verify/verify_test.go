@@ -132,3 +132,43 @@ func randomTable(rng *rand.Rand, attrs, rows, domain int) *relation.Table {
 	}
 	return tbl
 }
+
+func TestWitnessedClaimsHonestServerPasses(t *testing.T) {
+	tbl := zipTable()
+	claimed := fd.DiscoverWitnessed(tbl)
+	v := CheckWitnessedClaims(tbl, claimed, 200, 1)
+	if !v.OK() {
+		t.Fatalf("honest witnessed claim rejected: sound=%v missed=%v", v.Sound, v.Missed)
+	}
+	if v.Probes == 0 {
+		t.Error("no completeness probes ran")
+	}
+}
+
+func TestWitnessedClaimsVacuousFDNotRequired(t *testing.T) {
+	// Name is unique, so Name→Zip holds vacuously but is not witnessed: a
+	// witnessed claim omitting it must still verify, and a claim
+	// containing it is unsound (the paper's server cannot witness it).
+	tbl := zipTable()
+	claimed := fd.DiscoverWitnessed(tbl)
+	if v := CheckWitnessedClaims(tbl, claimed, 200, 1); !v.OK() {
+		t.Fatalf("witnessed claim flagged for vacuous FDs: missed=%v", v.Missed)
+	}
+	vacuous := fd.FD{LHS: relation.NewAttrSet(2), RHS: 0} // Name→Zip, unique LHS
+	if fd.Witnessed(tbl, vacuous) {
+		t.Fatal("test premise broken: Name→Zip should be unwitnessed")
+	}
+	claimed.Add(vacuous)
+	if v := CheckWitnessedClaims(tbl, claimed, 50, 1); v.Sound {
+		t.Fatal("unwitnessed claimed FD not caught")
+	}
+}
+
+func TestWitnessedClaimsOmittedFDCaught(t *testing.T) {
+	tbl := zipTable()
+	claimed := fd.NewSet() // server claims nothing at all
+	v := CheckWitnessedClaims(tbl, claimed, 300, 1)
+	if len(v.Missed) == 0 {
+		t.Fatal("empty claim passed completeness probing")
+	}
+}
