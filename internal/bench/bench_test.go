@@ -40,7 +40,7 @@ func TestExperimentRegistry(t *testing.T) {
 		}
 		ids[e.ID] = true
 	}
-	for _, want := range []string{"table1", "fig6", "fig7", "fig8", "fig9", "fig10", "local", "security", "ablation"} {
+	for _, want := range []string{"table1", "fig6", "fig7", "fig8", "fig9", "fig10", "local", "security", "ablation", "updates"} {
 		if !ids[want] {
 			t.Errorf("missing experiment %q", want)
 		}

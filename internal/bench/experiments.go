@@ -32,6 +32,7 @@ func Experiments() []Experiment {
 		{"local", "§5.4 local vs outsourcing", RunLocalVsOutsource},
 		{"security", "§4 empirical α-security", RunSecurity},
 		{"ablation", "design-choice ablations", RunAblations},
+		{"updates", "§7 append amortization (incremental engine)", RunUpdates},
 	}
 }
 

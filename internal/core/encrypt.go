@@ -71,6 +71,12 @@ type Result struct {
 	Origins   []RowOrigin
 	MASs      []relation.AttrSet
 	Report    Report
+
+	// state retains the encryption plan (MAS partitions, ECGs, instance
+	// assignments, emitted Step-4 nodes, fresh-minter position) so a later
+	// EncryptIncremental can extend this result instead of starting over.
+	// Owner-side only, like Origins.
+	state *encState
 }
 
 // Encryptor applies the F² scheme. An Encryptor is safe to reuse across
@@ -137,6 +143,7 @@ func (e *Encryptor) Encrypt(ctx context.Context, t *relation.Table) (*Result, er
 	}
 	res.MASs = disc.Sets
 	res.Report.MASs = disc.Sets
+	res.Report.UniquenessChecks = disc.Checked
 	res.Report.TimeMAX = time.Since(start)
 
 	// ---- Step 2: grouping + splitting-and-scaling (SSE) ----
@@ -181,15 +188,17 @@ func (e *Encryptor) Encrypt(ctx context.Context, t *relation.Table) (*Result, er
 		return nil, fmt.Errorf("core: encrypt: %w", err)
 	}
 	out := relation.NewTable(t.Schema().Clone())
-	e.emitOriginalRows(t, plans, out, res)
-	e.emitScaleCopies(t, plans, out, res)
-	e.emitFakeECRows(t, plans, out, res)
+	e.emitOriginalRows(t, plans, out, res, 0, t.NumRows())
+	e.emitScaleCopies(plans, out, res)
+	e.emitFakeECRows(plans, out, res)
 	res.Report.TimeSYN = time.Since(start)
 
 	// ---- Step 4: false-positive elimination (FP) ----
 	start = time.Now()
+	fpNodes := make(map[fpNode]bool)
 	if !e.cfg.SkipFPElimination {
-		if err := e.eliminateFalsePositives(ctx, t, plans, out, res); err != nil {
+		var err error
+		if fpNodes, err = e.eliminateFalsePositives(ctx, t, plans, out, res); err != nil {
 			return nil, err
 		}
 	}
@@ -197,6 +206,8 @@ func (e *Encryptor) Encrypt(ctx context.Context, t *relation.Table) (*Result, er
 
 	res.Encrypted = out
 	res.Report.EncryptedRows = out.NumRows()
+	res.Report.ReencryptedRows = out.NumRows()
+	res.state = &encState{disc: disc, plans: plans, fpNodes: fpNodes, minted: e.mint.minted()}
 	return res, nil
 }
 
@@ -291,13 +302,15 @@ func (e *Encryptor) freshCipher(attr int) string {
 	return e.cipher.EncryptInstance(fmt.Sprintf("fresh|attr:%d", attr), v, 0)
 }
 
-// emitOriginalRows writes each original tuple, splitting it into parts when
-// overlapping MASs claim its shared attributes with different ciphertexts
-// (type-2 conflicts, §3.3.2).
-func (e *Encryptor) emitOriginalRows(t *relation.Table, plans []*masPlan, out *relation.Table, res *Result) {
+// emitOriginalRows writes the original tuples with indices in [lo, hi),
+// splitting a tuple into parts when overlapping MASs claim its shared
+// attributes with different ciphertexts (type-2 conflicts, §3.3.2). The
+// full pipeline passes the whole table; the incremental engine passes only
+// the appended suffix.
+func (e *Encryptor) emitOriginalRows(t *relation.Table, plans []*masPlan, out *relation.Table, res *Result, lo, hi int) {
 	m := t.NumAttrs()
 	row := make([]string, m)
-	for r := 0; r < t.NumRows(); r++ {
+	for r := lo; r < hi; r++ {
 		// Collect the MASs holding a grouped (non-singleton) instance for
 		// this row; only they impose ciphertexts that can conflict.
 		var grouped []*masPlan
@@ -401,13 +414,40 @@ func groupedElsewhere(grouped, part []*masPlan, a int) bool {
 	return false
 }
 
+// emitPaddingRows synthesizes count rows carrying inst's ciphertext over
+// the MAS attributes of p and fresh values everywhere else. For a real
+// member these are scale copies (Step 2.2, with §3.3.1's type-1 conflict
+// handling built in); for a fake member they materialize the fake
+// equivalence class of Step 2.1. Both the full pipeline and the
+// incremental engine (which tops instances up to a raised target) emit
+// through here.
+func (e *Encryptor) emitPaddingRows(p *masPlan, inst *ecInstance, count int, fake bool, out *relation.Table, res *Result) {
+	m := out.NumAttrs()
+	row := make([]string, m)
+	for c := 0; c < count; c++ {
+		for a := 0; a < m; a++ {
+			if p.attrs.Has(a) {
+				row[a] = inst.cipher[a]
+			} else {
+				row[a] = e.freshCipher(a)
+			}
+		}
+		out.AppendRow(append([]string(nil), row...))
+		if fake {
+			res.Origins = append(res.Origins, RowOrigin{Kind: RowFakeEC, SourceRow: -1, Carried: 0})
+			res.Report.GroupRows++
+		} else {
+			res.Origins = append(res.Origins, RowOrigin{Kind: RowScaleCopy, SourceRow: -1, Carried: p.attrs})
+			res.Report.ScaleRows++
+		}
+	}
+}
+
 // emitScaleCopies materializes the scaling copies of Step 2.2: each copy
 // carries its instance's ciphertext over the MAS attributes and fresh
 // values everywhere else, which is exactly the type-1 conflict handling of
 // §3.3.1 (the copy joins no equivalence class of any other MAS).
-func (e *Encryptor) emitScaleCopies(t *relation.Table, plans []*masPlan, out *relation.Table, res *Result) {
-	m := t.NumAttrs()
-	row := make([]string, m)
+func (e *Encryptor) emitScaleCopies(plans []*masPlan, out *relation.Table, res *Result) {
 	for _, p := range plans {
 		for _, g := range p.ecgs {
 			for _, mem := range g.members {
@@ -415,18 +455,7 @@ func (e *Encryptor) emitScaleCopies(t *relation.Table, plans []*masPlan, out *re
 					continue
 				}
 				for _, inst := range mem.instances {
-					for c := 0; c < inst.copies; c++ {
-						for a := 0; a < m; a++ {
-							if p.attrs.Has(a) {
-								row[a] = inst.cipher[a]
-							} else {
-								row[a] = e.freshCipher(a)
-							}
-						}
-						out.AppendRow(append([]string(nil), row...))
-						res.Origins = append(res.Origins, RowOrigin{Kind: RowScaleCopy, SourceRow: -1, Carried: p.attrs})
-						res.Report.ScaleRows++
-					}
+					e.emitPaddingRows(p, inst, inst.copies, false, out, res)
 				}
 			}
 		}
@@ -436,9 +465,7 @@ func (e *Encryptor) emitScaleCopies(t *relation.Table, plans []*masPlan, out *re
 // emitFakeECRows materializes the fake equivalence classes added by
 // grouping: target-many rows per instance, sharing the instance ciphertext
 // over the MAS attributes and fresh elsewhere.
-func (e *Encryptor) emitFakeECRows(t *relation.Table, plans []*masPlan, out *relation.Table, res *Result) {
-	m := t.NumAttrs()
-	row := make([]string, m)
+func (e *Encryptor) emitFakeECRows(plans []*masPlan, out *relation.Table, res *Result) {
 	for _, p := range plans {
 		for _, g := range p.ecgs {
 			for _, mem := range g.members {
@@ -446,18 +473,7 @@ func (e *Encryptor) emitFakeECRows(t *relation.Table, plans []*masPlan, out *rel
 					continue
 				}
 				for _, inst := range mem.instances {
-					for c := 0; c < g.target; c++ {
-						for a := 0; a < m; a++ {
-							if p.attrs.Has(a) {
-								row[a] = inst.cipher[a]
-							} else {
-								row[a] = e.freshCipher(a)
-							}
-						}
-						out.AppendRow(append([]string(nil), row...))
-						res.Origins = append(res.Origins, RowOrigin{Kind: RowFakeEC, SourceRow: -1, Carried: 0})
-						res.Report.GroupRows++
-					}
+					e.emitPaddingRows(p, inst, g.target, true, out, res)
 				}
 			}
 		}

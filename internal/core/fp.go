@@ -43,11 +43,15 @@ type fpWitness struct {
 // the artificial records exhibit is therefore already realized by real
 // tuples, so no FD and no MAS of D is disturbed, while the
 // X-agreement/Y-difference that kills the false positive is preserved.
-func (e *Encryptor) eliminateFalsePositives(ctx context.Context, t *relation.Table, plans []*masPlan, out *relation.Table, res *Result) error {
+// It returns the set of maximal violated nodes it emitted pairs for; the
+// incremental engine keeps that set to decide which newly violated
+// dependencies still need witnessing after an append.
+func (e *Encryptor) eliminateFalsePositives(ctx context.Context, t *relation.Table, plans []*masPlan, out *relation.Table, res *Result) (map[fpNode]bool, error) {
 	// Violation oracle results are shared across MASs: for X∪{Y} inside
 	// two overlapping MASs the answer is identical (violations are a
 	// property of D, not of the covering MAS).
 	cache := make(map[fpNode]*fpWitness)
+	emitted := make(map[fpNode]bool)
 
 	// A violated X needs a row pair agreeing on X, so X must be a
 	// non-unique column combination — equivalently, contained in some MAS
@@ -90,7 +94,7 @@ func (e *Encryptor) eliminateFalsePositives(ctx context.Context, t *relation.Tab
 	// with no duplicated work across overlapping MASs.
 	for y := 0; y < t.NumAttrs(); y++ {
 		if err := ctx.Err(); err != nil {
-			return fmt.Errorf("core: encrypt: %w", err)
+			return nil, fmt.Errorf("core: encrypt: %w", err)
 		}
 		universe := relation.AttrSet(0)
 		for _, m := range masSets {
@@ -122,15 +126,16 @@ func (e *Encryptor) eliminateFalsePositives(ctx context.Context, t *relation.Tab
 			return w != nil
 		})
 		if err := ctx.Err(); err != nil {
-			return fmt.Errorf("core: encrypt: %w", err)
+			return nil, fmt.Errorf("core: encrypt: %w", err)
 		}
 		for _, x := range sets {
 			w := cache[fpNode{x, y}]
 			res.Report.FPNodes++
+			emitted[fpNode{x, y}] = true
 			e.emitFPPairs(t, w.ri, w.rj, out, res)
 		}
 	}
-	return nil
+	return emitted, nil
 }
 
 // repIndex provides violation lookups over the equivalence-class

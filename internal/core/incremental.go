@@ -1,0 +1,406 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"time"
+
+	"f2/internal/mas"
+	"f2/internal/partition"
+	"f2/internal/relation"
+)
+
+// encState is the owner-side plan state a Result retains so the next
+// append can be applied incrementally: the MAS discovery result (sets +
+// partitions over the plaintext), the per-MAS encryption plans, the
+// Step-4 nodes already witnessed, and the fresh-minter position (so later
+// filler values never collide with already-shipped ones).
+type encState struct {
+	disc    *mas.Result
+	plans   []*masPlan
+	fpNodes map[fpNode]bool
+	minted  uint64
+}
+
+// ecgPatch records how an append grows one ECG: the (cloned) group, the
+// number of rows each instance gained, and the largest gain — the group's
+// homogenized target rises by exactly that much, since already-shipped
+// rows can be added to but never retracted.
+type ecgPatch struct {
+	plan  *masPlan
+	g     *ecg
+	gains map[*ecInstance]int
+	maxG  int
+}
+
+// EncryptIncremental extends a previous encryption with the appended rows
+// t[oldRows:] without re-running the full pipeline:
+//
+//   - the cached MAS partitions are refined with the appended rows and the
+//     border is re-checked locally (mas.MaintainBorder) instead of via a
+//     fresh DUCC walk;
+//   - only the ECGs the new rows land in are touched: their grouping and
+//     instance ciphertexts are kept (they depend only on the class
+//     representatives), the group target rises by the largest per-instance
+//     gain, and every instance is topped up with freshly minted padding
+//     rows — untouched ciphertext rows are reused verbatim;
+//   - provenance Origins are patched by appending, never rebuilt;
+//   - Step 4 re-witnesses only the dependencies the appended rows newly
+//     violate, using the append's own agreement sets as templates.
+//
+// It returns ok=false with a nil error when the append is not
+// incrementally applicable — the MAS border moved, a class was promoted
+// out of the singleton region (so the grouping structure must change), two
+// appended rows coined a brand-new duplicate projection, or prev carries
+// no plan state — in which case the caller must rebuild from scratch.
+// Correctness is therefore never speculative: every structural change
+// falls back to the full pipeline.
+//
+// Like Encrypt, a cancelled context aborts with an error; prev and its
+// retained state are never mutated, so the caller's last good result
+// survives any failure.
+func (e *Encryptor) EncryptIncremental(ctx context.Context, prev *Result, t *relation.Table, oldRows int) (*Result, bool, error) {
+	if prev == nil || prev.state == nil {
+		return nil, false, nil
+	}
+	if t.NumAttrs() > relation.MaxAttrs {
+		return nil, false, fmt.Errorf("core: table has %d attributes, max %d", t.NumAttrs(), relation.MaxAttrs)
+	}
+	if t.NumRows() < oldRows {
+		return nil, false, fmt.Errorf("core: incremental: table has %d rows, fewer than the %d already encrypted", t.NumRows(), oldRows)
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, false, fmt.Errorf("core: incremental: %w", err)
+	}
+	if t.NumRows() == oldRows {
+		return prev, true, nil
+	}
+
+	res := &Result{Report: Report{Alpha: e.cfg.Alpha, SplitFactor: e.cfg.SplitFactor, K: e.cfg.K()}}
+	res.Report.OriginalRows = t.NumRows()
+
+	// ---- Step 1': local border maintenance (MAX) ----
+	start := time.Now()
+	ref, ok, err := mas.MaintainBorder(ctx, prev.state.disc, t, oldRows)
+	if err != nil {
+		return nil, false, fmt.Errorf("core: incremental: %w", err)
+	}
+	if !ok {
+		return nil, false, nil
+	}
+	res.MASs = ref.Result.Sets
+	res.Report.MASs = ref.Result.Sets
+	res.Report.BorderProbes = ref.Result.Checked
+	res.Report.TimeMAX = time.Since(start)
+
+	// ---- Step 2': plan extension (SSE) ----
+	start = time.Now()
+	e.mint = &freshMinter{n: prev.state.minted}
+	plans := make([]*masPlan, len(prev.state.plans))
+	var patches []*ecgPatch
+	for i, old := range prev.state.plans {
+		np, ps, ok := extendPlan(old, ref.Result.Partitions[old.attrs], ref.Deltas[old.attrs], t, oldRows)
+		if !ok {
+			return nil, false, nil
+		}
+		plans[i] = np
+		patches = append(patches, ps...)
+	}
+	res.Report.TimeSSE = time.Since(start)
+
+	// ---- Step 3': emit only what the append adds (SYN) ----
+	start = time.Now()
+	if err := ctx.Err(); err != nil {
+		return nil, false, fmt.Errorf("core: incremental: %w", err)
+	}
+	// Carry the cumulative counters forward so Overhead() and the row
+	// accounting stay exact over the whole table, not just this flush.
+	res.Report.GroupRows = prev.Report.GroupRows
+	res.Report.ScaleRows = prev.Report.ScaleRows
+	res.Report.ConflictRows = prev.Report.ConflictRows
+	res.Report.ConflictTuples = prev.Report.ConflictTuples
+	res.Report.FPRows = prev.Report.FPRows
+	res.Report.FPNodes = prev.Report.FPNodes
+	res.Report.NumECGs = prev.Report.NumECGs
+	res.Report.NumECs = prev.Report.NumECs
+	res.Report.NumFakeECs = prev.Report.NumFakeECs
+	res.Report.NumInstances = prev.Report.NumInstances
+
+	out := prev.Encrypted.Clone()
+	res.Origins = append(make([]RowOrigin, 0, len(prev.Origins)+4*(t.NumRows()-oldRows)), prev.Origins...)
+	e.emitOriginalRows(t, plans, out, res, oldRows, t.NumRows())
+	for _, p := range patches {
+		for _, mem := range p.g.members {
+			for _, inst := range mem.instances {
+				if mem.fake {
+					e.emitPaddingRows(p.plan, inst, p.maxG, true, out, res)
+				} else {
+					e.emitPaddingRows(p.plan, inst, p.maxG-p.gains[inst], false, out, res)
+				}
+			}
+		}
+	}
+	res.Report.TimeSYN = time.Since(start)
+
+	// ---- Step 4': witness only newly violated dependencies (FP) ----
+	start = time.Now()
+	fpNodes := prev.state.fpNodes
+	if !e.cfg.SkipFPElimination {
+		if err := ctx.Err(); err != nil {
+			return nil, false, fmt.Errorf("core: incremental: %w", err)
+		}
+		fpNodes = e.patchFalsePositives(t, ref.Agreements, prev.state.fpNodes, res.MASs, out, res)
+	}
+	res.Report.TimeFP = time.Since(start)
+
+	res.Encrypted = out
+	res.Report.EncryptedRows = out.NumRows()
+	res.Report.ReencryptedRows = out.NumRows() - prev.Encrypted.NumRows()
+	res.state = &encState{disc: ref.Result, plans: plans, fpNodes: fpNodes, minted: e.mint.minted()}
+	return res, true, nil
+}
+
+// extendPlan applies one MAS's partition delta to its encryption plan. It
+// returns ok=false when the append changes the grouping structure — a
+// born class of size ≥ 2 (two appended rows coined a duplicate projection
+// the grouping never saw) or a singleton promoted into the non-singleton
+// region (it would have to join an ECG) — in which case the caller
+// rebuilds. Otherwise it returns a fresh plan sharing every untouched ECG
+// with old (copy-on-write: old is never modified) plus one patch per
+// grown ECG.
+func extendPlan(old *masPlan, part *partition.Partition, d partition.Delta, t *relation.Table, oldRows int) (*masPlan, []*ecgPatch, bool) {
+	for _, ci := range d.Born {
+		if part.Classes[ci].Size() > 1 {
+			return nil, nil, false
+		}
+	}
+
+	np := &masPlan{attrs: old.attrs, cols: old.cols, part: part, stats: old.stats}
+	np.ecgs = append(make([]*ecg, 0, len(old.ecgs)), old.ecgs...)
+
+	if len(d.Grown) == 0 {
+		np.rowInst = extendRowInst(old.rowInst, t.NumRows(), nil)
+		return np, nil, true
+	}
+
+	// Locate each grown class's member by representative. Grouping sorted
+	// the members by size, so positions do not correspond; representatives
+	// are unique within one MAS partition.
+	type memberAt struct {
+		gi, mi int
+	}
+	memberOf := make(map[string]memberAt)
+	for gi, g := range old.ecgs {
+		for mi, m := range g.members {
+			if !m.fake {
+				memberOf[relation.KeyOfValues(m.rep)] = memberAt{gi, mi}
+			}
+		}
+	}
+
+	// Gather the appended rows per (ECG, member).
+	gained := make(map[memberAt][]int)
+	touched := make(map[int]bool)
+	for _, ci := range d.Grown {
+		c := part.Classes[ci]
+		rows := appendedSuffix(c.Rows, oldRows)
+		if c.Size()-len(rows) < 2 {
+			// The class was a singleton before the append: it must now join
+			// an ECG, which restructures the grouping.
+			return nil, nil, false
+		}
+		at, ok := memberOf[relation.KeyOfValues(c.Representative)]
+		if !ok {
+			// Defensive: every pre-existing non-singleton class has a member.
+			return nil, nil, false
+		}
+		gained[at] = append(gained[at], rows...)
+		touched[at.gi] = true
+	}
+
+	// Deterministic patch order: the full pipeline guarantees that one key
+	// always produces one ciphertext table, and the incremental path must
+	// too — freshly minted padding depends on emission order.
+	touchedIdx := make([]int, 0, len(touched))
+	for gi := range touched {
+		touchedIdx = append(touchedIdx, gi)
+	}
+	sort.Ints(touchedIdx)
+
+	var patches []*ecgPatch
+	var cloned []*ecg
+	for _, gi := range touchedIdx {
+		g := cloneECG(old.ecgs[gi])
+		np.ecgs[gi] = g
+		cloned = append(cloned, g)
+		patch := &ecgPatch{plan: np, g: g, gains: make(map[*ecInstance]int)}
+		for mi, mem := range g.members {
+			rows := gained[memberAt{gi, mi}]
+			if len(rows) == 0 {
+				continue
+			}
+			n := len(mem.instances)
+			for _, r := range rows {
+				// Continue the round-robin of assignRows: the i-th row of a
+				// member goes to instance i mod n, and appended rows extend
+				// the member's row list in order.
+				inst := mem.instances[len(mem.rows)%n]
+				mem.rows = append(mem.rows, r)
+				inst.assignedRows = append(inst.assignedRows, r)
+				patch.gains[inst]++
+			}
+		}
+		for _, gain := range patch.gains {
+			if gain > patch.maxG {
+				patch.maxG = gain
+			}
+		}
+		// Already-shipped rows can only be topped up, never retracted, so
+		// the homogenized target rises by the largest instance gain and
+		// every instance pads the difference.
+		g.target += patch.maxG
+		for _, mem := range g.members {
+			for _, inst := range mem.instances {
+				inst.copies = g.target - len(inst.assignedRows)
+			}
+		}
+		patches = append(patches, patch)
+	}
+	np.rowInst = extendRowInst(old.rowInst, t.NumRows(), cloned)
+	return np, patches, true
+}
+
+// appendedSuffix returns the rows of a refined class that were appended
+// (index ≥ oldRows). Refinement appends new rows after the old ones, so
+// the suffix split is positional.
+func appendedSuffix(rows []int, oldRows int) []int {
+	i := len(rows)
+	for i > 0 && rows[i-1] >= oldRows {
+		i--
+	}
+	return rows[i:]
+}
+
+// extendRowInst grows a row→instance map to nRows and repoints every row
+// owned by a cloned ECG at the clone's instances (appended rows included).
+func extendRowInst(old []*ecInstance, nRows int, cloned []*ecg) []*ecInstance {
+	out := make([]*ecInstance, nRows)
+	copy(out, old)
+	for _, g := range cloned {
+		for _, mem := range g.members {
+			for _, inst := range mem.instances {
+				for _, r := range inst.assignedRows {
+					out[r] = inst
+				}
+			}
+		}
+	}
+	return out
+}
+
+// cloneECG deep-copies the mutable plan state of one ECG (member row
+// lists, instance assignments); the filled cipher maps are immutable after
+// Step 2 and are shared.
+func cloneECG(g *ecg) *ecg {
+	ng := &ecg{id: g.id, splitPoint: g.splitPoint, target: g.target}
+	ng.members = make([]*ecMember, len(g.members))
+	for i, m := range g.members {
+		nm := &ecMember{
+			rep:   m.rep,
+			rows:  append([]int(nil), m.rows...),
+			size:  m.size,
+			fake:  m.fake,
+			split: m.split,
+		}
+		nm.instances = make([]*ecInstance, len(m.instances))
+		for j, inst := range m.instances {
+			nm.instances[j] = &ecInstance{
+				member:       nm,
+				idx:          inst.idx,
+				cipher:       inst.cipher,
+				assignedRows: append([]int(nil), inst.assignedRows...),
+				copies:       inst.copies,
+			}
+		}
+		ng.members[i] = nm
+	}
+	return ng
+}
+
+// patchFalsePositives runs the incremental slice of Step 4: every
+// dependency the appended rows newly violate lies inside the agreement set
+// of a pair involving a new row, so for each agreement set A and each MAS
+// M containing an attribute y ∉ A, the maximal newly-checkable node is
+// (A∩M) → y — witnessed by the very pair that realized A, whose agreement
+// pattern is exactly A. Nodes already covered by a previously emitted
+// maximal node need nothing (its pairs witness every sub-dependency);
+// the rest get the standard k artificial pairs. Previously emitted nodes
+// that stop being maximal stay harmless: their pairs replicate agreement
+// patterns of real row pairs, which the append cannot erase.
+func (e *Encryptor) patchFalsePositives(t *relation.Table, agreements map[relation.AttrSet][2]int, prevNodes map[fpNode]bool, masSets []relation.AttrSet, out *relation.Table, res *Result) map[fpNode]bool {
+	// Iterate agreement sets deterministically: two sets can propose the
+	// same node, and the first one seen supplies the template pair.
+	agreeSets := make([]relation.AttrSet, 0, len(agreements))
+	for a := range agreements {
+		agreeSets = append(agreeSets, a)
+	}
+	relation.SortAttrSets(agreeSets)
+	cands := make(map[fpNode][2]int)
+	for _, a := range agreeSets {
+		pair := agreements[a]
+		for _, m := range masSets {
+			if m.Size() < 2 {
+				continue
+			}
+			x := a.Intersect(m)
+			if x.IsEmpty() {
+				continue
+			}
+			for _, y := range m.Diff(a).Attrs() {
+				node := fpNode{x, y}
+				if _, dup := cands[node]; !dup {
+					cands[node] = pair
+				}
+			}
+		}
+	}
+
+	nodes := make(map[fpNode]bool, len(prevNodes)+len(cands))
+	for n := range prevNodes {
+		nodes[n] = true
+	}
+	covered := func(n fpNode) bool {
+		for p := range nodes {
+			if p.Y == n.Y && n.X.SubsetOf(p.X) {
+				return true
+			}
+		}
+		return false
+	}
+	// Emit larger nodes first so their pairs mark smaller candidates as
+	// covered; break ties deterministically.
+	order := make([]fpNode, 0, len(cands))
+	for n := range cands {
+		order = append(order, n)
+	}
+	sort.Slice(order, func(i, j int) bool {
+		if order[i].X.Size() != order[j].X.Size() {
+			return order[i].X.Size() > order[j].X.Size()
+		}
+		if order[i].X != order[j].X {
+			return order[i].X < order[j].X
+		}
+		return order[i].Y < order[j].Y
+	})
+	for _, n := range order {
+		if covered(n) {
+			continue
+		}
+		pair := cands[n]
+		res.Report.FPNodes++
+		nodes[n] = true
+		e.emitFPPairs(t, pair[0], pair[1], out, res)
+	}
+	return nodes
+}

@@ -41,6 +41,23 @@ type Report struct {
 	NumInstances   int
 	ConflictTuples int // original tuples that triggered type-2 resolution
 	FPNodes        int // maximal violated lattice nodes
+
+	// Update-path work measures, set by both the full pipeline and the
+	// incremental engine so the amortization benchmarks can compare them.
+	//
+	// UniquenessChecks counts full-table duplicate scans performed by
+	// Step-1 MAS discovery. An incremental flush performs none: it
+	// replaces the lattice walk with the O(Δ·n) pair scan counted by
+	// BorderProbes, each probe an O(m) row comparison rather than an
+	// O(n·m) table scan.
+	UniquenessChecks int
+	// BorderProbes counts row-pair agreement probes performed by
+	// incremental border maintenance (0 on a rebuild).
+	BorderProbes int
+	// ReencryptedRows counts the ciphertext rows this run produced: every
+	// output row on a rebuild, only the appended/patched rows on an
+	// incremental flush (the rest are carried over untouched).
+	ReencryptedRows int
 }
 
 func (r *Report) addGroupStats(s groupStats) {

@@ -7,39 +7,107 @@ import (
 	"f2/internal/relation"
 )
 
+// UpdateStrategy selects how Updater.Flush applies the buffered rows.
+type UpdateStrategy int
+
+const (
+	// UpdateIncremental (the default) runs the incremental update engine:
+	// refine the cached MAS partitions with the appended rows, re-check
+	// the border locally instead of re-running the full DUCC walk, and
+	// re-encrypt only the ECGs the new rows land in, reusing every
+	// untouched ciphertext row. Whenever the border — or the grouping
+	// structure behind it — actually changes, the flush transparently
+	// falls back to a full rebuild, so correctness is never speculative.
+	UpdateIncremental UpdateStrategy = iota
+	// UpdateRebuild re-runs the entire pipeline on D ∪ ΔD at every flush
+	// (the paper's from-scratch observation). Always correct, never fast;
+	// kept as the fallback target and the amortization baseline.
+	UpdateRebuild
+)
+
+func (s UpdateStrategy) String() string {
+	switch s {
+	case UpdateIncremental:
+		return "incremental"
+	case UpdateRebuild:
+		return "rebuild"
+	default:
+		return fmt.Sprintf("strategy(%d)", int(s))
+	}
+}
+
+// FlushMode identifies which engine served a flush.
+type FlushMode string
+
+const (
+	// FlushModeNone means no flush has happened yet (beyond the initial
+	// encryption).
+	FlushModeNone FlushMode = "none"
+	// FlushModeRebuild means the last flush re-ran the full pipeline.
+	FlushModeRebuild FlushMode = "rebuild"
+	// FlushModeIncremental means the last flush was served incrementally.
+	FlushModeIncremental FlushMode = "incremental"
+)
+
+// DefaultMinFlushRows is the default floor on the auto-flush threshold:
+// with fewer buffered rows than this, ShouldFlush stays false regardless
+// of FlushFraction. It exists for the degenerate empty-table case, where
+// FlushFraction·0 = 0 would otherwise force a flush on every single
+// appended row.
+const DefaultMinFlushRows = 2
+
 // Updater addresses the first future-work item of the paper's §7: F² "does
 // not support efficient data updates, since it has to apply splitting and
 // scaling from scratch if there is any data update".
 //
-// The Updater gives the owner an append API with two strategies:
+// The Updater gives the owner a buffered append API (Buffer/ShouldFlush/
+// Flush, or the combined Append) with two flush strategies:
 //
-//   - UpdateRebuild re-runs the full pipeline on D ∪ ΔD. Always correct;
-//     cost is a fresh encryption (the paper's from-scratch observation).
-//   - UpdateBuffered batches appends in an owner-side buffer and only
-//     rebuilds when the buffer exceeds a configurable fraction of the
-//     table, amortizing the rebuild cost over many appends. Between
-//     flushes the buffered rows are not yet outsourced — deferring is the
-//     standard answer when immediate visibility is not required, and it
-//     never weakens the security of what has been shipped (the ciphertext
-//     simply lags).
+//   - UpdateIncremental extends the previous encryption in place of
+//     re-running it: Encryptor.EncryptIncremental refines the cached MAS
+//     partitions with the appended rows, re-checks the border locally via
+//     pair agreement sets, tops up only the ECGs the new rows land in, and
+//     patches provenance — untouched ciphertext rows ship again verbatim.
+//     One appended row can merge MASs or promote a singleton class into
+//     the grouped region; those flushes structurally change the
+//     encryption, are detected exactly, and fall back to the rebuild path.
+//   - UpdateRebuild re-runs the full pipeline on D ∪ ΔD, the paper's
+//     from-scratch baseline.
 //
-// A truly incremental re-encryption (touching only the ECGs an appended
-// row lands in) must still rescale every instance of the affected group,
-// re-check MAS maximality — one new row can merge two MASs — and re-run
-// the affected slice of Step 4, which is why the paper leaves it open; the
-// Updater makes the trade-off explicit and measurable instead.
+// Between flushes the buffered rows are not yet outsourced — deferring is
+// the standard answer when immediate visibility is not required, and it
+// never weakens the security of what has been shipped (the ciphertext
+// simply lags). Every flush is transactional: a failed (e.g. cancelled)
+// flush of either strategy leaves the updater — including the retained
+// incremental plan state — unchanged, and a later Flush retries the same
+// buffered rows. Rebuilds, IncrementalFlushes and LastFlush record which
+// path ran, so services and benchmarks can report the amortization.
 type Updater struct {
 	enc     *Encryptor
 	current *relation.Table // all rows encrypted so far
 	buffer  *relation.Table // rows appended but not yet flushed
 	last    *Result
 
-	// FlushFraction triggers an automatic rebuild when the buffer grows
+	// Strategy selects the flush path (default UpdateIncremental).
+	Strategy UpdateStrategy
+
+	// FlushFraction triggers an automatic flush when the buffer grows
 	// beyond this fraction of the encrypted table (default 0.1).
 	FlushFraction float64
 
-	// Rebuilds counts full pipeline runs (for amortization measurements).
+	// MinFlushRows floors the auto-flush threshold (default
+	// DefaultMinFlushRows; values ≤ 0 mean the default). Without the
+	// floor, an updater over an initially empty table would flush — and,
+	// before incremental updates, fully rebuild — on every appended row.
+	MinFlushRows int
+
+	// Rebuilds counts full pipeline runs, including the initial encryption
+	// (for amortization measurements).
 	Rebuilds int
+	// IncrementalFlushes counts flushes served by the incremental engine.
+	IncrementalFlushes int
+	// LastFlush records which path the most recent flush took.
+	LastFlush FlushMode
 }
 
 // NewUpdater encrypts the initial table and returns an updater managing
@@ -58,8 +126,10 @@ func NewUpdater(ctx context.Context, cfg Config, initial *relation.Table) (*Upda
 		current:       initial.Clone(),
 		buffer:        relation.NewTable(initial.Schema().Clone()),
 		last:          res,
+		Strategy:      UpdateIncremental,
 		FlushFraction: 0.1,
 		Rebuilds:      1,
+		LastFlush:     FlushModeNone,
 	}
 	return u, res, nil
 }
@@ -86,17 +156,29 @@ func (u *Updater) Buffer(rows [][]string) error {
 }
 
 // ShouldFlush reports whether the pending buffer has crossed
-// FlushFraction of the outsourced table.
+// FlushFraction of the outsourced table, subject to the MinFlushRows
+// floor.
 func (u *Updater) ShouldFlush() bool {
-	return u.buffer.NumRows() > 0 &&
-		float64(u.buffer.NumRows()) >= u.FlushFraction*float64(u.current.NumRows())
+	pending := u.buffer.NumRows()
+	if pending == 0 {
+		return false
+	}
+	floor := u.MinFlushRows
+	if floor <= 0 {
+		floor = DefaultMinFlushRows
+	}
+	threshold := u.FlushFraction * float64(u.current.NumRows())
+	if threshold < float64(floor) {
+		threshold = float64(floor)
+	}
+	return float64(pending) >= threshold
 }
 
-// Append buffers rows and rebuilds when the buffer crosses FlushFraction.
-// It returns the fresh Result if a rebuild happened, nil otherwise. The
-// context bounds the rebuild, if one triggers. Callers that need to treat
-// "rows accepted, rebuild failed" differently from "rows rejected" should
-// use Buffer + ShouldFlush + Flush directly.
+// Append buffers rows and flushes when the buffer crosses the ShouldFlush
+// threshold. It returns the fresh Result if a flush happened, nil
+// otherwise. The context bounds the flush, if one triggers. Callers that
+// need to treat "rows accepted, flush failed" differently from "rows
+// rejected" should use Buffer + ShouldFlush + Flush directly.
 func (u *Updater) Append(ctx context.Context, rows [][]string) (*Result, error) {
 	if err := u.Buffer(rows); err != nil {
 		return nil, err
@@ -107,9 +189,11 @@ func (u *Updater) Append(ctx context.Context, rows [][]string) (*Result, error) 
 	return nil, nil
 }
 
-// Flush re-encrypts D ∪ buffer from scratch and resets the buffer. A
-// failed (e.g. cancelled) rebuild leaves the updater unchanged: the
-// buffered rows stay pending and a later Flush retries them.
+// Flush applies the buffered rows to the outsourced ciphertext — via the
+// incremental engine when the strategy allows and the append is
+// structurally compatible, via a full rebuild otherwise — and resets the
+// buffer. A failed (e.g. cancelled) flush leaves the updater unchanged:
+// the buffered rows stay pending and a later Flush retries them.
 func (u *Updater) Flush(ctx context.Context) (*Result, error) {
 	if u.buffer.NumRows() == 0 {
 		return u.last, nil
@@ -120,13 +204,34 @@ func (u *Updater) Flush(ctx context.Context) (*Result, error) {
 			return nil, err
 		}
 	}
+	if u.Strategy == UpdateIncremental {
+		// EncryptIncremental prefixes its own errors; no extra wrap.
+		res, ok, err := u.enc.EncryptIncremental(ctx, u.last, combined, u.current.NumRows())
+		if err != nil {
+			return nil, err
+		}
+		if ok {
+			u.commit(combined, res)
+			u.IncrementalFlushes++
+			u.LastFlush = FlushModeIncremental
+			return res, nil
+		}
+		// Structural change (border moved, class promoted, ...): fall back.
+	}
 	res, err := u.enc.Encrypt(ctx, combined)
 	if err != nil {
 		return nil, fmt.Errorf("core: update rebuild: %w", err)
 	}
+	u.commit(combined, res)
+	u.Rebuilds++
+	u.LastFlush = FlushModeRebuild
+	return res, nil
+}
+
+// commit installs a successful flush: the combined table becomes the
+// outsourced plaintext copy and the buffer resets.
+func (u *Updater) commit(combined *relation.Table, res *Result) {
 	u.current = combined
 	u.buffer = relation.NewTable(u.current.Schema().Clone())
 	u.last = res
-	u.Rebuilds++
-	return res, nil
 }

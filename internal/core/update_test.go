@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"f2/internal/fd"
+	"f2/internal/relation"
 )
 
 func TestUpdaterAppendAndFlush(t *testing.T) {
@@ -28,13 +29,17 @@ func TestUpdaterAppendAndFlush(t *testing.T) {
 		t.Fatalf("pending=%d rows=%d", u.Pending(), u.Rows())
 	}
 
-	// Explicit flush rebuilds and covers the appended row.
+	// Explicit flush covers the appended row; the default strategy serves
+	// this append (no border change) incrementally.
 	res2, err := u.Flush(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
-	if u.Pending() != 0 || u.Rows() != 5 || u.Rebuilds != 2 {
-		t.Fatalf("after flush: pending=%d rows=%d rebuilds=%d", u.Pending(), u.Rows(), u.Rebuilds)
+	if u.Pending() != 0 || u.Rows() != 5 {
+		t.Fatalf("after flush: pending=%d rows=%d", u.Pending(), u.Rows())
+	}
+	if u.Rebuilds != 1 || u.IncrementalFlushes != 1 || u.LastFlush != FlushModeIncremental {
+		t.Fatalf("flush path: rebuilds=%d incr=%d last=%q", u.Rebuilds, u.IncrementalFlushes, u.LastFlush)
 	}
 	if res2.Report.OriginalRows != 5 {
 		t.Fatalf("rebuilt over %d rows, want 5", res2.Report.OriginalRows)
@@ -56,6 +61,76 @@ func TestUpdaterAppendAndFlush(t *testing.T) {
 	}
 	if back.NumRows() != 5 || back.Cell(4, 2) != "c9" {
 		t.Fatalf("recovered table wrong: %d rows, last C=%q", back.NumRows(), back.Cell(4, 2))
+	}
+
+	// The same append under the forced-rebuild strategy takes the rebuild
+	// path and agrees on the witnessed FDs.
+	u2, _, err := NewUpdater(context.Background(), cfg, figure1Table())
+	if err != nil {
+		t.Fatal(err)
+	}
+	u2.Strategy = UpdateRebuild
+	if err := u2.Buffer([][]string{{"a2", "b2", "c9"}}); err != nil {
+		t.Fatal(err)
+	}
+	res3, err := u2.Flush(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if u2.Rebuilds != 2 || u2.LastFlush != FlushModeRebuild {
+		t.Fatalf("rebuild path: rebuilds=%d last=%q", u2.Rebuilds, u2.LastFlush)
+	}
+	if !fd.DiscoverWitnessed(res3.Encrypted).Equal(got) {
+		t.Fatal("rebuild and incremental flushes disagree on witnessed FDs")
+	}
+}
+
+// TestShouldFlushFloorOnEmptyTable is the regression for the degenerate
+// ShouldFlush behavior: over an initially empty table the old threshold
+// FlushFraction·0 = 0 was crossed by any single buffered row, forcing a
+// full rebuild per append. The MinFlushRows floor keeps the buffer
+// accumulating.
+func TestShouldFlushFloorOnEmptyTable(t *testing.T) {
+	empty := relation.NewTable(relation.MustSchema("A", "B", "C"))
+	u, _, err := NewUpdater(context.Background(), testConfig(0.5), empty)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := u.Buffer([][]string{{"a1", "b1", "c1"}}); err != nil {
+		t.Fatal(err)
+	}
+	if u.ShouldFlush() {
+		t.Fatal("single buffered row over an empty table forced a flush")
+	}
+	if err := u.Buffer([][]string{{"a2", "b2", "c2"}}); err != nil {
+		t.Fatal(err)
+	}
+	if !u.ShouldFlush() {
+		t.Fatalf("buffer of %d rows (= default floor) should flush", u.Pending())
+	}
+	if _, err := u.Flush(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if u.Rows() != 2 || u.Pending() != 0 {
+		t.Fatalf("after flush: rows=%d pending=%d", u.Rows(), u.Pending())
+	}
+
+	// A raised floor is honored over a non-empty table too.
+	u.MinFlushRows = 5
+	u.FlushFraction = 0.1
+	for i := 0; i < 4; i++ {
+		if err := u.Buffer([][]string{{"x", "y", string(rune('0' + i))}}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if u.ShouldFlush() {
+		t.Fatalf("%d buffered rows under floor 5 should not flush", u.Pending())
+	}
+	if err := u.Buffer([][]string{{"x", "y", "zz"}}); err != nil {
+		t.Fatal(err)
+	}
+	if !u.ShouldFlush() {
+		t.Fatal("floor reached but ShouldFlush is false")
 	}
 }
 

@@ -27,6 +27,12 @@ type TANE struct {
 	cplus map[relation.AttrSet]relation.AttrSet
 
 	out *Set
+	// wit collects the witnessed subset of out as FDs are emitted: an FD
+	// is witnessed iff its LHS is non-unique, and the LHS's stripped
+	// partition — which answers exactly that — is already in hand when the
+	// FD is validated. Collecting it here makes DiscoverWitnessed free of
+	// the re-encode + re-probe pass it used to run afterwards.
+	wit *Set
 }
 
 // Discover runs TANE on t and returns the set of minimal non-trivial FDs
@@ -40,15 +46,8 @@ func Discover(t *relation.Table) *Set {
 // between lattice levels, bounding the cancellation latency to one
 // levelwise pass.
 func DiscoverCtx(ctx context.Context, t *relation.Table) (*Set, error) {
-	tane := &TANE{
-		table: t,
-		m:     t.NumAttrs(),
-		ctx:   ctx,
-		parts: make(map[relation.AttrSet]*partition.Stripped),
-		cplus: make(map[relation.AttrSet]relation.AttrSet),
-		out:   NewSet(),
-	}
-	if err := tane.run(); err != nil {
+	tane, err := runTANE(ctx, t)
+	if err != nil {
 		return nil, err
 	}
 	return tane.out, nil
@@ -63,29 +62,32 @@ func DiscoverWitnessed(t *relation.Table) *Set {
 	return s
 }
 
-// DiscoverWitnessedCtx is DiscoverWitnessed with cancellation.
+// DiscoverWitnessedCtx is DiscoverWitnessed with cancellation. The
+// witnessed subset falls out of the TANE run itself — each emitted FD's
+// LHS partition already answers non-uniqueness — so no separate encoding
+// or per-LHS duplicate probing happens.
 func DiscoverWitnessedCtx(ctx context.Context, t *relation.Table) (*Set, error) {
-	all, err := DiscoverCtx(ctx, t)
+	tane, err := runTANE(ctx, t)
 	if err != nil {
 		return nil, err
 	}
-	out := NewSet()
-	if all.Len() == 0 {
-		return out, nil
+	return tane.wit, nil
+}
+
+func runTANE(ctx context.Context, t *relation.Table) (*TANE, error) {
+	tane := &TANE{
+		table: t,
+		m:     t.NumAttrs(),
+		ctx:   ctx,
+		parts: make(map[relation.AttrSet]*partition.Stripped),
+		cplus: make(map[relation.AttrSet]relation.AttrSet),
+		out:   NewSet(),
+		wit:   NewSet(),
 	}
-	coded := relation.Encode(t)
-	nonUnique := make(map[relation.AttrSet]bool)
-	for _, f := range all.Slice() {
-		dup, ok := nonUnique[f.LHS]
-		if !ok {
-			dup = coded.HasDuplicateOn(f.LHS)
-			nonUnique[f.LHS] = dup
-		}
-		if dup {
-			out.Add(f)
-		}
+	if err := tane.run(); err != nil {
+		return nil, err
 	}
-	return out, nil
+	return tane, nil
 }
 
 func (ta *TANE) run() error {
@@ -160,6 +162,9 @@ func (ta *TANE) computeDependencies(level []relation.AttrSet) {
 			}
 			if ta.valid(lhs, x) {
 				ta.out.Add(FD{LHS: lhs, RHS: a})
+				if ta.lookupPartition(lhs).HasDuplicate() {
+					ta.wit.Add(FD{LHS: lhs, RHS: a})
+				}
 				c = c.Remove(a)
 				c = c.Diff(all.Diff(x)) // remove all B ∈ R \ X
 			}
@@ -222,6 +227,8 @@ func (ta *TANE) prune(level []relation.AttrSet) []relation.AttrSet {
 					}
 				}
 				if in && !x.IsEmpty() {
+					// Superkey LHS ⇒ unique projection ⇒ never witnessed,
+					// so key-implied FDs skip ta.wit.
 					ta.out.Add(FD{LHS: x, RHS: a})
 				}
 			}

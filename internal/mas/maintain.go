@@ -1,0 +1,96 @@
+package mas
+
+import (
+	"context"
+	"fmt"
+
+	"f2/internal/partition"
+	"f2/internal/relation"
+)
+
+// Refreshed is the outcome of a successful MaintainBorder call: the same
+// MAS border as before, with every cached partition refined to cover the
+// appended rows, plus the bookkeeping an incremental re-encryption needs.
+type Refreshed struct {
+	// Result carries the unchanged Sets with refined Partitions. Its
+	// Checked field holds the number of pair-agreement probes performed —
+	// the incremental analogue of discovery's full-table uniqueness checks.
+	Result *Result
+	// Deltas maps each MAS to what the append did to its partition.
+	Deltas map[relation.AttrSet]partition.Delta
+	// Agreements maps every distinct non-empty agreement set realized by a
+	// row pair involving at least one appended row to one witnessing pair
+	// {i, j} with i < j. These are exactly the projection collisions the
+	// append introduced, so they drive incremental false-positive
+	// elimination (core Step 4) for free.
+	Agreements map[relation.AttrSet][2]int
+}
+
+// MaintainBorder incrementally maintains a MAS border after the rows
+// t[oldRows:] were appended: prev must be the discovery result for the
+// first oldRows rows of t. Non-uniqueness is monotone under appends, so
+// every old MAS stays non-unique; the border moves iff some set outside
+// the downward closure of prev.Sets became non-unique. Any such set is
+// contained in the agreement set of a row pair involving an appended row,
+// and an agreement set is itself non-unique (witnessed by its pair) — so
+// the border is unchanged iff every such agreement set is covered by an
+// existing MAS. This is the exact form of "re-test maximality for the
+// MASs whose partitions changed and probe their supersets": the agreement
+// set of a merging pair is precisely the superset a probe would find.
+//
+// On success it returns the refreshed border (ok=true); ok=false with a
+// nil error means the border changed and the caller must fall back to
+// full discovery. The scan costs O(Δ·n) pair probes of O(m) cell
+// comparisons each — no lattice walk, no full-table uniqueness checks.
+func MaintainBorder(ctx context.Context, prev *Result, t *relation.Table, oldRows int) (*Refreshed, bool, error) {
+	n := t.NumRows()
+	if oldRows > n {
+		return nil, false, fmt.Errorf("mas: maintain: old row count %d exceeds table rows %d", oldRows, n)
+	}
+	ref := &Refreshed{
+		Result:     &Result{Sets: prev.Sets, Partitions: make(map[relation.AttrSet]*partition.Partition, len(prev.Sets))},
+		Deltas:     make(map[relation.AttrSet]partition.Delta, len(prev.Sets)),
+		Agreements: make(map[relation.AttrSet][2]int),
+	}
+	for i := oldRows; i < n; i++ {
+		if err := ctx.Err(); err != nil {
+			return nil, false, fmt.Errorf("mas: maintain: %w", err)
+		}
+		for j := 0; j < i; j++ {
+			ref.Result.Checked++
+			a := t.AgreementSet(i, j)
+			if a.IsEmpty() {
+				continue
+			}
+			if _, seen := ref.Agreements[a]; seen {
+				continue
+			}
+			covered := false
+			for _, m := range prev.Sets {
+				if a.SubsetOf(m) {
+					covered = true
+					break
+				}
+			}
+			if !covered {
+				// The pair (j, i) witnesses a non-unique set outside every
+				// known MAS: the positive border moved.
+				return nil, false, nil
+			}
+			ref.Agreements[a] = [2]int{j, i}
+		}
+	}
+	for _, m := range prev.Sets {
+		p, ok := prev.Partitions[m]
+		if !ok {
+			return nil, false, fmt.Errorf("mas: maintain: no cached partition for %v", m)
+		}
+		np, d, err := p.Refine(t, oldRows)
+		if err != nil {
+			return nil, false, fmt.Errorf("mas: maintain: %w", err)
+		}
+		ref.Result.Partitions[m] = np
+		ref.Deltas[m] = d
+	}
+	return ref, true, nil
+}

@@ -164,23 +164,32 @@ func DiscoverLevelwiseCtx(ctx context.Context, t *relation.Table) (*Result, erro
 	return r, nil
 }
 
-// BruteForce enumerates every column combination, classifies it, and
-// returns the maximal non-unique ones. Exponential; test oracle only.
+// BruteForce exhaustively enumerates every row pair, collects the
+// distinct agreement sets, and returns the inclusion-maximal ones. X is
+// non-unique iff some row pair agrees on all of X, so the maximal
+// agreement sets are exactly the MASs. O(n²·m); test oracle only.
+//
+// (An earlier version enumerated all 2^m attribute masks with an upper
+// bound of FullAttrSet(m)+1, which wraps to zero at m = relation.MaxAttrs
+// — the loop body never ran and a 64-attribute table silently reported no
+// MASs. Pair enumeration has no such boundary and is exact for every m.)
 func BruteForce(t *relation.Table) []relation.AttrSet {
-	m := t.NumAttrs()
-	var nonUnique []relation.AttrSet
-	for mask := relation.AttrSet(1); mask < relation.FullAttrSet(m)+1 && mask != 0; mask++ {
-		if mask.SubsetOf(relation.FullAttrSet(m)) && t.HasDuplicateOn(mask) {
-			nonUnique = append(nonUnique, mask)
-		}
-		if mask == relation.FullAttrSet(m) {
-			break
+	seen := make(map[relation.AttrSet]bool)
+	for i := 0; i < t.NumRows(); i++ {
+		for j := i + 1; j < t.NumRows(); j++ {
+			if a := t.AgreementSet(i, j); !a.IsEmpty() {
+				seen[a] = true
+			}
 		}
 	}
+	agree := make([]relation.AttrSet, 0, len(seen))
+	for a := range seen {
+		agree = append(agree, a)
+	}
 	var out []relation.AttrSet
-	for _, x := range nonUnique {
+	for _, x := range agree {
 		maximal := true
-		for _, y := range nonUnique {
+		for _, y := range agree {
 			if x != y && x.SubsetOf(y) {
 				maximal = false
 				break

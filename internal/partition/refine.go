@@ -1,0 +1,124 @@
+package partition
+
+import (
+	"fmt"
+
+	"f2/internal/relation"
+)
+
+// Delta describes how an append-aware Refine changed a partition: which
+// pre-existing classes absorbed appended rows and which classes the
+// appended rows created. Indices refer to the refined partition's Classes
+// slice (pre-existing classes keep their positions; born classes are
+// appended in first-occurrence order).
+type Delta struct {
+	// Grown lists classes that existed before the append and gained rows.
+	Grown []int
+	// Born lists classes created by appended rows. A born class of size ≥ 2
+	// means two appended rows share a projection the old table never had.
+	Born []int
+}
+
+// Changed reports whether the append touched the partition at all.
+func (d Delta) Changed() bool { return len(d.Grown) > 0 || len(d.Born) > 0 }
+
+// Refine extends p — which must have been computed over the first oldRows
+// rows of t — with the appended rows t[oldRows:]. It returns a fresh
+// partition plus the delta; p itself is never modified (untouched classes
+// are shared by reference, grown classes are copied before their row lists
+// are extended), so a caller that aborts mid-update can keep using p.
+//
+// Cost is O(|classes| + Δ·|X|): the class index is rebuilt from the stored
+// representatives, not by re-hashing the old rows.
+func (p *Partition) Refine(t *relation.Table, oldRows int) (*Partition, Delta, error) {
+	if p.numRows != oldRows {
+		return nil, Delta{}, fmt.Errorf("partition: refine: partition covers %d rows, caller says %d", p.numRows, oldRows)
+	}
+	if t.NumRows() < oldRows {
+		return nil, Delta{}, fmt.Errorf("partition: refine: table has %d rows, fewer than the %d already partitioned", t.NumRows(), oldRows)
+	}
+	out := &Partition{Attrs: p.Attrs, numRows: t.NumRows()}
+	out.Classes = append(make([]*EC, 0, len(p.Classes)), p.Classes...)
+	index := make(map[string]int, len(p.Classes))
+	for i, c := range p.Classes {
+		index[relation.KeyOfValues(c.Representative)] = i
+	}
+	var d Delta
+	cloned := make(map[int]bool)
+	for r := oldRows; r < t.NumRows(); r++ {
+		k := t.ProjectKey(r, p.Attrs)
+		ci, ok := index[k]
+		if !ok {
+			ci = len(out.Classes)
+			index[k] = ci
+			out.Classes = append(out.Classes, &EC{Rows: []int{r}, Representative: t.Project(r, p.Attrs)})
+			d.Born = append(d.Born, ci)
+			continue
+		}
+		if ci < len(p.Classes) && !cloned[ci] {
+			old := p.Classes[ci]
+			out.Classes[ci] = &EC{
+				Rows:           append(append(make([]int, 0, len(old.Rows)+1), old.Rows...), r),
+				Representative: old.Representative,
+			}
+			cloned[ci] = true
+			d.Grown = append(d.Grown, ci)
+			continue
+		}
+		out.Classes[ci].Rows = append(out.Classes[ci].Rows, r)
+	}
+	return out, d, nil
+}
+
+// Refine extends the stripped partition s — computed over the first
+// oldRows rows of t — with the appended rows t[oldRows:]. Because a
+// stripped partition does not represent singleton classes, detecting a
+// singleton→pair promotion needs one hashing pass over the old rows; that
+// is still far cheaper than the partition products the result feeds
+// (and, like Partition.Refine, s itself is never modified).
+func (s *Stripped) Refine(t *relation.Table, oldRows int) (*Stripped, error) {
+	if s.numRows != oldRows {
+		return nil, fmt.Errorf("partition: refine: stripped partition covers %d rows, caller says %d", s.numRows, oldRows)
+	}
+	if t.NumRows() < oldRows {
+		return nil, fmt.Errorf("partition: refine: table has %d rows, fewer than the %d already partitioned", t.NumRows(), oldRows)
+	}
+	out := &Stripped{Attrs: s.Attrs, numRows: t.NumRows()}
+	out.Classes = append(make([][]int, 0, len(s.Classes)), s.Classes...)
+	index := make(map[string]int, len(s.Classes))
+	inClass := make([]bool, oldRows)
+	for i, c := range s.Classes {
+		index[t.ProjectKey(c[0], s.Attrs)] = i
+		for _, r := range c {
+			inClass[r] = true
+		}
+	}
+	single := make(map[string]int)
+	for r := 0; r < oldRows; r++ {
+		if !inClass[r] {
+			single[t.ProjectKey(r, s.Attrs)] = r
+		}
+	}
+	cloned := make(map[int]bool)
+	for r := oldRows; r < t.NumRows(); r++ {
+		k := t.ProjectKey(r, s.Attrs)
+		if ci, ok := index[k]; ok {
+			if ci < len(s.Classes) && !cloned[ci] {
+				out.Classes[ci] = append(append(make([]int, 0, len(s.Classes[ci])+1), s.Classes[ci]...), r)
+				cloned[ci] = true
+			} else {
+				out.Classes[ci] = append(out.Classes[ci], r)
+			}
+			continue
+		}
+		if prev, ok := single[k]; ok {
+			// Promotion: an old singleton and an appended row now pair up.
+			delete(single, k)
+			index[k] = len(out.Classes)
+			out.Classes = append(out.Classes, []int{prev, r})
+			continue
+		}
+		single[k] = r
+	}
+	return out, nil
+}

@@ -1,0 +1,158 @@
+package partition
+
+import (
+	"math/rand"
+	"reflect"
+	"sort"
+	"testing"
+
+	"f2/internal/relation"
+)
+
+func randomRefineTable(rng *rand.Rand, attrs, rows, domain int) *relation.Table {
+	names := make([]string, attrs)
+	for i := range names {
+		names[i] = string(rune('A' + i))
+	}
+	tbl := relation.NewTable(relation.MustSchema(names...))
+	for r := 0; r < rows; r++ {
+		row := make([]string, attrs)
+		for a := range row {
+			row[a] = string(rune('a'+a)) + string(rune('0'+rng.Intn(domain)))
+		}
+		tbl.AppendRow(row)
+	}
+	return tbl
+}
+
+// classSets renders a partition as a sorted set-of-sorted-row-sets so
+// refined and recomputed partitions compare independent of class order.
+func classSets(classes [][]int) [][]int {
+	out := make([][]int, 0, len(classes))
+	for _, c := range classes {
+		s := append([]int(nil), c...)
+		sort.Ints(s)
+		out = append(out, s)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i][0] < out[j][0] })
+	return out
+}
+
+func fullClassSets(p *Partition) [][]int {
+	rows := make([][]int, 0, len(p.Classes))
+	for _, c := range p.Classes {
+		rows = append(rows, c.Rows)
+	}
+	return classSets(rows)
+}
+
+func TestPartitionRefineMatchesRecompute(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	for trial := 0; trial < 200; trial++ {
+		attrs := 1 + rng.Intn(4)
+		tbl := randomRefineTable(rng, attrs, 3+rng.Intn(25), 1+rng.Intn(3))
+		set := relation.AttrSet(rng.Intn(1 << attrs))
+		if set.IsEmpty() {
+			set = relation.SingleAttr(0)
+		}
+		old := tbl.NumRows()
+		p := Of(tbl, set)
+		extra := randomRefineTable(rng, attrs, 1+rng.Intn(5), 1+rng.Intn(3))
+		for i := 0; i < extra.NumRows(); i++ {
+			tbl.AppendRow(extra.Row(i))
+		}
+		np, d, err := p.Refine(tbl, old)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := Of(tbl, set)
+		if !reflect.DeepEqual(fullClassSets(np), fullClassSets(want)) {
+			t.Fatalf("trial %d: refined ≠ recomputed for %v\n got: %v\nwant: %v",
+				trial, set, fullClassSets(np), fullClassSets(want))
+		}
+		if np.NumRows() != tbl.NumRows() {
+			t.Fatalf("trial %d: refined covers %d rows, want %d", trial, np.NumRows(), tbl.NumRows())
+		}
+		// Copy-on-write: the original partition is untouched.
+		if p.NumRows() != old {
+			t.Fatalf("trial %d: Refine mutated the source partition", trial)
+		}
+		total := 0
+		for _, c := range p.Classes {
+			total += c.Size()
+			for _, r := range c.Rows {
+				if r >= old {
+					t.Fatalf("trial %d: appended row %d leaked into the source partition", trial, r)
+				}
+			}
+		}
+		if total != old {
+			t.Fatalf("trial %d: source partition now covers %d rows", trial, total)
+		}
+		// Delta indices point at real changes.
+		for _, ci := range d.Grown {
+			if ci >= len(p.Classes) || np.Classes[ci].Size() <= p.Classes[ci].Size() {
+				t.Fatalf("trial %d: grown class %d did not grow", trial, ci)
+			}
+		}
+		for _, ci := range d.Born {
+			if ci < len(p.Classes) {
+				t.Fatalf("trial %d: born class %d overlaps pre-existing classes", trial, ci)
+			}
+			for _, r := range np.Classes[ci].Rows {
+				if r < old {
+					t.Fatalf("trial %d: born class %d contains old row %d", trial, ci, r)
+				}
+			}
+		}
+	}
+}
+
+func TestStrippedRefineMatchesRecompute(t *testing.T) {
+	rng := rand.New(rand.NewSource(22))
+	for trial := 0; trial < 200; trial++ {
+		attrs := 1 + rng.Intn(4)
+		tbl := randomRefineTable(rng, attrs, 3+rng.Intn(25), 1+rng.Intn(3))
+		set := relation.AttrSet(rng.Intn(1 << attrs))
+		if set.IsEmpty() {
+			set = relation.SingleAttr(0)
+		}
+		old := tbl.NumRows()
+		s := StrippedOf(tbl, set)
+		extra := randomRefineTable(rng, attrs, 1+rng.Intn(5), 1+rng.Intn(3))
+		for i := 0; i < extra.NumRows(); i++ {
+			tbl.AppendRow(extra.Row(i))
+		}
+		ns, err := s.Refine(tbl, old)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := StrippedOf(tbl, set)
+		if !reflect.DeepEqual(classSets(ns.Classes), classSets(want.Classes)) {
+			t.Fatalf("trial %d: refined stripped ≠ recomputed for %v\n got: %v\nwant: %v",
+				trial, set, classSets(ns.Classes), classSets(want.Classes))
+		}
+		if s.NumRows() != old {
+			t.Fatal("Refine mutated the source stripped partition")
+		}
+		for _, c := range s.Classes {
+			for _, r := range c {
+				if r >= old {
+					t.Fatalf("trial %d: appended row leaked into source stripped partition", trial)
+				}
+			}
+		}
+	}
+}
+
+func TestRefineRejectsMismatchedRowCount(t *testing.T) {
+	tbl := randomRefineTable(rand.New(rand.NewSource(1)), 2, 6, 2)
+	p := Of(tbl, relation.SingleAttr(0))
+	if _, _, err := p.Refine(tbl, 4); err == nil {
+		t.Error("Partition.Refine accepted a wrong oldRows")
+	}
+	s := StrippedOf(tbl, relation.SingleAttr(0))
+	if _, err := s.Refine(tbl, 4); err == nil {
+		t.Error("Stripped.Refine accepted a wrong oldRows")
+	}
+}

@@ -213,6 +213,34 @@ func (t *Table) ProjectKey(i int, attrs AttrSet) string {
 	return b.String()
 }
 
+// AgreementSet returns the set of attributes on which rows i and j agree.
+// The agreement set of any row pair is a non-unique column combination
+// (witnessed by that very pair), so agreement sets drive both the
+// brute-force MAS oracle and incremental border maintenance.
+func (t *Table) AgreementSet(i, j int) AttrSet {
+	var s AttrSet
+	for a, col := range t.cols {
+		if col[i] == col[j] {
+			s = s.Add(a)
+		}
+	}
+	return s
+}
+
+// KeyOfValues returns the canonical grouping key of a projected value
+// tuple: for any row i, KeyOfValues(t.Project(i, attrs)) == t.ProjectKey(i,
+// attrs). It lets partition refinement rebuild a class index from stored
+// representatives without touching the underlying rows.
+func KeyOfValues(vals []string) string {
+	var b strings.Builder
+	for _, v := range vals {
+		writeInt(&b, len(v))
+		b.WriteByte(':')
+		b.WriteString(v)
+	}
+	return b.String()
+}
+
 // RowsEqualOn reports whether rows i and j agree on every attribute in attrs.
 func (t *Table) RowsEqualOn(i, j int, attrs AttrSet) bool {
 	for _, a := range attrs.Attrs() {

@@ -4,6 +4,7 @@ import (
 	"context"
 	"encoding/json"
 	"errors"
+	"fmt"
 	"io"
 	"net/http"
 	"strconv"
@@ -28,6 +29,11 @@ type createDatasetRequest struct {
 	SplitFactor int `json:"splitFactor,omitempty"`
 	// FlushFraction tunes the append buffer; 0 means the default 0.1.
 	FlushFraction float64 `json:"flushFraction,omitempty"`
+	// UpdateMode selects the flush strategy for appended rows:
+	// "incremental" (the default) extends the previous encryption and
+	// falls back to a rebuild on structural changes; "rebuild" always
+	// re-runs the full pipeline.
+	UpdateMode string `json:"updateMode,omitempty"`
 	// KeySeed derives the dataset key deterministically (tests and
 	// reproducible demos); empty draws a random key.
 	KeySeed string `json:"keySeed,omitempty"`
@@ -135,6 +141,15 @@ func (s *Server) handleCreateDataset(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "flushFraction must be non-negative, got %v", req.FlushFraction)
 		return
 	}
+	strategy := core.UpdateIncremental
+	switch req.UpdateMode {
+	case "", "incremental":
+	case "rebuild":
+		strategy = core.UpdateRebuild
+	default:
+		writeError(w, http.StatusBadRequest, "updateMode must be %q or %q, got %q", "incremental", "rebuild", req.UpdateMode)
+		return
+	}
 	cfg := core.DefaultConfig(key)
 	if req.Alpha != 0 {
 		cfg.Alpha = req.Alpha
@@ -160,6 +175,7 @@ func (s *Server) handleCreateDataset(w http.ResponseWriter, r *http.Request) {
 		writeError(w, httpStatusOf(err), "encrypting dataset: %v", err)
 		return
 	}
+	upd.Strategy = strategy
 	if req.FlushFraction > 0 {
 		upd.FlushFraction = req.FlushFraction
 	}
@@ -236,6 +252,7 @@ func (s *Server) handleAppendRows(w http.ResponseWriter, r *http.Request) {
 				flushErr = err
 			} else {
 				flushed = true
+				s.recordFlush(ds.upd.LastFlush)
 			}
 		}
 		summary = ds.refreshSummaryLocked()
@@ -251,11 +268,23 @@ func (s *Server) handleAppendRows(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	resp := map[string]any{"flushed": flushed, "dataset": summary}
+	if flushed {
+		resp["flushMode"] = string(ds.upd.LastFlush)
+	}
 	if flushErr != nil {
 		resp["flushDeferred"] = true
 		resp["flushError"] = flushErr.Error()
 	}
 	writeJSON(w, http.StatusOK, resp)
+}
+
+// recordFlush counts one committed flush under its engine label, so
+// /metrics exposes how appends amortize:
+//
+//	f2_flushes_total{mode="incremental"} 41
+//	f2_flushes_total{mode="rebuild"} 3
+func (s *Server) recordFlush(mode core.FlushMode) {
+	s.metrics.IncCounter("f2_flushes_total", fmt.Sprintf("mode=%q", string(mode)))
 }
 
 // badRequestError marks a pooled-job failure as the client's fault.
@@ -274,10 +303,15 @@ func (s *Server) handleFlush(w http.ResponseWriter, r *http.Request) {
 	defer ds.Unlock()
 	jobCtx, cancel := s.jobContext(r.Context())
 	defer cancel()
+	hadPending := false
 	err := s.pool.Run(jobCtx, func(ctx context.Context) error {
+		hadPending = ds.upd.Pending() > 0
 		res, err := ds.upd.Flush(ctx)
 		if err != nil {
 			return err
+		}
+		if hadPending {
+			s.recordFlush(ds.upd.LastFlush)
 		}
 		summary = ds.refreshSummaryLocked()
 		rep = reportToJSON(ds.upd.Current().Schema(), &res.Report)
@@ -287,7 +321,13 @@ func (s *Server) handleFlush(w http.ResponseWriter, r *http.Request) {
 		writeError(w, httpStatusOf(err), "flushing: %v", err)
 		return
 	}
-	writeJSON(w, http.StatusOK, map[string]any{"dataset": summary, "report": rep})
+	resp := map[string]any{"dataset": summary, "report": rep}
+	if hadPending {
+		// Only a flush that actually ran reports its mode; a no-op flush
+		// would otherwise echo the previous flush's mode.
+		resp["flushMode"] = string(ds.upd.LastFlush)
+	}
+	writeJSON(w, http.StatusOK, resp)
 }
 
 func (s *Server) handleDecrypt(w http.ResponseWriter, r *http.Request) {

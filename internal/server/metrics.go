@@ -35,19 +35,35 @@ type opStats struct {
 // dataset count) are registered as callbacks so the render reflects live
 // state without Metrics knowing about its producers.
 type Metrics struct {
-	mu     sync.Mutex
-	ops    map[string]*opStats
-	gauges map[string]func() float64
-	start  time.Time
+	mu       sync.Mutex
+	ops      map[string]*opStats
+	gauges   map[string]func() float64
+	counters map[string]map[string]uint64 // name -> rendered label list -> count
+	start    time.Time
 }
 
 // NewMetrics returns an empty metrics registry.
 func NewMetrics() *Metrics {
 	return &Metrics{
-		ops:    make(map[string]*opStats),
-		gauges: make(map[string]func() float64),
-		start:  time.Now(),
+		ops:      make(map[string]*opStats),
+		gauges:   make(map[string]func() float64),
+		counters: make(map[string]map[string]uint64),
+		start:    time.Now(),
 	}
+}
+
+// IncCounter increments a labeled counter, e.g.
+// IncCounter("f2_flushes_total", `mode="incremental"`). The labels string
+// is rendered verbatim inside the braces.
+func (m *Metrics) IncCounter(name, labels string) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	c, ok := m.counters[name]
+	if !ok {
+		c = make(map[string]uint64)
+		m.counters[name] = c
+	}
+	c[labels]++
 }
 
 // Observe records one completed request for op with its HTTP status and
@@ -93,6 +109,23 @@ func (m *Metrics) Render(w io.Writer) {
 	sort.Strings(names)
 	for _, n := range names {
 		fmt.Fprintf(w, "# TYPE %s gauge\n%s %g\n", n, n, m.gauges[n]())
+	}
+
+	counterNames := make([]string, 0, len(m.counters))
+	for n := range m.counters {
+		counterNames = append(counterNames, n)
+	}
+	sort.Strings(counterNames)
+	for _, n := range counterNames {
+		fmt.Fprintf(w, "# TYPE %s counter\n", n)
+		labels := make([]string, 0, len(m.counters[n]))
+		for l := range m.counters[n] {
+			labels = append(labels, l)
+		}
+		sort.Strings(labels)
+		for _, l := range labels {
+			fmt.Fprintf(w, "%s{%s} %d\n", n, l, m.counters[n][l])
+		}
 	}
 
 	opNames := make([]string, 0, len(m.ops))

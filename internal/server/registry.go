@@ -51,7 +51,12 @@ type Summary struct {
 	SplitFactor   int       `json:"splitFactor"`
 	MASCount      int       `json:"masCount"`
 	Rebuilds      int       `json:"rebuilds"`
-	Overhead      float64   `json:"overhead"`
+	// IncrementalFlushes counts appends served by the incremental update
+	// engine (no full re-encryption); LastFlushMode says which path the
+	// most recent flush took.
+	IncrementalFlushes int     `json:"incrementalFlushes"`
+	LastFlushMode      string  `json:"lastFlushMode"`
+	Overhead           float64 `json:"overhead"`
 }
 
 // refreshSummaryLocked recomputes and caches the summary; the caller
@@ -59,17 +64,19 @@ type Summary struct {
 func (d *Dataset) refreshSummaryLocked() Summary {
 	res := d.upd.Result()
 	s := Summary{
-		ID:            d.ID,
-		Name:          d.Name,
-		Created:       d.Created,
-		Rows:          d.upd.Rows(),
-		PendingRows:   d.upd.Pending(),
-		EncryptedRows: res.Encrypted.NumRows(),
-		Alpha:         d.cfg.Alpha,
-		SplitFactor:   d.cfg.SplitFactor,
-		MASCount:      len(res.MASs),
-		Rebuilds:      d.upd.Rebuilds,
-		Overhead:      res.Report.Overhead(),
+		ID:                 d.ID,
+		Name:               d.Name,
+		Created:            d.Created,
+		Rows:               d.upd.Rows(),
+		PendingRows:        d.upd.Pending(),
+		EncryptedRows:      res.Encrypted.NumRows(),
+		Alpha:              d.cfg.Alpha,
+		SplitFactor:        d.cfg.SplitFactor,
+		MASCount:           len(res.MASs),
+		Rebuilds:           d.upd.Rebuilds,
+		IncrementalFlushes: d.upd.IncrementalFlushes,
+		LastFlushMode:      string(d.upd.LastFlush),
+		Overhead:           res.Report.Overhead(),
 	}
 	d.statMu.Lock()
 	d.stats = s

@@ -433,6 +433,145 @@ func TestHealthzAndMetrics(t *testing.T) {
 	}
 }
 
+// TestFlushModeReporting drives the incremental-update wiring end to end:
+// a border-stable append flushes through the incremental engine, a
+// border-moving one falls back to a rebuild, and both paths surface in
+// the response, the summary, and the f2_flushes_total metric.
+func TestFlushModeReporting(t *testing.T) {
+	_, ts := newTestServer(t, 1)
+	// G repeats (MAS {G}); ID is unique, so appends that reuse an existing
+	// G value with a fresh ID provably keep the border.
+	id := createDataset(t, ts.URL, []string{"G", "ID"}, [][]string{
+		{"g1", "id1"}, {"g1", "id2"}, {"g1", "id3"},
+		{"g2", "id4"}, {"g2", "id5"},
+	})
+
+	appendAndFlush := func(rows [][]string) (string, Summary) {
+		t.Helper()
+		resp, body := doJSON(t, http.MethodPost, ts.URL+"/v1/datasets/"+id+"/rows",
+			map[string]any{"rows": rows})
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("append: status %d, body %s", resp.StatusCode, body)
+		}
+		var appended struct {
+			Flushed   bool   `json:"flushed"`
+			FlushMode string `json:"flushMode"`
+		}
+		if err := json.Unmarshal(body, &appended); err != nil {
+			t.Fatal(err)
+		}
+		resp, body = doJSON(t, http.MethodPost, ts.URL+"/v1/datasets/"+id+"/flush", map[string]any{})
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("flush: status %d, body %s", resp.StatusCode, body)
+		}
+		var out struct {
+			FlushMode string  `json:"flushMode"`
+			Dataset   Summary `json:"dataset"`
+		}
+		if err := json.Unmarshal(body, &out); err != nil {
+			t.Fatal(err)
+		}
+		if appended.Flushed {
+			// The append auto-flushed; the explicit flush was a no-op and
+			// must not echo a mode.
+			if out.FlushMode != "" {
+				t.Fatalf("no-op flush reported mode %q", out.FlushMode)
+			}
+			return appended.FlushMode, out.Dataset
+		}
+		return out.FlushMode, out.Dataset
+	}
+
+	mode, sum := appendAndFlush([][]string{{"g1", "id-new-1"}, {"g2", "id-new-2"}})
+	if mode != "incremental" {
+		t.Fatalf("border-stable append flushed via %q", mode)
+	}
+	if sum.IncrementalFlushes != 1 || sum.LastFlushMode != "incremental" || sum.Rebuilds != 1 {
+		t.Fatalf("summary after incremental flush: %+v", sum)
+	}
+	if sum.Rows != 7 || sum.PendingRows != 0 {
+		t.Fatalf("rows=%d pending=%d", sum.Rows, sum.PendingRows)
+	}
+
+	// A full-row duplicate merges the border and must fall back.
+	mode, sum = appendAndFlush([][]string{{"g1", "id1"}})
+	if mode != "rebuild" {
+		t.Fatalf("border-moving append flushed via %q", mode)
+	}
+	if sum.Rebuilds != 2 || sum.LastFlushMode != "rebuild" {
+		t.Fatalf("summary after fallback flush: %+v", sum)
+	}
+
+	// Decryption still recovers everything shipped through both paths.
+	_, rows, pending := decryptRows(t, ts.URL, id)
+	if pending != 0 || len(rows) != 8 {
+		t.Fatalf("decrypt: %d rows, %d pending", len(rows), pending)
+	}
+
+	resp, body := doJSON(t, http.MethodGet, ts.URL+"/metrics", nil)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("metrics: status %d", resp.StatusCode)
+	}
+	for _, want := range []string{
+		`f2_flushes_total{mode="incremental"} 1`,
+		`f2_flushes_total{mode="rebuild"} 1`,
+	} {
+		if !strings.Contains(string(body), want) {
+			t.Errorf("metrics output missing %q:\n%s", want, body)
+		}
+	}
+}
+
+// TestUpdateModeValidation: "rebuild" pins every flush to the full
+// pipeline; unknown modes are a 400.
+func TestUpdateModeValidation(t *testing.T) {
+	_, ts := newTestServer(t, 1)
+	resp, body := doJSON(t, http.MethodPost, ts.URL+"/v1/datasets", map[string]any{
+		"name": "r", "columns": []string{"G", "ID"},
+		"rows":       [][]string{{"g1", "i1"}, {"g1", "i2"}, {"g2", "i3"}},
+		"keySeed":    "mode-test",
+		"updateMode": "rebuild",
+	})
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("create: status %d, body %s", resp.StatusCode, body)
+	}
+	var created struct {
+		Dataset Summary `json:"dataset"`
+	}
+	if err := json.Unmarshal(body, &created); err != nil {
+		t.Fatal(err)
+	}
+	id := created.Dataset.ID
+
+	resp, body = doJSON(t, http.MethodPost, ts.URL+"/v1/datasets/"+id+"/rows",
+		map[string]any{"rows": [][]string{{"g1", "i-new"}}})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("append: status %d, body %s", resp.StatusCode, body)
+	}
+	resp, body = doJSON(t, http.MethodPost, ts.URL+"/v1/datasets/"+id+"/flush", map[string]any{})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("flush: status %d, body %s", resp.StatusCode, body)
+	}
+	var out struct {
+		FlushMode string  `json:"flushMode"`
+		Dataset   Summary `json:"dataset"`
+	}
+	if err := json.Unmarshal(body, &out); err != nil {
+		t.Fatal(err)
+	}
+	if out.FlushMode != "rebuild" || out.Dataset.IncrementalFlushes != 0 {
+		t.Fatalf("updateMode=rebuild flushed via %q (incr=%d)", out.FlushMode, out.Dataset.IncrementalFlushes)
+	}
+
+	resp, _ = doJSON(t, http.MethodPost, ts.URL+"/v1/datasets", map[string]any{
+		"name": "bad", "columns": []string{"A"}, "rows": [][]string{{"x"}},
+		"updateMode": "turbo",
+	})
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("unknown updateMode: status %d, want 400", resp.StatusCode)
+	}
+}
+
 // TestPoolRunAfterClose checks Run degrades to ErrPoolClosed instead of
 // panicking once the pool is gone.
 func TestPoolRunAfterClose(t *testing.T) {
