@@ -3,7 +3,12 @@
 // owner-side decryption, FD discovery on the encrypted view, and
 // attack-resilience reports, with /healthz and Prometheus-style /metrics.
 //
-//	f2served -addr :8089 -workers 8
+//	f2served -addr :8089 -workers 8 -data-dir /var/lib/f2served
+//
+// With -data-dir set, datasets are durable: appends are journaled to a
+// per-dataset WAL before they are acknowledged, flushes snapshot the
+// dataset state (keys encrypted under a service master key), and a
+// restart recovers every dataset to its last transactional state.
 //
 // See the top-level README.md for the endpoint reference and curl
 // examples.
@@ -21,6 +26,7 @@ import (
 	"time"
 
 	"f2/internal/server"
+	"f2/internal/store"
 )
 
 func main() {
@@ -29,6 +35,7 @@ func main() {
 		workers = flag.Int("workers", 0, "pipeline worker pool size (default: GOMAXPROCS)")
 		maxBody = flag.Int64("max-body", 32<<20, "maximum request body bytes")
 		trials  = flag.Int("trials", 1000, "default attack-game trials for /report")
+		dataDir = flag.String("data-dir", "", "durable dataset store directory (empty: in-memory only)")
 		quiet   = flag.Bool("q", false, "suppress request logs")
 	)
 	flag.Parse()
@@ -43,7 +50,19 @@ func main() {
 	if *quiet {
 		opts.Logger = nil
 	}
-	srv := server.New(opts)
+	if *dataDir != "" {
+		st, err := store.Open(*dataDir)
+		if err != nil {
+			logger.Fatal(err)
+		}
+		defer st.Close()
+		opts.Store = st
+		logger.Printf("durable store at %s", st.Dir())
+	}
+	srv, err := server.New(opts)
+	if err != nil {
+		logger.Fatal(err)
+	}
 	defer srv.Close()
 
 	httpSrv := &http.Server{
@@ -67,7 +86,7 @@ func main() {
 	}()
 
 	logger.Printf("listening on %s", *addr)
-	err := httpSrv.ListenAndServe()
+	err = httpSrv.ListenAndServe()
 	// ListenAndServe returns the moment Shutdown is called; wait for the
 	// drain to finish before the deferred pool.Close, so in-flight
 	// handlers keep their workers until they complete.

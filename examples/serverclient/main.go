@@ -22,8 +22,11 @@ import (
 )
 
 func main() {
-	// Start f2served on a loopback port.
-	srv := server.New(server.Options{Workers: 4})
+	// Start f2served on a loopback port (in-memory: no Store configured).
+	srv, err := server.New(server.Options{Workers: 4})
+	if err != nil {
+		log.Fatal(err)
+	}
 	defer srv.Close()
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {

@@ -1,0 +1,162 @@
+package core
+
+import (
+	"fmt"
+
+	"f2/internal/relation"
+)
+
+// This file is the serialization boundary of the update engine: an
+// Updater's durable state as plain, JSON-encodable structs, produced by
+// Updater.State and consumed by RestoreUpdater. The persistence layer
+// (internal/store) wraps these in its snapshot file format; keeping the
+// shapes here means the store never reaches into core's internals.
+//
+// The retained incremental plan (Result.state — MAS partitions, ECG
+// instance assignments, Step-4 node set, fresh-minter position) is
+// deliberately NOT part of the durable state: it is a dense web of
+// interior pointers whose serialization would dwarf the data it
+// accelerates. A restored Result therefore carries no plan state, so the
+// first flush after a restore falls back to a full rebuild (which
+// repopulates the plan); every later flush is incremental again.
+
+// UpdaterState is the serializable form of an Updater: configuration
+// knobs, flush accounting, the owner-side plaintext copy, the pending
+// buffer, and the latest encryption result. It contains no key material —
+// the caller persists the Config (and its key) separately.
+type UpdaterState struct {
+	Strategy           string              `json:"strategy"`
+	FlushFraction      float64             `json:"flushFraction"`
+	MinFlushRows       int                 `json:"minFlushRows"`
+	Rebuilds           int                 `json:"rebuilds"`
+	IncrementalFlushes int                 `json:"incrementalFlushes"`
+	LastFlush          string              `json:"lastFlush"`
+	Current            *relation.JSONTable `json:"current"`
+	Buffer             [][]string          `json:"buffer"`
+	Result             *ResultState        `json:"result"`
+}
+
+// ResultState is the serializable slice of a Result: the ciphertext
+// table, per-row provenance, the discovered MASs, and the report.
+type ResultState struct {
+	Encrypted *relation.JSONTable `json:"encrypted"`
+	Origins   []RowOrigin         `json:"origins"`
+	MASs      []relation.AttrSet  `json:"mass"`
+	Report    Report              `json:"report"`
+}
+
+// State captures the updater's durable state. The returned structs share
+// no mutable storage with the updater, so a snapshot taken between
+// operations stays consistent while the updater moves on.
+func (u *Updater) State() *UpdaterState {
+	buf := make([][]string, u.buffer.NumRows())
+	for i := range buf {
+		buf[i] = u.buffer.Row(i)
+	}
+	return &UpdaterState{
+		Strategy:           u.Strategy.String(),
+		FlushFraction:      u.FlushFraction,
+		MinFlushRows:       u.MinFlushRows,
+		Rebuilds:           u.Rebuilds,
+		IncrementalFlushes: u.IncrementalFlushes,
+		LastFlush:          string(u.LastFlush),
+		Current:            u.current.JSON(),
+		Buffer:             buf,
+		Result:             u.last.State(),
+	}
+}
+
+// State captures the result's serializable slice (the retained
+// incremental plan is owner-side runtime state and is not included; see
+// the file comment).
+func (r *Result) State() *ResultState {
+	return &ResultState{
+		Encrypted: r.Encrypted.JSON(),
+		Origins:   append([]RowOrigin(nil), r.Origins...),
+		MASs:      append([]relation.AttrSet(nil), r.MASs...),
+		Report:    r.Report,
+	}
+}
+
+// ParseUpdateStrategy inverts UpdateStrategy.String.
+func ParseUpdateStrategy(s string) (UpdateStrategy, error) {
+	switch s {
+	case "incremental":
+		return UpdateIncremental, nil
+	case "rebuild":
+		return UpdateRebuild, nil
+	default:
+		return 0, fmt.Errorf("core: unknown update strategy %q", s)
+	}
+}
+
+// ParseFlushMode validates a serialized FlushMode.
+func ParseFlushMode(s string) (FlushMode, error) {
+	switch m := FlushMode(s); m {
+	case FlushModeNone, FlushModeRebuild, FlushModeIncremental:
+		return m, nil
+	default:
+		return "", fmt.Errorf("core: unknown flush mode %q", s)
+	}
+}
+
+// RestoreUpdater rebuilds an Updater from a captured state. The state is
+// validated structurally (table shapes, provenance length, strategy and
+// mode names); cfg must carry the same key the state was encrypted under,
+// or later decryptions will produce garbage.
+func RestoreUpdater(cfg Config, st *UpdaterState) (*Updater, error) {
+	if st == nil || st.Current == nil || st.Result == nil || st.Result.Encrypted == nil {
+		return nil, fmt.Errorf("core: restore: incomplete updater state")
+	}
+	enc, err := NewEncryptor(cfg)
+	if err != nil {
+		return nil, fmt.Errorf("core: restore: %w", err)
+	}
+	strategy, err := ParseUpdateStrategy(st.Strategy)
+	if err != nil {
+		return nil, fmt.Errorf("core: restore: %w", err)
+	}
+	lastFlush, err := ParseFlushMode(st.LastFlush)
+	if err != nil {
+		return nil, fmt.Errorf("core: restore: %w", err)
+	}
+	current, err := st.Current.Table()
+	if err != nil {
+		return nil, fmt.Errorf("core: restore: plaintext table: %w", err)
+	}
+	buffer := relation.NewTable(current.Schema().Clone())
+	if err := buffer.AppendRows(st.Buffer); err != nil {
+		return nil, fmt.Errorf("core: restore: buffer: %w", err)
+	}
+	encrypted, err := st.Result.Encrypted.Table()
+	if err != nil {
+		return nil, fmt.Errorf("core: restore: encrypted table: %w", err)
+	}
+	if encrypted.NumAttrs() != current.NumAttrs() {
+		return nil, fmt.Errorf("core: restore: encrypted table has %d attributes, plaintext has %d",
+			encrypted.NumAttrs(), current.NumAttrs())
+	}
+	if len(st.Result.Origins) != encrypted.NumRows() {
+		return nil, fmt.Errorf("core: restore: %d origins for %d encrypted rows",
+			len(st.Result.Origins), encrypted.NumRows())
+	}
+	last := &Result{
+		Encrypted: encrypted,
+		Origins:   append([]RowOrigin(nil), st.Result.Origins...),
+		MASs:      append([]relation.AttrSet(nil), st.Result.MASs...),
+		Report:    st.Result.Report,
+		// state stays nil: the first flush rebuilds and repopulates it.
+	}
+	return &Updater{
+		enc:                enc,
+		current:            current,
+		buffer:             buffer,
+		last:               last,
+		Strategy:           strategy,
+		FlushFraction:      st.FlushFraction,
+		MinFlushRows:       st.MinFlushRows,
+		Rebuilds:           st.Rebuilds,
+		IncrementalFlushes: st.IncrementalFlushes,
+		LastFlush:          lastFlush,
+	}, nil
+}

@@ -15,6 +15,8 @@ package crypt
 
 import (
 	"crypto/rand"
+	"crypto/sha256"
+	"encoding/hex"
 	"errors"
 	"fmt"
 	"io"
@@ -38,17 +40,34 @@ func GenerateKey() (Key, error) {
 	return k, nil
 }
 
-// KeyFromSeed derives a key deterministically from a seed string. Intended
-// for tests and benchmarks that need reproducible ciphertexts; production
-// callers should use GenerateKey.
+// KeyFromSeed derives a key deterministically from a seed string by
+// hashing it with SHA-256, so the whole seed contributes to the key:
+// seeds longer than KeySize no longer collide on a shared 32-byte prefix,
+// and the empty seed maps to SHA-256("") rather than the all-zero key.
+// Intended for tests and benchmarks that need reproducible ciphertexts;
+// production callers should use GenerateKey.
 func KeyFromSeed(seed string) Key {
-	var k Key
-	copy(k[:], seed)
-	// Spread the seed so short seeds still fill the key.
-	for i := len(seed); i < KeySize && len(seed) > 0; i++ {
-		k[i] = k[i%len(seed)] ^ byte(i)
+	return Key(sha256.Sum256([]byte(seed)))
+}
+
+// MarshalText encodes the key as lowercase hex, so keys embed in JSON and
+// text configs. Handle the output like the key itself.
+func (k Key) MarshalText() ([]byte, error) {
+	return []byte(hex.EncodeToString(k[:])), nil
+}
+
+// UnmarshalText inverts MarshalText, rejecting anything but exactly
+// KeySize bytes of hex.
+func (k *Key) UnmarshalText(text []byte) error {
+	raw, err := hex.DecodeString(string(text))
+	if err != nil {
+		return fmt.Errorf("crypt: decoding key: %w", err)
 	}
-	return k
+	if len(raw) != KeySize {
+		return fmt.Errorf("crypt: key is %d bytes, want %d", len(raw), KeySize)
+	}
+	copy(k[:], raw)
+	return nil
 }
 
 // CellCipher is the minimal interface both the probabilistic and the

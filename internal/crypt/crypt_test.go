@@ -223,3 +223,47 @@ func TestKeyFromSeedStable(t *testing.T) {
 		t.Error("KeyFromSeed collision on different seeds")
 	}
 }
+
+// TestKeyFromSeedLongSeeds is the regression test for the truncation bug:
+// the old derivation copied only the first KeySize bytes of the seed, so
+// distinct seeds sharing a 32-byte prefix silently produced the same key.
+func TestKeyFromSeedLongSeeds(t *testing.T) {
+	prefix := strings.Repeat("p", KeySize)
+	if KeyFromSeed(prefix+"-first") == KeyFromSeed(prefix+"-second") {
+		t.Error("KeyFromSeed collision on seeds differing only past 32 bytes")
+	}
+	if KeyFromSeed(prefix) == KeyFromSeed(prefix+"-longer") {
+		t.Error("KeyFromSeed collision between a seed and its extension")
+	}
+}
+
+// TestKeyFromSeedEmptySeed: the old derivation returned the all-zero key
+// for "", i.e. a fixed, guessable key.
+func TestKeyFromSeedEmptySeed(t *testing.T) {
+	if KeyFromSeed("") == (Key{}) {
+		t.Error("KeyFromSeed(\"\") is the all-zero key")
+	}
+}
+
+func TestKeyTextRoundTrip(t *testing.T) {
+	k, err := GenerateKey()
+	if err != nil {
+		t.Fatal(err)
+	}
+	text, err := k.MarshalText()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Key
+	if err := back.UnmarshalText(text); err != nil {
+		t.Fatal(err)
+	}
+	if back != k {
+		t.Error("key does not round-trip through text")
+	}
+	for _, bad := range []string{"", "zz", strings.Repeat("ab", KeySize-1), strings.Repeat("ab", KeySize) + "ff"} {
+		if err := back.UnmarshalText([]byte(bad)); err == nil {
+			t.Errorf("UnmarshalText(%q) accepted", bad)
+		}
+	}
+}

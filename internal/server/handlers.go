@@ -15,6 +15,7 @@ import (
 	"f2/internal/crypt"
 	"f2/internal/fd"
 	"f2/internal/relation"
+	"f2/internal/store"
 	"f2/internal/verify"
 )
 
@@ -184,6 +185,25 @@ func (s *Server) handleCreateDataset(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusInternalServerError, "%v", err)
 		return
 	}
+	// The dataset must be durable before the client learns its id: a
+	// create acknowledged and then lost to a restart is worse than a 500
+	// the client can retry. The lock orders us against any request that
+	// grabbed the freshly published dataset first.
+	ds.Lock()
+	persistErr := s.persistSnapshotLocked(ds)
+	if persistErr != nil {
+		// Tombstone before unlocking: a request that grabbed the freshly
+		// published dataset and queued on the lock must see the rollback,
+		// not acknowledge appends into a snapshot-less orphan directory
+		// that recovery would skip.
+		ds.deleted = true
+	}
+	ds.Unlock()
+	if persistErr != nil {
+		s.reg.Remove(ds.ID)
+		writeError(w, http.StatusInternalServerError, "persisting dataset: %v", persistErr)
+		return
+	}
 	s.logf("dataset %s (%q): %d rows -> %d encrypted", ds.ID, ds.Name, tbl.NumRows(), res.Encrypted.NumRows())
 	w.Header().Set("Location", "/v1/datasets/"+ds.ID)
 	writeJSON(w, http.StatusCreated, map[string]any{
@@ -236,9 +256,33 @@ func (s *Server) handleAppendRows(w http.ResponseWriter, r *http.Request) {
 	// occupy a worker that a runnable job for another dataset could use.
 	ds.Lock()
 	defer ds.Unlock()
+	if ds.deleted {
+		writeError(w, http.StatusNotFound, "no dataset %q", ds.ID)
+		return
+	}
 	jobCtx, cancel := s.jobContext(r.Context())
 	defer cancel()
 	err := s.pool.Run(jobCtx, func(ctx context.Context) error {
+		// Validate the batch shape before journaling it, so the WAL only
+		// ever holds batches that replay cleanly. (Width is the only way
+		// Buffer can fail; checking it here keeps journal-then-buffer
+		// infallible in between.)
+		width := ds.upd.Current().NumAttrs()
+		for i, row := range req.Rows {
+			if len(row) != width {
+				return &badRequestError{fmt.Sprintf("row %d has %d cells, schema has %d", i, len(row), width)}
+			}
+		}
+		// Journal before buffering: an append is acknowledged only once
+		// it is durable, so a crash at any later point recovers it. A
+		// failed journal write rejects the whole append before any state
+		// changed — the client's retry is safe.
+		if s.st != nil {
+			if err := s.st.AppendBatch(ds.ID, store.Batch{Seq: ds.walSeq + 1, Rows: req.Rows}); err != nil {
+				return fmt.Errorf("journaling append: %w", err)
+			}
+			ds.walSeq++
+		}
 		// Buffer is atomic: a ragged batch is rejected whole. A failed
 		// rebuild after a successful buffer is NOT a failed append — the
 		// rows are durably pending and the next flush retries them — so
@@ -253,6 +297,12 @@ func (s *Server) handleAppendRows(w http.ResponseWriter, r *http.Request) {
 			} else {
 				flushed = true
 				s.recordFlush(ds.upd.LastFlush)
+				// A failed snapshot does not lose the flush: the WAL
+				// still holds every batch, so recovery replays them as
+				// pending rows and the next flush re-applies them.
+				if err := s.persistSnapshotLocked(ds); err != nil {
+					s.logf("dataset %s: persisting post-flush snapshot: %v", ds.ID, err)
+				}
 			}
 		}
 		summary = ds.refreshSummaryLocked()
@@ -301,6 +351,10 @@ func (s *Server) handleFlush(w http.ResponseWriter, r *http.Request) {
 	var rep reportJSON
 	ds.Lock()
 	defer ds.Unlock()
+	if ds.deleted {
+		writeError(w, http.StatusNotFound, "no dataset %q", ds.ID)
+		return
+	}
 	jobCtx, cancel := s.jobContext(r.Context())
 	defer cancel()
 	hadPending := false
@@ -312,6 +366,11 @@ func (s *Server) handleFlush(w http.ResponseWriter, r *http.Request) {
 		}
 		if hadPending {
 			s.recordFlush(ds.upd.LastFlush)
+			if err := s.persistSnapshotLocked(ds); err != nil {
+				// Not fatal: the journaled batches still recover the
+				// flushed rows as pending (see handleAppendRows).
+				s.logf("dataset %s: persisting post-flush snapshot: %v", ds.ID, err)
+			}
 		}
 		summary = ds.refreshSummaryLocked()
 		rep = reportToJSON(ds.upd.Current().Schema(), &res.Report)
@@ -328,6 +387,43 @@ func (s *Server) handleFlush(w http.ResponseWriter, r *http.Request) {
 		resp["flushMode"] = string(ds.upd.LastFlush)
 	}
 	writeJSON(w, http.StatusOK, resp)
+}
+
+// handleDeleteDataset removes a dataset from the registry and from the
+// durable store. The lock waits out any in-flight pipeline operation on
+// the dataset; once deleted is set, a request that was queued on the
+// same lock sees the tombstone instead of journaling into a directory
+// being torn down. The f2_datasets gauge reads the live registry, so the
+// count drops on the next scrape without explicit bookkeeping.
+func (s *Server) handleDeleteDataset(w http.ResponseWriter, r *http.Request) {
+	ds, ok := s.dataset(w, r)
+	if !ok {
+		return
+	}
+	ds.Lock()
+	already := ds.deleted
+	ds.deleted = true
+	ds.Unlock()
+	if already {
+		writeError(w, http.StatusNotFound, "no dataset %q", ds.ID)
+		return
+	}
+	// Remove the files before the registry entry: if the store delete
+	// fails, lifting the tombstone puts the dataset back in service and
+	// keeps it addressable, so the client's retry reaches the store again
+	// instead of 404ing against files that would resurrect on restart.
+	if s.st != nil {
+		if err := s.st.Delete(ds.ID); err != nil {
+			ds.Lock()
+			ds.deleted = false
+			ds.Unlock()
+			writeError(w, http.StatusInternalServerError, "deleting stored dataset: %v", err)
+			return
+		}
+	}
+	s.reg.Remove(ds.ID)
+	s.logf("dataset %s (%q): deleted", ds.ID, ds.Name)
+	writeJSON(w, http.StatusOK, map[string]any{"deleted": ds.ID})
 }
 
 func (s *Server) handleDecrypt(w http.ResponseWriter, r *http.Request) {

@@ -1,0 +1,377 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+
+	"f2/internal/core"
+	"f2/internal/crypt"
+	"f2/internal/relation"
+	"f2/internal/store"
+)
+
+// newDurableServer starts a server backed by a store at dir.
+func newDurableServer(t *testing.T, dir string, workers int) (*Server, *httptest.Server) {
+	t.Helper()
+	st, err := store.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := New(Options{Workers: workers, AttackTrials: 200, VerifyProbes: 50, Store: st})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(func() {
+		ts.Close()
+		srv.Close()
+		st.Close()
+	})
+	return srv, ts
+}
+
+// TestPersistenceAcrossRestart is the acceptance path: create, append
+// (one auto-flushed batch, one left pending), stop the server, start a
+// fresh one over the same data dir, and use the dataset as if nothing
+// happened — summary, decrypt, append, flush, FD discovery all work and
+// the plaintext round-trips exactly.
+func TestPersistenceAcrossRestart(t *testing.T) {
+	dir := t.TempDir()
+	_, ts := newDurableServer(t, dir, 2)
+
+	rows := [][]string{
+		{"g1", "id1"}, {"g1", "id2"}, {"g1", "id3"},
+		{"g2", "id4"}, {"g2", "id5"},
+	}
+	id := createDataset(t, ts.URL, []string{"G", "ID"}, rows)
+
+	// Big enough to trigger the auto-flush (flush fraction 0.1 of 5 rows,
+	// floored at 2).
+	flushedBatch := [][]string{{"g1", "id6"}, {"g2", "id7"}}
+	resp, body := doJSON(t, http.MethodPost, ts.URL+"/v1/datasets/"+id+"/rows",
+		map[string]any{"rows": flushedBatch})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("append: status %d, body %s", resp.StatusCode, body)
+	}
+	var appended struct {
+		Flushed bool `json:"flushed"`
+	}
+	if err := json.Unmarshal(body, &appended); err != nil {
+		t.Fatal(err)
+	}
+	if !appended.Flushed {
+		t.Fatalf("batch of 2 did not auto-flush: %s", body)
+	}
+	// One more row, left pending across the restart.
+	pendingRow := [][]string{{"g1", "id8"}}
+	resp, body = doJSON(t, http.MethodPost, ts.URL+"/v1/datasets/"+id+"/rows",
+		map[string]any{"rows": pendingRow})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("append: status %d, body %s", resp.StatusCode, body)
+	}
+
+	// "Restart": a brand-new server over the same directory.
+	_, ts2 := newDurableServer(t, dir, 2)
+
+	resp, body = doJSON(t, http.MethodGet, ts2.URL+"/v1/datasets/"+id, nil)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("get after restart: status %d, body %s", resp.StatusCode, body)
+	}
+	var got struct {
+		Dataset Summary `json:"dataset"`
+	}
+	if err := json.Unmarshal(body, &got); err != nil {
+		t.Fatal(err)
+	}
+	if got.Dataset.Rows != 7 || got.Dataset.PendingRows != 1 {
+		t.Fatalf("recovered summary: rows=%d pending=%d, want 7/1", got.Dataset.Rows, got.Dataset.PendingRows)
+	}
+
+	// The dataset is fully usable: flush the pending row, decrypt, and
+	// compare against everything ever uploaded.
+	resp, body = doJSON(t, http.MethodPost, ts2.URL+"/v1/datasets/"+id+"/flush", map[string]any{})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("flush after restart: status %d, body %s", resp.StatusCode, body)
+	}
+	all := append(append(append([][]string{}, rows...), flushedBatch...), pendingRow...)
+	columns, decRows, pending := decryptRows(t, ts2.URL, id)
+	if pending != 0 {
+		t.Fatalf("pending = %d after flush", pending)
+	}
+	if !reflect.DeepEqual(sortedRows(t, columns, decRows), sortedRows(t, []string{"G", "ID"}, all)) {
+		t.Fatal("recovered dataset decrypts to different rows")
+	}
+
+	// Appends keep working, and keep being journaled, on the recovered
+	// dataset.
+	resp, body = doJSON(t, http.MethodPost, ts2.URL+"/v1/datasets/"+id+"/rows",
+		map[string]any{"rows": [][]string{{"g2", "id9"}, {"g1", "id10"}}})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("append after restart: status %d, body %s", resp.StatusCode, body)
+	}
+	resp, body = doJSON(t, http.MethodGet, ts2.URL+"/v1/datasets/"+id+"/fds", nil)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("fds after restart: status %d, body %s", resp.StatusCode, body)
+	}
+}
+
+// TestDeleteDataset: the new DELETE endpoint removes the dataset from
+// the registry, the metrics gauge, and the store directory; a second
+// delete and every later access 404.
+func TestDeleteDataset(t *testing.T) {
+	dir := t.TempDir()
+	_, ts := newDurableServer(t, dir, 1)
+	id := createDataset(t, ts.URL, []string{"A", "B"}, [][]string{
+		{"a1", "b1"}, {"a1", "b1"}, {"a2", "b2"}, {"a3", "b3"},
+	})
+
+	dsDir := filepath.Join(dir, "datasets", id)
+	if _, err := os.Stat(dsDir); err != nil {
+		t.Fatalf("dataset directory missing before delete: %v", err)
+	}
+
+	resp, body := doJSON(t, http.MethodDelete, ts.URL+"/v1/datasets/"+id, nil)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("delete: status %d, body %s", resp.StatusCode, body)
+	}
+	var deleted struct {
+		Deleted string `json:"deleted"`
+	}
+	if err := json.Unmarshal(body, &deleted); err != nil {
+		t.Fatal(err)
+	}
+	if deleted.Deleted != id {
+		t.Fatalf("delete response: %s", body)
+	}
+
+	if _, err := os.Stat(dsDir); !os.IsNotExist(err) {
+		t.Fatalf("dataset directory survives delete: %v", err)
+	}
+	for _, probe := range []struct{ method, path string }{
+		{http.MethodGet, "/v1/datasets/" + id},
+		{http.MethodDelete, "/v1/datasets/" + id},
+		{http.MethodPost, "/v1/datasets/" + id + "/flush"},
+	} {
+		resp, _ := doJSON(t, probe.method, ts.URL+probe.path, map[string]any{})
+		if resp.StatusCode != http.StatusNotFound {
+			t.Errorf("%s %s after delete: status %d, want 404", probe.method, probe.path, resp.StatusCode)
+		}
+	}
+	resp, body = doJSON(t, http.MethodGet, ts.URL+"/metrics", nil)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("metrics: status %d", resp.StatusCode)
+	}
+	if !strings.Contains(string(body), "f2_datasets 0") {
+		t.Errorf("metrics still count the deleted dataset:\n%s", body)
+	}
+
+	// And it stays gone across a restart.
+	_, ts2 := newDurableServer(t, dir, 1)
+	resp, _ = doJSON(t, http.MethodGet, ts2.URL+"/v1/datasets/"+id, nil)
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("deleted dataset resurrected after restart: status %d", resp.StatusCode)
+	}
+}
+
+// TestDeleteWorksWithoutStore: the lifecycle fix is independent of
+// persistence.
+func TestDeleteWorksWithoutStore(t *testing.T) {
+	srv, ts := newTestServer(t, 1)
+	id := createDataset(t, ts.URL, []string{"A", "B"}, [][]string{
+		{"a1", "b1"}, {"a1", "b1"}, {"a2", "b2"},
+	})
+	if srv.reg.Len() != 1 {
+		t.Fatalf("registry size %d before delete", srv.reg.Len())
+	}
+	resp, body := doJSON(t, http.MethodDelete, ts.URL+"/v1/datasets/"+id, nil)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("delete: status %d, body %s", resp.StatusCode, body)
+	}
+	if srv.reg.Len() != 0 {
+		t.Fatalf("registry size %d after delete", srv.reg.Len())
+	}
+}
+
+// TestRegistryAddRetriesOnCollision forces the id generator to repeat
+// itself: Add must retry to a fresh id instead of overwriting the
+// registered dataset, and must fail cleanly when the generator never
+// yields a fresh one.
+func TestRegistryAddRetriesOnCollision(t *testing.T) {
+	upd := func() *core.Updater {
+		tbl := relation.MustFromRows(relation.MustSchema("A"), [][]string{{"x"}, {"x"}})
+		u, _, err := core.NewUpdater(context.Background(), core.DefaultConfig(crypt.KeyFromSeed("reg")), tbl)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return u
+	}
+
+	reg := NewRegistry()
+	ids := []string{"ds_fixed", "ds_fixed", "ds_other"}
+	reg.idGen = func() (string, error) {
+		id := ids[0]
+		if len(ids) > 1 {
+			ids = ids[1:]
+		}
+		return id, nil
+	}
+
+	first, err := reg.Add("first", core.Config{}, upd())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first.ID != "ds_fixed" {
+		t.Fatalf("first id %q", first.ID)
+	}
+	second, err := reg.Add("second", core.Config{}, upd())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if second.ID != "ds_other" {
+		t.Fatalf("second id %q: collision not retried", second.ID)
+	}
+	if got, _ := reg.Get("ds_fixed"); got != first {
+		t.Fatal("collision overwrote the first dataset")
+	}
+
+	// A generator that always collides must error out, not overwrite.
+	reg.idGen = func() (string, error) { return "ds_fixed", nil }
+	if _, err := reg.Add("third", core.Config{}, upd()); err == nil {
+		t.Fatal("permanent collision accepted")
+	}
+	if got, _ := reg.Get("ds_fixed"); got != first {
+		t.Fatal("exhausted retries overwrote the first dataset")
+	}
+}
+
+// TestRegistryRestoreRejectsDuplicate: recovery must not let two store
+// entries share an id.
+func TestRegistryRestoreRejectsDuplicate(t *testing.T) {
+	tbl := relation.MustFromRows(relation.MustSchema("A"), [][]string{{"x"}, {"x"}})
+	u, _, err := core.NewUpdater(context.Background(), core.DefaultConfig(crypt.KeyFromSeed("dup")), tbl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := NewRegistry()
+	if _, err := reg.Restore("ds_one", "a", time.Now(), core.Config{}, u); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := reg.Restore("ds_one", "b", time.Now(), core.Config{}, u); err == nil {
+		t.Fatal("duplicate restore accepted")
+	}
+}
+
+// TestCreateRollsBackOnPersistFailure: if the snapshot cannot be
+// written, the create must fail AND the dataset must not linger in the
+// registry (a client retry would otherwise leak one registration per
+// attempt).
+func TestCreateRollsBackOnPersistFailure(t *testing.T) {
+	dir := t.TempDir()
+	st, err := store.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := New(Options{Workers: 1, Store: st})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(func() {
+		ts.Close()
+		srv.Close()
+		st.Close()
+	})
+
+	// Sabotage the store: replace the datasets directory with a file so
+	// snapshot writes fail.
+	if err := os.RemoveAll(filepath.Join(dir, "datasets")); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "datasets"), []byte("not a dir"), 0o600); err != nil {
+		t.Fatal(err)
+	}
+
+	resp, body := doJSON(t, http.MethodPost, ts.URL+"/v1/datasets", map[string]any{
+		"name": "doomed", "columns": []string{"A"}, "rows": [][]string{{"x"}, {"x"}},
+		"keySeed": "doomed",
+	})
+	if resp.StatusCode != http.StatusInternalServerError {
+		t.Fatalf("create with broken store: status %d, body %s", resp.StatusCode, body)
+	}
+	if srv.reg.Len() != 0 {
+		t.Fatalf("failed create left %d datasets registered", srv.reg.Len())
+	}
+}
+
+// TestAppendRejectedWhenJournalFails: an append whose WAL write fails
+// must change nothing — not buffer the rows, not advance the sequence —
+// so the client's retry is safe.
+func TestAppendRejectedWhenJournalFails(t *testing.T) {
+	dir := t.TempDir()
+	srv, ts := newDurableServer(t, dir, 1)
+	id := createDataset(t, ts.URL, []string{"A", "B"}, [][]string{
+		{"a1", "b1"}, {"a1", "b1"}, {"a2", "b2"},
+	})
+
+	// Sabotage just this dataset's directory: journaling needs it.
+	if err := os.RemoveAll(filepath.Join(dir, "datasets", id)); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "datasets", id), []byte("not a dir"), 0o600); err != nil {
+		t.Fatal(err)
+	}
+
+	resp, body := doJSON(t, http.MethodPost, ts.URL+"/v1/datasets/"+id+"/rows",
+		map[string]any{"rows": [][]string{{"ax", "bx"}}})
+	if resp.StatusCode != http.StatusInternalServerError {
+		t.Fatalf("append with broken WAL: status %d, body %s", resp.StatusCode, body)
+	}
+	ds, ok := srv.reg.Get(id)
+	if !ok {
+		t.Fatal("dataset vanished")
+	}
+	ds.Lock()
+	pending, seq := ds.upd.Pending(), ds.walSeq
+	ds.Unlock()
+	if pending != 0 || seq != 0 {
+		t.Fatalf("failed journal left pending=%d walSeq=%d", pending, seq)
+	}
+}
+
+// TestRecoverySkipsCorruptDataset: one rotten snapshot must not take
+// down the service or the healthy datasets next to it.
+func TestRecoverySkipsCorruptDataset(t *testing.T) {
+	dir := t.TempDir()
+	_, ts := newDurableServer(t, dir, 1)
+	goodID := createDataset(t, ts.URL, []string{"A", "B"}, [][]string{
+		{"a1", "b1"}, {"a1", "b1"}, {"a2", "b2"},
+	})
+	badDir := filepath.Join(dir, "datasets", "ds_corrupt00000")
+	if err := os.MkdirAll(badDir, 0o700); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(badDir, "snapshot.json"), []byte("{"), 0o600); err != nil {
+		t.Fatal(err)
+	}
+
+	srv2, ts2 := newDurableServer(t, dir, 1)
+	if srv2.reg.Len() != 1 {
+		t.Fatalf("recovered %d datasets, want 1 (the healthy one)", srv2.reg.Len())
+	}
+	resp, _ := doJSON(t, http.MethodGet, ts2.URL+"/v1/datasets/"+goodID, nil)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthy dataset lost: status %d", resp.StatusCode)
+	}
+	// The corrupt directory is left on disk for inspection, not deleted.
+	if _, err := os.Stat(badDir); err != nil {
+		t.Fatalf("corrupt dataset directory removed: %v", err)
+	}
+}

@@ -26,6 +26,14 @@ type Dataset struct {
 	cfg core.Config
 	upd *core.Updater
 
+	// walSeq is the sequence number of the last batch journaled for this
+	// dataset (0 before the first append); deleted marks a dataset whose
+	// removal has begun, so a request that was already waiting on mu when
+	// the delete ran must not journal to a store directory that is being
+	// torn down. Both are guarded by mu.
+	walSeq  uint64
+	deleted bool
+
 	// statMu guards the cached summary so metadata reads (list, get)
 	// never wait on d.mu while a multi-second rebuild holds it.
 	statMu sync.Mutex
@@ -96,25 +104,71 @@ func (d *Dataset) Summary() Summary {
 type Registry struct {
 	mu   sync.RWMutex
 	data map[string]*Dataset
+
+	// idGen draws candidate dataset ids; overridable in tests to force
+	// collisions.
+	idGen func() (string, error)
 }
 
 // NewRegistry returns an empty registry.
 func NewRegistry() *Registry {
-	return &Registry{data: make(map[string]*Dataset)}
+	return &Registry{data: make(map[string]*Dataset), idGen: newDatasetID}
 }
 
-// Add registers a freshly encrypted dataset and assigns it an id.
+// maxIDAttempts bounds the collision-retry loop of Add. With 48-bit
+// random ids a single collision is already a ~n/2^48 event, so hitting
+// the bound means the id source is broken, not unlucky.
+const maxIDAttempts = 8
+
+// Add registers a freshly encrypted dataset under a new unique id. An id
+// collision — however unlikely — is retried with a fresh id rather than
+// silently overwriting (and leaking) the dataset already registered
+// under it.
 func (r *Registry) Add(name string, cfg core.Config, upd *core.Updater) (*Dataset, error) {
-	id, err := newDatasetID()
-	if err != nil {
-		return nil, err
+	for attempt := 0; attempt < maxIDAttempts; attempt++ {
+		id, err := r.idGen()
+		if err != nil {
+			return nil, err
+		}
+		ds := &Dataset{ID: id, Name: name, Created: time.Now().UTC(), cfg: cfg, upd: upd}
+		ds.refreshSummaryLocked() // no concurrency yet: ds is not published
+		r.mu.Lock()
+		if _, taken := r.data[id]; taken {
+			r.mu.Unlock()
+			continue
+		}
+		r.data[id] = ds
+		r.mu.Unlock()
+		return ds, nil
 	}
-	ds := &Dataset{ID: id, Name: name, Created: time.Now().UTC(), cfg: cfg, upd: upd}
-	ds.refreshSummaryLocked() // no concurrency yet: ds is not published
+	return nil, fmt.Errorf("server: %d random dataset ids collided in a row", maxIDAttempts)
+}
+
+// Restore registers a dataset recovered from the durable store under its
+// original id. Unlike Add it never invents an id, and a duplicate is an
+// error (two store entries claiming one id).
+func (r *Registry) Restore(id, name string, created time.Time, cfg core.Config, upd *core.Updater) (*Dataset, error) {
+	ds := &Dataset{ID: id, Name: name, Created: created, cfg: cfg, upd: upd}
+	ds.refreshSummaryLocked() // not yet published
 	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, taken := r.data[id]; taken {
+		return nil, fmt.Errorf("server: dataset id %q already registered", id)
+	}
 	r.data[id] = ds
-	r.mu.Unlock()
 	return ds, nil
+}
+
+// Remove unregisters a dataset, returning it for teardown. Without this,
+// datasets leak forever: the map only ever grew before deletes existed.
+func (r *Registry) Remove(id string) (*Dataset, bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	ds, ok := r.data[id]
+	if ok {
+		delete(r.data, id)
+	}
+	return ds, ok
 }
 
 // Get looks a dataset up by id.

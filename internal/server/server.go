@@ -17,10 +17,14 @@ package server
 
 import (
 	"context"
+	"fmt"
 	"log"
 	"net/http"
 	"runtime"
 	"time"
+
+	"f2/internal/core"
+	"f2/internal/store"
 )
 
 // Options configures a Server.
@@ -38,6 +42,11 @@ type Options struct {
 	// VerifyProbes is the completeness-probe count for /report's
 	// verification pass. Default 200.
 	VerifyProbes int
+	// Store, when non-nil, makes datasets durable: appends are journaled
+	// before they are acknowledged, flushes snapshot the dataset state,
+	// and New recovers every stored dataset at boot. Nil keeps the
+	// original in-memory-only behavior.
+	Store *store.Store
 }
 
 func (o *Options) fillDefaults() {
@@ -63,6 +72,7 @@ type Server struct {
 	pool    *Pool
 	metrics *Metrics
 	mux     *http.ServeMux
+	st      *store.Store // nil = in-memory only
 	start   time.Time
 
 	// lifecycle is cancelled by Close so in-flight pipeline jobs abort
@@ -71,8 +81,10 @@ type Server struct {
 	stop      context.CancelFunc
 }
 
-// New builds a server and its routes.
-func New(opts Options) *Server {
+// New builds a server and its routes. With a durable store configured it
+// also runs boot-time recovery, so the returned server already holds
+// every dataset that survived the previous process.
+func New(opts Options) (*Server, error) {
 	opts.fillDefaults()
 	lifecycle, stop := context.WithCancel(context.Background())
 	s := &Server{
@@ -80,9 +92,14 @@ func New(opts Options) *Server {
 		reg:       NewRegistry(),
 		metrics:   NewMetrics(),
 		mux:       http.NewServeMux(),
+		st:        opts.Store,
 		start:     time.Now(),
 		lifecycle: lifecycle,
 		stop:      stop,
+	}
+	if err := s.recover(); err != nil {
+		stop()
+		return nil, err
 	}
 	s.pool = NewPool(opts.Workers, s.logf)
 	s.metrics.RegisterGauge("f2_datasets", func() float64 { return float64(s.reg.Len()) })
@@ -93,6 +110,7 @@ func New(opts Options) *Server {
 	s.mux.Handle("POST /v1/datasets", s.instrument("create_dataset", s.handleCreateDataset))
 	s.mux.Handle("GET /v1/datasets", s.instrument("list_datasets", s.handleListDatasets))
 	s.mux.Handle("GET /v1/datasets/{id}", s.instrument("get_dataset", s.handleGetDataset))
+	s.mux.Handle("DELETE /v1/datasets/{id}", s.instrument("delete_dataset", s.handleDeleteDataset))
 	s.mux.Handle("POST /v1/datasets/{id}/rows", s.instrument("append_rows", s.handleAppendRows))
 	s.mux.Handle("POST /v1/datasets/{id}/flush", s.instrument("flush", s.handleFlush))
 	s.mux.Handle("POST /v1/datasets/{id}/decrypt", s.instrument("decrypt", s.handleDecrypt))
@@ -100,7 +118,75 @@ func New(opts Options) *Server {
 	s.mux.Handle("GET /v1/datasets/{id}/report", s.instrument("report", s.handleReport))
 	s.mux.Handle("GET /healthz", s.instrument("healthz", s.handleHealthz))
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics) // not instrumented: scrapes shouldn't meter themselves
-	return s
+	return s, nil
+}
+
+// recover loads every dataset from the durable store, replays each WAL
+// tail through a restored updater, and registers the result under its
+// original id. A dataset that fails to restore is skipped with a loud
+// log line rather than bricking the whole service: its files stay on
+// disk untouched for manual inspection, and every healthy dataset still
+// comes up.
+func (s *Server) recover() error {
+	if s.st == nil {
+		return nil
+	}
+	loaded, skipped, err := s.st.LoadAll()
+	if err != nil {
+		return fmt.Errorf("server: recovering datasets: %w", err)
+	}
+	for _, msg := range skipped {
+		s.logf("store: skipping unrecoverable dataset %s", msg)
+	}
+	for _, l := range loaded {
+		upd, err := core.RestoreUpdater(l.Config, l.Updater)
+		if err != nil {
+			s.logf("store: skipping dataset %s: %v", l.ID, err)
+			continue
+		}
+		walSeq := l.WALSeq
+		replayed := 0
+		for _, b := range l.Tail {
+			if err := upd.Buffer(b.Rows); err != nil {
+				// A journaled batch that no longer fits the schema can
+				// only mean on-disk corruption past the CRC; everything
+				// before it is intact, so keep that and stop replaying.
+				s.logf("store: dataset %s: dropping WAL tail from batch %d: %v", l.ID, b.Seq, err)
+				break
+			}
+			if b.Seq > walSeq {
+				walSeq = b.Seq
+			}
+			replayed++
+		}
+		ds, err := s.reg.Restore(l.ID, l.Name, l.Created, l.Config, upd)
+		if err != nil {
+			s.logf("store: skipping dataset %s: %v", l.ID, err)
+			continue
+		}
+		ds.walSeq = walSeq
+		s.logf("recovered dataset %s (%q): %d rows, %d pending (%d WAL batches replayed)",
+			ds.ID, ds.Name, upd.Rows(), upd.Pending(), replayed)
+	}
+	return nil
+}
+
+// persistSnapshotLocked writes the dataset's durable snapshot (and
+// truncates its WAL). The caller holds ds.mu, so the captured state is
+// consistent and walSeq covers every journaled batch the updater has
+// absorbed. No-op without a store.
+func (s *Server) persistSnapshotLocked(ds *Dataset) error {
+	if s.st == nil {
+		return nil
+	}
+	return s.st.SaveSnapshot(&store.Record{
+		ID:      ds.ID,
+		Name:    ds.Name,
+		Created: ds.Created,
+		Config:  ds.cfg,
+		Updater: ds.upd.State(),
+		WALSeq:  ds.walSeq,
+	})
 }
 
 // Handler returns the root handler for use with http.Server or httptest.

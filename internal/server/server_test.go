@@ -20,7 +20,10 @@ import (
 
 func newTestServer(t *testing.T, workers int) (*Server, *httptest.Server) {
 	t.Helper()
-	srv := New(Options{Workers: workers, AttackTrials: 200, VerifyProbes: 50})
+	srv, err := New(Options{Workers: workers, AttackTrials: 200, VerifyProbes: 50})
+	if err != nil {
+		t.Fatal(err)
+	}
 	ts := httptest.NewServer(srv.Handler())
 	t.Cleanup(func() {
 		ts.Close()
@@ -586,7 +589,10 @@ func TestPoolRunAfterClose(t *testing.T) {
 // TestCloseCancelsInFlightJobs checks that Server.Close aborts a running
 // pipeline job via the lifecycle context instead of waiting it out.
 func TestCloseCancelsInFlightJobs(t *testing.T) {
-	srv := New(Options{Workers: 1})
+	srv, err := New(Options{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
 	started := make(chan struct{})
 	jobErr := make(chan error, 1)
 	go func() {

@@ -1,0 +1,178 @@
+package store
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"f2/internal/core"
+	"f2/internal/crypt"
+)
+
+// snapshotVersion is bumped on incompatible snapshot format changes.
+const snapshotVersion = 1
+
+// keyEnvelope prefixes the dataset key before master-key encryption. The
+// stream cipher has no MAC, so the prefix doubles as an integrity check:
+// decrypting with the wrong master key yields garbage that fails the
+// prefix test instead of silently installing a wrong key.
+const keyEnvelope = "f2-dataset-key:"
+
+// snapshotFile is the on-disk JSON shape of one dataset snapshot. The
+// dataset key never appears in the clear: KeyEnc holds it encrypted under
+// the store's master key, and the Config section is key-free.
+type snapshotFile struct {
+	Version int                `json:"version"`
+	ID      string             `json:"id"`
+	Name    string             `json:"name"`
+	Created time.Time          `json:"created"`
+	KeyEnc  string             `json:"keyEnc"`
+	Config  configFile         `json:"config"`
+	WALSeq  uint64             `json:"walSeq"`
+	Updater *core.UpdaterState `json:"updater"`
+}
+
+// configFile mirrors core.Config minus the key.
+type configFile struct {
+	Alpha                  float64 `json:"alpha"`
+	SplitFactor            int     `json:"splitFactor"`
+	PRF                    int     `json:"prf"`
+	MAS                    int     `json:"mas"`
+	MinInstanceFreq        int     `json:"minInstanceFreq"`
+	NaiveSplitPoint        bool    `json:"naiveSplitPoint,omitempty"`
+	SkipFPElimination      bool    `json:"skipFPElimination,omitempty"`
+	SkipConflictResolution bool    `json:"skipConflictResolution,omitempty"`
+}
+
+func configToFile(cfg core.Config) configFile {
+	return configFile{
+		Alpha:                  cfg.Alpha,
+		SplitFactor:            cfg.SplitFactor,
+		PRF:                    int(cfg.PRF),
+		MAS:                    int(cfg.MAS),
+		MinInstanceFreq:        cfg.MinInstanceFreq,
+		NaiveSplitPoint:        cfg.NaiveSplitPoint,
+		SkipFPElimination:      cfg.SkipFPElimination,
+		SkipConflictResolution: cfg.SkipConflictResolution,
+	}
+}
+
+func (c configFile) config(key crypt.Key) core.Config {
+	return core.Config{
+		Alpha:                  c.Alpha,
+		SplitFactor:            c.SplitFactor,
+		Key:                    key,
+		PRF:                    crypt.PRF(c.PRF),
+		MAS:                    core.MASAlgorithm(c.MAS),
+		MinInstanceFreq:        c.MinInstanceFreq,
+		NaiveSplitPoint:        c.NaiveSplitPoint,
+		SkipFPElimination:      c.SkipFPElimination,
+		SkipConflictResolution: c.SkipConflictResolution,
+	}
+}
+
+// sealKey encrypts a dataset key under the master cipher for storage.
+func sealKey(master *crypt.ProbCipher, key crypt.Key) (string, error) {
+	text, err := key.MarshalText()
+	if err != nil {
+		return "", err
+	}
+	sealed, err := master.EncryptCell(keyEnvelope + string(text))
+	if err != nil {
+		return "", fmt.Errorf("store: sealing dataset key: %w", err)
+	}
+	return sealed, nil
+}
+
+// openKey inverts sealKey, verifying the envelope prefix so a wrong
+// master key surfaces as an error rather than a garbage key.
+func openKey(master *crypt.ProbCipher, sealed string) (crypt.Key, error) {
+	plain, err := master.DecryptCell(sealed)
+	if err != nil {
+		return crypt.Key{}, fmt.Errorf("store: unsealing dataset key: %w", err)
+	}
+	text, ok := strings.CutPrefix(plain, keyEnvelope)
+	if !ok {
+		return crypt.Key{}, fmt.Errorf("store: dataset key envelope mismatch (wrong master key?)")
+	}
+	var key crypt.Key
+	if err := key.UnmarshalText([]byte(text)); err != nil {
+		return crypt.Key{}, fmt.Errorf("store: unsealing dataset key: %w", err)
+	}
+	return key, nil
+}
+
+// writeFileAtomic writes data to path via a temp file in the same
+// directory, fsyncs it, and renames it into place, so readers — including
+// recovery after a crash mid-write — see either the old file or the new
+// one, never a torn mix.
+func writeFileAtomic(path string, data []byte, perm os.FileMode) error {
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".tmp-*")
+	if err != nil {
+		return err
+	}
+	tmpPath := tmp.Name()
+	cleanup := func() {
+		tmp.Close()
+		os.Remove(tmpPath)
+	}
+	if _, err := tmp.Write(data); err != nil {
+		cleanup()
+		return err
+	}
+	if err := tmp.Chmod(perm); err != nil {
+		cleanup()
+		return err
+	}
+	if err := tmp.Sync(); err != nil {
+		cleanup()
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmpPath)
+		return err
+	}
+	if err := os.Rename(tmpPath, path); err != nil {
+		os.Remove(tmpPath)
+		return err
+	}
+	return syncDir(dir)
+}
+
+// syncDir fsyncs a directory so a just-renamed file's directory entry is
+// durable. Filesystems that reject directory fsync are tolerated.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	defer d.Close()
+	_ = d.Sync()
+	return nil
+}
+
+func marshalSnapshot(f *snapshotFile) ([]byte, error) {
+	data, err := json.Marshal(f)
+	if err != nil {
+		return nil, fmt.Errorf("store: encoding snapshot: %w", err)
+	}
+	return data, nil
+}
+
+func unmarshalSnapshot(data []byte) (*snapshotFile, error) {
+	var f snapshotFile
+	if err := json.Unmarshal(data, &f); err != nil {
+		return nil, fmt.Errorf("store: decoding snapshot: %w", err)
+	}
+	if f.Version != snapshotVersion {
+		return nil, fmt.Errorf("store: snapshot version %d, want %d", f.Version, snapshotVersion)
+	}
+	if f.ID == "" || f.Updater == nil {
+		return nil, fmt.Errorf("store: snapshot is incomplete")
+	}
+	return &f, nil
+}

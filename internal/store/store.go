@@ -1,0 +1,324 @@
+// Package store persists f2served datasets on disk so a restart — clean
+// or crashed — recovers every dataset to its last transactional state.
+//
+// Layout under the data directory:
+//
+//	<dir>/master.key              service master key (hex, 0600)
+//	<dir>/datasets/<id>/snapshot.json
+//	<dir>/datasets/<id>/wal.log
+//
+// Each dataset is a snapshot plus a write-ahead log. The snapshot holds
+// the dataset's configuration and the full serialized updater state
+// (plaintext copy, pending buffer, latest ciphertext, flush counters);
+// the dataset key is stored encrypted under the service master key, never
+// in the clear. Snapshots are rotated atomically (write temp + fsync +
+// rename), so a crash mid-write leaves the previous snapshot intact.
+//
+// The WAL journals every append batch before the service acknowledges it.
+// After a successful flush the server writes a fresh snapshot recording
+// the highest batch sequence it includes, then truncates the WAL. Boot
+// recovery loads the snapshot and replays only WAL batches with a higher
+// sequence, so every crash point — mid-append, mid-flush, between
+// snapshot and truncation — recovers without losing acknowledged rows or
+// duplicating applied ones.
+package store
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"time"
+
+	"f2/internal/core"
+	"f2/internal/crypt"
+)
+
+const (
+	masterKeyFile = "master.key"
+	datasetsDir   = "datasets"
+	snapshotName  = "snapshot.json"
+	walName       = "wal.log"
+)
+
+// Record is one dataset's durable state as the server sees it: identity,
+// configuration (with the key in the clear — sealing happens inside the
+// store), the serialized updater, and the WAL sequence watermark the
+// updater state includes.
+type Record struct {
+	ID      string
+	Name    string
+	Created time.Time
+	Config  core.Config
+	Updater *core.UpdaterState
+	// WALSeq is the highest journaled batch sequence already applied to
+	// (buffered or flushed into) Updater. Replay skips batches at or below
+	// it.
+	WALSeq uint64
+}
+
+// Loaded is a recovered dataset: its snapshot record plus the WAL tail —
+// acknowledged batches the snapshot does not include, in journal order —
+// which the caller must replay through the updater.
+type Loaded struct {
+	Record
+	Tail []Batch
+}
+
+// Store is the durable dataset store. All methods are safe for concurrent
+// use; per-dataset ordering (e.g. append vs. truncate) is the caller's
+// responsibility, which f2served discharges with its per-dataset lock.
+type Store struct {
+	dir    string
+	master *crypt.ProbCipher
+
+	mu   sync.Mutex
+	wals map[string]*os.File // open WAL appenders by dataset id
+}
+
+// Open initializes the store at dir, creating the directory tree and the
+// master key on first use. The master key file is created with 0600
+// permissions; anyone who can read it can unseal every dataset key, so
+// the data directory must be trusted storage (f2served is the owner-side
+// service — the paper's untrusted server never runs it).
+func Open(dir string) (*Store, error) {
+	if dir == "" {
+		return nil, errors.New("store: empty data directory")
+	}
+	if err := os.MkdirAll(filepath.Join(dir, datasetsDir), 0o700); err != nil {
+		return nil, fmt.Errorf("store: creating data directory: %w", err)
+	}
+	master, err := loadOrCreateMasterKey(filepath.Join(dir, masterKeyFile))
+	if err != nil {
+		return nil, err
+	}
+	cipher, err := crypt.NewProbCipher(master, crypt.PRFAESCTR)
+	if err != nil {
+		return nil, fmt.Errorf("store: master cipher: %w", err)
+	}
+	return &Store{dir: dir, master: cipher, wals: make(map[string]*os.File)}, nil
+}
+
+// Dir returns the store's data directory.
+func (s *Store) Dir() string { return s.dir }
+
+// Close releases the store's open WAL handles. Snapshots and journaled
+// batches are already durable; Close loses nothing.
+func (s *Store) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var firstErr error
+	for id, f := range s.wals {
+		if err := f.Close(); err != nil && firstErr == nil {
+			firstErr = err
+		}
+		delete(s.wals, id)
+	}
+	return firstErr
+}
+
+func loadOrCreateMasterKey(path string) (crypt.Key, error) {
+	var key crypt.Key
+	data, err := os.ReadFile(path)
+	switch {
+	case err == nil:
+		if err := key.UnmarshalText(bytes.TrimSpace(data)); err != nil {
+			return crypt.Key{}, fmt.Errorf("store: master key file %s: %w", path, err)
+		}
+		return key, nil
+	case errors.Is(err, os.ErrNotExist):
+		key, err = crypt.GenerateKey()
+		if err != nil {
+			return crypt.Key{}, fmt.Errorf("store: %w", err)
+		}
+		text, err := key.MarshalText()
+		if err != nil {
+			return crypt.Key{}, fmt.Errorf("store: %w", err)
+		}
+		if err := writeFileAtomic(path, append(text, '\n'), 0o600); err != nil {
+			return crypt.Key{}, fmt.Errorf("store: writing master key: %w", err)
+		}
+		return key, nil
+	default:
+		return crypt.Key{}, fmt.Errorf("store: reading master key: %w", err)
+	}
+}
+
+func (s *Store) datasetDir(id string) string {
+	return filepath.Join(s.dir, datasetsDir, id)
+}
+
+// SaveSnapshot durably records rec: the snapshot file is rotated
+// atomically, and on success the WAL is truncated (every journaled batch
+// at or below rec.WALSeq is now covered by the snapshot; replay skips
+// them even if truncation itself is lost to a crash).
+func (s *Store) SaveSnapshot(rec *Record) error {
+	if rec.ID == "" {
+		return errors.New("store: record has no id")
+	}
+	keyEnc, err := sealKey(s.master, rec.Config.Key)
+	if err != nil {
+		return err
+	}
+	data, err := marshalSnapshot(&snapshotFile{
+		Version: snapshotVersion,
+		ID:      rec.ID,
+		Name:    rec.Name,
+		Created: rec.Created,
+		KeyEnc:  keyEnc,
+		Config:  configToFile(rec.Config),
+		WALSeq:  rec.WALSeq,
+		Updater: rec.Updater,
+	})
+	if err != nil {
+		return err
+	}
+	dir := s.datasetDir(rec.ID)
+	if err := os.MkdirAll(dir, 0o700); err != nil {
+		return fmt.Errorf("store: creating dataset directory: %w", err)
+	}
+	if err := writeFileAtomic(filepath.Join(dir, snapshotName), data, 0o600); err != nil {
+		return fmt.Errorf("store: writing snapshot: %w", err)
+	}
+	return s.truncateWAL(rec.ID)
+}
+
+// AppendBatch journals one append batch and syncs it to disk. It must be
+// called — and must succeed — before the append is acknowledged to the
+// client; a batch that fails to journal must be rejected, not buffered.
+func (s *Store) AppendBatch(id string, b Batch) error {
+	f, err := s.walFile(id)
+	if err != nil {
+		return err
+	}
+	return appendWALRecord(f, b)
+}
+
+// walFile returns the cached WAL appender for id, opening it on first
+// use.
+func (s *Store) walFile(id string) (*os.File, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if f, ok := s.wals[id]; ok {
+		return f, nil
+	}
+	dir := s.datasetDir(id)
+	if err := os.MkdirAll(dir, 0o700); err != nil {
+		return nil, fmt.Errorf("store: creating dataset directory: %w", err)
+	}
+	f, err := os.OpenFile(filepath.Join(dir, walName), os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o600)
+	if err != nil {
+		return nil, fmt.Errorf("store: opening WAL: %w", err)
+	}
+	// The open may have created the file: fsync its directory entry, or a
+	// crash could lose the whole journal (file data is fsynced per record,
+	// but a never-synced dir entry means no file at all after reboot).
+	if err := syncDir(dir); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("store: syncing dataset directory: %w", err)
+	}
+	s.wals[id] = f
+	return f, nil
+}
+
+// truncateWAL discards the journal (its batches are covered by the
+// snapshot just written). Failure is non-fatal to durability — replay
+// skips covered batches by sequence — so the error only signals the
+// space leak.
+func (s *Store) truncateWAL(id string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if f, ok := s.wals[id]; ok {
+		f.Close()
+		delete(s.wals, id)
+	}
+	err := os.Truncate(filepath.Join(s.datasetDir(id), walName), 0)
+	if err != nil && !errors.Is(err, os.ErrNotExist) {
+		return fmt.Errorf("store: truncating WAL: %w", err)
+	}
+	return nil
+}
+
+// Delete removes every trace of a dataset: its WAL handle, snapshot, and
+// directory.
+func (s *Store) Delete(id string) error {
+	s.mu.Lock()
+	if f, ok := s.wals[id]; ok {
+		f.Close()
+		delete(s.wals, id)
+	}
+	s.mu.Unlock()
+	if err := os.RemoveAll(s.datasetDir(id)); err != nil {
+		return fmt.Errorf("store: deleting dataset %s: %w", id, err)
+	}
+	return syncDir(filepath.Join(s.dir, datasetsDir))
+}
+
+// LoadAll recovers every dataset in the store: each snapshot is decoded,
+// its key unsealed, and its WAL tail — acknowledged batches newer than
+// the snapshot — attached for replay. Dataset directories without a
+// snapshot (a crash before the first snapshot completed) are skipped and
+// reported in skipped.
+func (s *Store) LoadAll() (loaded []*Loaded, skipped []string, err error) {
+	entries, err := os.ReadDir(filepath.Join(s.dir, datasetsDir))
+	if err != nil {
+		return nil, nil, fmt.Errorf("store: listing datasets: %w", err)
+	}
+	for _, e := range entries {
+		if !e.IsDir() {
+			continue
+		}
+		id := e.Name()
+		l, err := s.loadOne(id)
+		if err != nil {
+			skipped = append(skipped, fmt.Sprintf("%s: %v", id, err))
+			continue
+		}
+		loaded = append(loaded, l)
+	}
+	return loaded, skipped, nil
+}
+
+func (s *Store) loadOne(id string) (*Loaded, error) {
+	dir := s.datasetDir(id)
+	data, err := os.ReadFile(filepath.Join(dir, snapshotName))
+	if err != nil {
+		return nil, fmt.Errorf("reading snapshot: %w", err)
+	}
+	snap, err := unmarshalSnapshot(data)
+	if err != nil {
+		return nil, err
+	}
+	if snap.ID != id {
+		return nil, fmt.Errorf("snapshot id %q does not match directory %q", snap.ID, id)
+	}
+	key, err := openKey(s.master, snap.KeyEnc)
+	if err != nil {
+		return nil, err
+	}
+	batches, err := readWAL(filepath.Join(dir, walName))
+	if err != nil {
+		return nil, err
+	}
+	// Keep only the tail past the snapshot's watermark, tolerating a WAL
+	// that survived a snapshot whose truncation was lost.
+	tail := batches[:0]
+	for _, b := range batches {
+		if b.Seq > snap.WALSeq {
+			tail = append(tail, b)
+		}
+	}
+	return &Loaded{
+		Record: Record{
+			ID:      snap.ID,
+			Name:    snap.Name,
+			Created: snap.Created,
+			Config:  snap.Config.config(key),
+			Updater: snap.Updater,
+			WALSeq:  snap.WALSeq,
+		},
+		Tail: tail,
+	}, nil
+}

@@ -1,0 +1,111 @@
+package store
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+)
+
+// The WAL is an append-only journal of row batches, one file per dataset.
+// Each record is framed as
+//
+//	4 bytes big-endian payload length | 4 bytes CRC32 (IEEE) of payload | payload
+//
+// where the payload is the JSON encoding of a Batch. Appends are fsynced
+// before the caller acknowledges the client, so an acknowledged batch
+// survives a crash. A crash mid-append leaves a partial or corrupt tail
+// record; replay treats the first short read or checksum mismatch as the
+// end of the journal — exactly the write that was never acknowledged.
+
+// Batch is one journaled append: the rows of a single append request plus
+// the dataset's monotonically increasing batch sequence number. Snapshots
+// record the highest sequence they include, so replay after a crash
+// between snapshot write and WAL truncation skips already-applied batches
+// instead of duplicating them.
+type Batch struct {
+	Seq  uint64     `json:"seq"`
+	Rows [][]string `json:"rows"`
+}
+
+// walHeaderSize is the per-record framing overhead.
+const walHeaderSize = 8
+
+// maxWALRecordBytes caps a single record so a corrupt length prefix
+// cannot drive a multi-gigabyte allocation during replay.
+const maxWALRecordBytes = 1 << 30
+
+// appendWALRecord frames and writes one batch, then syncs the file.
+func appendWALRecord(f *os.File, b Batch) error {
+	payload, err := json.Marshal(b)
+	if err != nil {
+		return fmt.Errorf("store: encoding WAL record: %w", err)
+	}
+	// Mirror the read-side cap: a record the replay would refuse must be
+	// rejected before the append is acknowledged, not journaled and then
+	// silently dropped at recovery.
+	if len(payload) > maxWALRecordBytes {
+		return fmt.Errorf("store: WAL record is %d bytes, max %d — split the append", len(payload), maxWALRecordBytes)
+	}
+	rec := make([]byte, walHeaderSize+len(payload))
+	binary.BigEndian.PutUint32(rec[0:4], uint32(len(payload)))
+	binary.BigEndian.PutUint32(rec[4:8], crc32.ChecksumIEEE(payload))
+	copy(rec[walHeaderSize:], payload)
+	if _, err := f.Write(rec); err != nil {
+		return fmt.Errorf("store: appending WAL record: %w", err)
+	}
+	if err := f.Sync(); err != nil {
+		return fmt.Errorf("store: syncing WAL: %w", err)
+	}
+	return nil
+}
+
+// readWAL replays the journal at path, returning every intact record in
+// order. A missing file is an empty journal. A partial or corrupt tail —
+// the signature of a crash mid-append — ends the replay silently; the
+// batches before it were all acknowledged and are returned.
+func readWAL(path string) ([]Batch, error) {
+	f, err := os.Open(path)
+	if errors.Is(err, os.ErrNotExist) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, fmt.Errorf("store: opening WAL: %w", err)
+	}
+	defer f.Close()
+
+	var out []Batch
+	var header [walHeaderSize]byte
+	for {
+		if _, err := io.ReadFull(f, header[:]); err != nil {
+			// io.EOF: clean end. ErrUnexpectedEOF: torn header — crash
+			// mid-append, stop here.
+			if errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF) {
+				return out, nil
+			}
+			return nil, fmt.Errorf("store: reading WAL: %w", err)
+		}
+		n := binary.BigEndian.Uint32(header[0:4])
+		if n > maxWALRecordBytes {
+			return out, nil // corrupt length prefix
+		}
+		payload := make([]byte, n)
+		if _, err := io.ReadFull(f, payload); err != nil {
+			if errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF) {
+				return out, nil // torn payload
+			}
+			return nil, fmt.Errorf("store: reading WAL: %w", err)
+		}
+		if crc32.ChecksumIEEE(payload) != binary.BigEndian.Uint32(header[4:8]) {
+			return out, nil // corrupt payload
+		}
+		var b Batch
+		if err := json.Unmarshal(payload, &b); err != nil {
+			return out, nil // checksummed but undecodable: treat as torn
+		}
+		out = append(out, b)
+	}
+}
