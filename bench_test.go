@@ -49,6 +49,63 @@ func mustEncrypt(b *testing.B, tbl *relation.Table, cfg core.Config) *core.Resul
 	return res
 }
 
+// BenchmarkEncrypt measures the parallel encryption engine against the
+// serial pipeline on the same table: parallelism=1 is the historical
+// serial path, parallelism=0 resolves to GOMAXPROCS. The outputs are
+// byte-identical (enforced by TestParallelEncryptEquivalence in
+// internal/core); only the wall clock may differ. Run with
+// `go test -bench=BenchmarkEncrypt -benchtime=3x .` on a multi-core
+// machine to see the speedup; a sanity check asserts the two paths emit
+// the same number of rows.
+func BenchmarkEncrypt(b *testing.B) {
+	tbl := mustGen(b, workload.NameSynthetic, 33000)
+	for _, c := range []struct {
+		name string
+		par  int
+	}{
+		{"parallelism=1", 1},
+		{"parallelism=GOMAXPROCS", 0},
+	} {
+		b.Run(c.name, func(b *testing.B) {
+			cfg := benchConfig(0.25)
+			cfg.Parallelism = c.par
+			var last *core.Result
+			for i := 0; i < b.N; i++ {
+				last = mustEncrypt(b, tbl, cfg)
+			}
+			b.ReportMetric(float64(last.Encrypted.NumRows()), "encRows")
+		})
+	}
+}
+
+// BenchmarkDecrypt measures sharded table decryption the same way.
+func BenchmarkDecrypt(b *testing.B) {
+	tbl := mustGen(b, workload.NameSynthetic, 33000)
+	res := mustEncrypt(b, tbl, benchConfig(0.25))
+	for _, c := range []struct {
+		name string
+		par  int
+	}{
+		{"parallelism=1", 1},
+		{"parallelism=GOMAXPROCS", 0},
+	} {
+		b.Run(c.name, func(b *testing.B) {
+			cfg := benchConfig(0.25)
+			cfg.Parallelism = c.par
+			dec, err := core.NewDecryptor(cfg)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := dec.DecryptTable(context.Background(), res.Encrypted); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
 // BenchmarkTable1Datasets regenerates Table 1: dataset generation plus the
 // MAS discovery that characterizes each dataset.
 func BenchmarkTable1Datasets(b *testing.B) {

@@ -3,15 +3,20 @@
 // owner-side decryption, FD discovery on the encrypted view, and
 // attack-resilience reports, with /healthz and Prometheus-style /metrics.
 //
-//	f2served -addr :8089 -workers 8 -data-dir /var/lib/f2served
+//	f2served -addr :8089 -workers 8 -parallelism 0 -data-dir /var/lib/f2served
+//
+// -workers bounds how many pipeline jobs run concurrently across
+// datasets; -parallelism sets how many goroutines each single run fans
+// out across (0 = GOMAXPROCS, 1 = the serial pipeline; the ciphertext
+// is identical at every setting).
 //
 // With -data-dir set, datasets are durable: appends are journaled to a
 // per-dataset WAL before they are acknowledged, flushes snapshot the
 // dataset state (keys encrypted under a service master key), and a
 // restart recovers every dataset to its last transactional state.
 //
-// See the top-level README.md for the endpoint reference and curl
-// examples.
+// See docs/API.md for the endpoint reference and the top-level README.md
+// for a quickstart and the operations guide.
 package main
 
 import (
@@ -31,18 +36,20 @@ import (
 
 func main() {
 	var (
-		addr    = flag.String("addr", ":8089", "listen address")
-		workers = flag.Int("workers", 0, "pipeline worker pool size (default: GOMAXPROCS)")
-		maxBody = flag.Int64("max-body", 32<<20, "maximum request body bytes")
-		trials  = flag.Int("trials", 1000, "default attack-game trials for /report")
-		dataDir = flag.String("data-dir", "", "durable dataset store directory (empty: in-memory only)")
-		quiet   = flag.Bool("q", false, "suppress request logs")
+		addr        = flag.String("addr", ":8089", "listen address")
+		workers     = flag.Int("workers", 0, "pipeline worker pool size (default: GOMAXPROCS)")
+		parallelism = flag.Int("parallelism", 0, "workers per pipeline run (0: GOMAXPROCS, 1: serial); output is identical at every setting")
+		maxBody     = flag.Int64("max-body", 32<<20, "maximum request body bytes")
+		trials      = flag.Int("trials", 1000, "default attack-game trials for /report")
+		dataDir     = flag.String("data-dir", "", "durable dataset store directory (empty: in-memory only)")
+		quiet       = flag.Bool("q", false, "suppress request logs")
 	)
 	flag.Parse()
 
 	logger := log.New(os.Stderr, "f2served ", log.LstdFlags)
 	opts := server.Options{
 		Workers:      *workers,
+		Parallelism:  *parallelism,
 		MaxBodyBytes: *maxBody,
 		AttackTrials: *trials,
 		Logger:       logger,

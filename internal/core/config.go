@@ -29,6 +29,7 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"runtime"
 
 	"f2/internal/crypt"
 )
@@ -94,6 +95,15 @@ type Config struct {
 	// overlapping MASs then disagree on shared attributes and FDs break,
 	// as in Figure 3(e)).
 	SkipConflictResolution bool
+
+	// Parallelism bounds the worker goroutines the parallel encryption
+	// engine fans out across: per-MAS plan construction, instance-cipher
+	// filling, sharded row emission, the Step-4 border searches, and
+	// table decryption. 0 (the default) means GOMAXPROCS; 1 runs the
+	// historical serial pipeline. The ciphertext is byte-identical at
+	// every setting — parallelism is a throughput knob, never a
+	// correctness or security one.
+	Parallelism int
 }
 
 // DefaultConfig returns a Config with the paper's default shape: α = 0.2
@@ -114,6 +124,15 @@ func (c *Config) K() int {
 	return int(math.Ceil(1/c.Alpha - 1e-9))
 }
 
+// Workers resolves Parallelism to an effective worker count: the
+// configured value when positive, GOMAXPROCS otherwise.
+func (c *Config) Workers() int {
+	if c.Parallelism > 0 {
+		return c.Parallelism
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
 // Validate checks parameter ranges and applies defaults for zero values.
 func (c *Config) Validate() error {
 	if c.Alpha <= 0 || c.Alpha > 1 {
@@ -130,6 +149,9 @@ func (c *Config) Validate() error {
 	}
 	if c.MinInstanceFreq < 1 {
 		return errors.New("core: MinInstanceFreq must be ≥ 1")
+	}
+	if c.Parallelism < 0 {
+		return fmt.Errorf("core: Parallelism must be ≥ 0 (0 = GOMAXPROCS), got %d", c.Parallelism)
 	}
 	return nil
 }

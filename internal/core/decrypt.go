@@ -5,6 +5,7 @@ import (
 	"fmt"
 
 	"f2/internal/crypt"
+	"f2/internal/pool"
 	"f2/internal/relation"
 )
 
@@ -32,23 +33,48 @@ func NewDecryptor(cfg Config) (*Decryptor, error) {
 // decrypt to their original plaintext. This needs only the key, not the
 // encryption-time provenance. The context is checked periodically so a
 // large decryption can be cancelled.
+//
+// Cell decryption is pure, so the rows are sharded across
+// Config.Parallelism workers and written straight to their final
+// positions — the output table is identical at every parallelism.
 func (d *Decryptor) DecryptTable(ctx context.Context, t *relation.Table) (*relation.Table, error) {
+	n := t.NumRows()
+	m := t.NumAttrs()
+	rows := make([][]string, n)
+	decryptRange := func(ctx context.Context, lo, hi int) error {
+		for i := lo; i < hi; i++ {
+			if (i-lo)%1024 == 0 {
+				if err := ctx.Err(); err != nil {
+					return fmt.Errorf("core: decrypt: %w", err)
+				}
+			}
+			row := make([]string, m)
+			for a := 0; a < m; a++ {
+				p, err := d.cipher.DecryptCell(t.Cell(i, a))
+				if err != nil {
+					return fmt.Errorf("core: decrypting cell (%d,%d): %w", i, a, err)
+				}
+				row[a] = p
+			}
+			rows[i] = row
+		}
+		return nil
+	}
+	if workers := d.cfg.Workers(); workers > 1 && n > 1 {
+		pl := pool.New(workers)
+		defer pl.Close()
+		ranges := chunkRanges(n, workers*4)
+		if err := pl.ForEach(ctx, len(ranges), func(ctx context.Context, si int) error {
+			return decryptRange(ctx, ranges[si][0], ranges[si][1])
+		}); err != nil {
+			return nil, err
+		}
+	} else if err := decryptRange(ctx, 0, n); err != nil {
+		return nil, err
+	}
 	out := relation.NewTable(t.Schema().Clone())
-	row := make([]string, t.NumAttrs())
-	for i := 0; i < t.NumRows(); i++ {
-		if i%1024 == 0 {
-			if err := ctx.Err(); err != nil {
-				return nil, fmt.Errorf("core: decrypt: %w", err)
-			}
-		}
-		for a := 0; a < t.NumAttrs(); a++ {
-			p, err := d.cipher.DecryptCell(t.Cell(i, a))
-			if err != nil {
-				return nil, fmt.Errorf("core: decrypting cell (%d,%d): %w", i, a, err)
-			}
-			row[a] = p
-		}
-		if err := out.AppendRow(append([]string(nil), row...)); err != nil {
+	for _, row := range rows {
+		if err := out.AppendRow(row); err != nil {
 			return nil, err
 		}
 	}

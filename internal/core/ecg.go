@@ -53,12 +53,20 @@ type ecg struct {
 // buildECGs implements Step 2.1 for one MAS: sort the non-singleton ECs of
 // π_M by ascending size, then greedily group collision-free classes of
 // close sizes until each group holds k classes, minting fake classes when
-// a group cannot be filled. Returns the groups; fake members carry fresh
-// marker representatives obtained from mint.
-func buildECGs(p *partition.Partition, mas relation.AttrSet, k int, mint *freshMinter) []*ecg {
+// a group cannot be filled.
+//
+// It returns the groups plus the fake members in creation order. With a
+// non-nil mint the fake representatives are minted inline (fresh marker
+// values, collision-free by construction). With a nil mint they are left
+// empty for the caller to fill later: grouping decisions never read a
+// fake representative (fakes join a group only after its real members
+// are fixed, and each group's collision state dies with the group), so
+// plan construction can fan out across MASs while the globally ordered
+// minter stays untouched until a serial minting pass.
+func buildECGs(p *partition.Partition, mas relation.AttrSet, k int, mint *freshMinter) (groups []*ecg, fakes []*ecMember) {
 	classes := p.NonSingletonClasses()
 	if len(classes) == 0 {
-		return nil
+		return nil, nil
 	}
 	members := make([]*ecMember, len(classes))
 	for i, c := range classes {
@@ -67,7 +75,6 @@ func buildECGs(p *partition.Partition, mas relation.AttrSet, k int, mint *freshM
 
 	attrs := mas.Attrs()
 	used := make([]bool, len(members))
-	var groups []*ecg
 	for start := 0; start < len(members); start++ {
 		if used[start] {
 			continue
@@ -114,15 +121,22 @@ func buildECGs(p *partition.Partition, mas relation.AttrSet, k int, mint *freshM
 		}
 		for len(g.members) < k {
 			rep := make([]string, len(attrs))
-			for i := range rep {
-				rep[i] = mint.value()
+			if mint != nil {
+				for i := range rep {
+					rep[i] = mint.value()
+				}
 			}
-			add(&ecMember{rep: rep, size: minSize, fake: true})
+			fake := &ecMember{rep: rep, size: minSize, fake: true}
+			// Unlike add, the group's per-attribute value sets are not
+			// updated: nothing is matched against this group after its
+			// fakes join, and fresh marker values never collide anyway.
+			g.members = append(g.members, fake)
+			fakes = append(fakes, fake)
 		}
 		sortMembersBySize(g.members)
 		groups = append(groups, g)
 	}
-	return groups
+	return groups, fakes
 }
 
 func sortMembersBySize(ms []*ecMember) {

@@ -3,14 +3,13 @@ package core
 import (
 	"context"
 	"fmt"
-	"runtime"
 	"strings"
-	"sync"
 	"time"
 
 	"f2/internal/crypt"
 	"f2/internal/mas"
 	"f2/internal/partition"
+	"f2/internal/pool"
 	"f2/internal/relation"
 )
 
@@ -80,11 +79,14 @@ type Result struct {
 }
 
 // Encryptor applies the F² scheme. An Encryptor is safe to reuse across
-// tables but not concurrently.
+// tables but not concurrently. Internally each Encrypt/EncryptIncremental
+// run fans its independent stages out across Config.Parallelism workers;
+// the output is byte-identical at every width (see parallel.go).
 type Encryptor struct {
 	cfg    Config
 	cipher *crypt.ProbCipher
 	mint   *freshMinter
+	pool   *pool.Pool // per-run emission pool, nil between runs
 }
 
 // NewEncryptor validates cfg and builds an encryptor.
@@ -116,8 +118,8 @@ type masPlan struct {
 
 // Encrypt runs the full 4-step pipeline on t. The context is checked at
 // every step boundary and inside the heavy inner loops (instance filling,
-// Step-4 lattice search), so a cancelled or expired ctx aborts a long
-// encryption promptly with ctx.Err().
+// Step-4 lattice search, sharded emission), so a cancelled or expired ctx
+// aborts a long encryption promptly with ctx.Err().
 func (e *Encryptor) Encrypt(ctx context.Context, t *relation.Table) (*Result, error) {
 	if t.NumAttrs() > relation.MaxAttrs {
 		return nil, fmt.Errorf("core: table has %d attributes, max %d", t.NumAttrs(), relation.MaxAttrs)
@@ -126,6 +128,8 @@ func (e *Encryptor) Encrypt(ctx context.Context, t *relation.Table) (*Result, er
 		return nil, fmt.Errorf("core: encrypt: %w", err)
 	}
 	e.mint = &freshMinter{}
+	e.pool = pool.New(e.cfg.Workers())
+	defer func() { e.pool.Close(); e.pool = nil }()
 	res := &Result{Report: Report{Alpha: e.cfg.Alpha, SplitFactor: e.cfg.SplitFactor, K: e.cfg.K()}}
 	res.Report.OriginalRows = t.NumRows()
 
@@ -148,37 +152,12 @@ func (e *Encryptor) Encrypt(ctx context.Context, t *relation.Table) (*Result, er
 
 	// ---- Step 2: grouping + splitting-and-scaling (SSE) ----
 	start = time.Now()
-	plans := make([]*masPlan, 0, len(disc.Sets))
-	for _, m := range disc.Sets {
-		if err := ctx.Err(); err != nil {
-			return nil, fmt.Errorf("core: encrypt: %w", err)
-		}
-		p := &masPlan{attrs: m, cols: m.Attrs(), part: disc.Partitions[m]}
-		p.ecgs = buildECGs(p.part, m, e.cfg.K(), e.mint)
-		for _, g := range p.ecgs {
-			if e.cfg.NaiveSplitPoint {
-				planSplitNaive(g, e.cfg.SplitFactor, e.cfg.MinInstanceFreq)
-			} else {
-				planSplit(g, e.cfg.SplitFactor, e.cfg.MinInstanceFreq)
-			}
-			assignRows(g)
-		}
-		if err := e.fillInstanceCiphers(ctx, p); err != nil {
-			return nil, err
-		}
-		p.rowInst = make([]*ecInstance, t.NumRows())
-		for _, g := range p.ecgs {
-			for _, mem := range g.members {
-				for _, inst := range mem.instances {
-					for _, r := range inst.assignedRows {
-						p.rowInst[r] = inst
-					}
-				}
-			}
-		}
-		p.stats = statsOf(p.ecgs)
+	plans, err := e.buildPlans(ctx, disc, t.NumRows())
+	if err != nil {
+		return nil, err
+	}
+	for _, p := range plans {
 		res.Report.addGroupStats(p.stats)
-		plans = append(plans, p)
 	}
 	res.Report.TimeSSE = time.Since(start)
 
@@ -188,9 +167,15 @@ func (e *Encryptor) Encrypt(ctx context.Context, t *relation.Table) (*Result, er
 		return nil, fmt.Errorf("core: encrypt: %w", err)
 	}
 	out := relation.NewTable(t.Schema().Clone())
-	e.emitOriginalRows(t, plans, out, res, 0, t.NumRows())
-	e.emitScaleCopies(plans, out, res)
-	e.emitFakeECRows(plans, out, res)
+	if err := e.emitOriginalRows(ctx, t, plans, out, res, 0, t.NumRows()); err != nil {
+		return nil, fmt.Errorf("core: encrypt: %w", err)
+	}
+	if err := e.emitPaddingJobs(ctx, scaleCopyJobs(plans), out, res); err != nil {
+		return nil, fmt.Errorf("core: encrypt: %w", err)
+	}
+	if err := e.emitPaddingJobs(ctx, fakeECJobs(plans), out, res); err != nil {
+		return nil, fmt.Errorf("core: encrypt: %w", err)
+	}
 	res.Report.TimeSYN = time.Since(start)
 
 	// ---- Step 4: false-positive elimination (FP) ----
@@ -211,67 +196,91 @@ func (e *Encryptor) Encrypt(ctx context.Context, t *relation.Table) (*Result, er
 	return res, nil
 }
 
-// fillInstanceCiphers encrypts every instance's representative over the MAS
-// attributes. The tweak binds (MAS, attribute, EC representative) so that:
-// distinct instances of one EC differ on every attribute (Requirement 2),
-// and equal plaintext values appearing in different ECs — hence in
-// different ECGs — never share a ciphertext (§3.2.2).
-//
-// EncryptInstance is a pure function of (key, tweak, value, index), so the
-// fill parallelizes across instances without affecting determinism: the
-// same key always produces the same ciphertext table.
-func (e *Encryptor) fillInstanceCiphers(ctx context.Context, p *masPlan) error {
-	masTag := p.attrs.String()
-	type task struct {
-		mem  *ecMember
-		inst *ecInstance
-	}
-	var tasks []task
-	for _, g := range p.ecgs {
-		for _, mem := range g.members {
-			for _, inst := range mem.instances {
-				tasks = append(tasks, task{mem, inst})
+// buildPlans runs Step 2's plan construction, fanned out one MAS per
+// task: grouping, split planning, and row assignment depend only on the
+// MAS's own partition, never on another plan. Fake-EC representatives
+// are the one globally ordered resource (they consume the fresh minter),
+// so buildECGs defers them and a serial pass afterwards mints every fake
+// representative in MAS → group → member → attribute order — exactly the
+// sequence the serial pipeline produces.
+func (e *Encryptor) buildPlans(ctx context.Context, disc *mas.Result, nRows int) ([]*masPlan, error) {
+	plans := make([]*masPlan, len(disc.Sets))
+	fakes := make([][]*ecMember, len(disc.Sets))
+	err := e.pool.ForEach(ctx, len(disc.Sets), func(ctx context.Context, i int) error {
+		m := disc.Sets[i]
+		p := &masPlan{attrs: m, cols: m.Attrs(), part: disc.Partitions[m]}
+		p.ecgs, fakes[i] = buildECGs(p.part, m, e.cfg.K(), nil)
+		for _, g := range p.ecgs {
+			if e.cfg.NaiveSplitPoint {
+				planSplitNaive(g, e.cfg.SplitFactor, e.cfg.MinInstanceFreq)
+			} else {
+				planSplit(g, e.cfg.SplitFactor, e.cfg.MinInstanceFreq)
 			}
+			assignRows(g)
 		}
-	}
-	workers := runtime.GOMAXPROCS(0)
-	if workers > len(tasks) {
-		workers = len(tasks)
-	}
-	if workers <= 1 {
-		for i, t := range tasks {
-			if i%1024 == 0 {
-				if err := ctx.Err(); err != nil {
-					return fmt.Errorf("core: encrypt: %w", err)
+		p.rowInst = make([]*ecInstance, nRows)
+		for _, g := range p.ecgs {
+			for _, mem := range g.members {
+				for _, inst := range mem.instances {
+					for _, r := range inst.assignedRows {
+						p.rowInst[r] = inst
+					}
 				}
 			}
-			e.fillOneInstance(masTag, p.cols, t.mem, t.inst)
+		}
+		p.stats = statsOf(p.ecgs)
+		plans[i] = p
+		return nil
+	})
+	if err != nil {
+		return nil, fmt.Errorf("core: encrypt: %w", err)
+	}
+	for _, fs := range fakes {
+		for _, mem := range fs {
+			for i := range mem.rep {
+				mem.rep[i] = e.mint.value()
+			}
+		}
+	}
+	if err := e.fillInstanceCiphers(ctx, plans); err != nil {
+		return nil, err
+	}
+	return plans, nil
+}
+
+// fillInstanceCiphers encrypts every instance's representative over the
+// MAS attributes, sharded one ECG per pool task. The tweak binds (MAS,
+// attribute, EC representative) so that: distinct instances of one EC
+// differ on every attribute (Requirement 2), and equal plaintext values
+// appearing in different ECs — hence in different ECGs — never share a
+// ciphertext (§3.2.2).
+//
+// EncryptInstance is a pure function of (key, tweak, value, index), so the
+// fill parallelizes across ECGs without affecting determinism: the same
+// key always produces the same ciphertext table.
+func (e *Encryptor) fillInstanceCiphers(ctx context.Context, plans []*masPlan) error {
+	type task struct {
+		masTag string
+		cols   []int
+		g      *ecg
+	}
+	var tasks []task
+	for _, p := range plans {
+		tag := p.attrs.String()
+		for _, g := range p.ecgs {
+			tasks = append(tasks, task{tag, p.cols, g})
+		}
+	}
+	err := e.pool.ForEach(ctx, len(tasks), func(ctx context.Context, i int) error {
+		tk := tasks[i]
+		for _, mem := range tk.g.members {
+			for _, inst := range mem.instances {
+				e.fillOneInstance(tk.masTag, tk.cols, mem, inst)
+			}
 		}
 		return nil
-	}
-	var wg sync.WaitGroup
-	next := make(chan task, workers)
-	done := ctx.Done()
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for t := range next {
-				e.fillOneInstance(masTag, p.cols, t.mem, t.inst)
-			}
-		}()
-	}
-feed:
-	for _, t := range tasks {
-		select {
-		case next <- t:
-		case <-done:
-			break feed
-		}
-	}
-	close(next)
-	wg.Wait()
-	if err := ctx.Err(); err != nil {
+	})
+	if err != nil {
 		return fmt.Errorf("core: encrypt: %w", err)
 	}
 	return nil
@@ -295,10 +304,11 @@ func (e *Encryptor) singletonCipher(row, attr int, plain string) string {
 	return e.cipher.EncryptInstance(fmt.Sprintf("row:%d|attr:%d", row, attr), plain, uint64(row))
 }
 
-// freshCipher encrypts a freshly minted marker value; each call produces a
-// ciphertext unique in the output table.
-func (e *Encryptor) freshCipher(attr int) string {
-	v := e.mint.value()
+// freshCipherM encrypts a freshly minted marker value drawn from mint;
+// each call produces a ciphertext unique in the output table. Emission
+// shards pass their own offset minter; serial paths pass e.mint.
+func (e *Encryptor) freshCipherM(mint *freshMinter, attr int) string {
+	v := mint.value()
 	return e.cipher.EncryptInstance(fmt.Sprintf("fresh|attr:%d", attr), v, 0)
 }
 
@@ -306,50 +316,106 @@ func (e *Encryptor) freshCipher(attr int) string {
 // splitting a tuple into parts when overlapping MASs claim its shared
 // attributes with different ciphertexts (type-2 conflicts, §3.3.2). The
 // full pipeline passes the whole table; the incremental engine passes only
-// the appended suffix.
-func (e *Encryptor) emitOriginalRows(t *relation.Table, plans []*masPlan, out *relation.Table, res *Result, lo, hi int) {
-	m := t.NumAttrs()
-	row := make([]string, m)
-	for r := lo; r < hi; r++ {
-		// Collect the MASs holding a grouped (non-singleton) instance for
-		// this row; only they impose ciphertexts that can conflict.
-		var grouped []*masPlan
-		for _, p := range plans {
-			if p.rowInst[r] != nil {
-				grouped = append(grouped, p)
-			}
+// the appended suffix. Emission is sharded by row range across the pool
+// and merged back in order (see parallel.go).
+func (e *Encryptor) emitOriginalRows(ctx context.Context, t *relation.Table, plans []*masPlan, out *relation.Table, res *Result, lo, hi int) error {
+	n := hi - lo
+	if n == 0 {
+		return ctx.Err()
+	}
+	var prefix []uint64
+	if e.emitChunks(n) > 1 {
+		counts := make([]int, n)
+		for r := 0; r < n; r++ {
+			counts[r] = e.freshCellsOfRow(t, plans, lo+r)
 		}
-		parts := splitConflicts(grouped, e.cfg.SkipConflictResolution)
-		for pi, part := range parts {
-			carried := relation.AttrSet(0)
-			for a := 0; a < m; a++ {
-				owner := ownerIn(part, a)
-				switch {
-				case owner != nil:
-					row[a] = owner.rowInst[r].cipher[a]
-					carried = carried.Add(a)
-				case pi == 0 && !groupedElsewhere(grouped, part, a):
-					// Primary part: attributes not claimed by any grouped
-					// MAS keep their (singleton-encrypted) real value.
-					row[a] = e.singletonCipher(r, a, t.Cell(r, a))
-					carried = carried.Add(a)
-				default:
-					// Fresh filler (the v_X / v_Y values of §3.3.2).
-					row[a] = e.freshCipher(a)
+		prefix = prefixSums(counts)
+	}
+	m := t.NumAttrs()
+	return e.runEmitShards(ctx, n, prefix, out, res, func(s *emitSink, slo, shi int, mint *freshMinter) error {
+		row := make([]string, m)
+		for r := slo; r < shi; r++ {
+			if (r-slo)%64 == 0 {
+				if err := ctx.Err(); err != nil {
+					return err
 				}
 			}
-			out.AppendRow(append([]string(nil), row...))
-			kind := RowOriginal
-			if len(parts) > 1 {
-				kind = RowConflictPart
-			}
-			res.Origins = append(res.Origins, RowOrigin{Kind: kind, SourceRow: r, Carried: carried})
+			e.emitOneOriginalRow(t, plans, lo+r, row, mint, s)
 		}
-		if len(parts) > 1 {
-			res.Report.ConflictRows += len(parts) - 1
-			res.Report.ConflictTuples++
+		return nil
+	})
+}
+
+// emitOneOriginalRow emits the part(s) of original row r into the sink.
+// row is a scratch buffer of width NumAttrs.
+func (e *Encryptor) emitOneOriginalRow(t *relation.Table, plans []*masPlan, r int, row []string, mint *freshMinter, s *emitSink) {
+	m := t.NumAttrs()
+	// Collect the MASs holding a grouped (non-singleton) instance for
+	// this row; only they impose ciphertexts that can conflict.
+	var grouped []*masPlan
+	for _, p := range plans {
+		if p.rowInst[r] != nil {
+			grouped = append(grouped, p)
 		}
 	}
+	parts := splitConflicts(grouped, e.cfg.SkipConflictResolution)
+	for pi, part := range parts {
+		carried := relation.AttrSet(0)
+		for a := 0; a < m; a++ {
+			owner := ownerIn(part, a)
+			switch {
+			case owner != nil:
+				row[a] = owner.rowInst[r].cipher[a]
+				carried = carried.Add(a)
+			case pi == 0 && !groupedElsewhere(grouped, part, a):
+				// Primary part: attributes not claimed by any grouped
+				// MAS keep their (singleton-encrypted) real value.
+				row[a] = e.singletonCipher(r, a, t.Cell(r, a))
+				carried = carried.Add(a)
+			default:
+				// Fresh filler (the v_X / v_Y values of §3.3.2).
+				row[a] = e.freshCipherM(mint, a)
+			}
+		}
+		s.rows = append(s.rows, append([]string(nil), row...))
+		kind := RowOriginal
+		if len(parts) > 1 {
+			kind = RowConflictPart
+		}
+		s.origins = append(s.origins, RowOrigin{Kind: kind, SourceRow: r, Carried: carried})
+	}
+	if len(parts) > 1 {
+		s.conflictRows += len(parts) - 1
+		s.conflictTuples++
+	}
+}
+
+// freshCellsOfRow counts, without any cryptography, how many fresh filler
+// values emitOneOriginalRow will mint for row r. It mirrors that
+// function's cell classification exactly; runEmitShards audits the two
+// against each other after every shard.
+func (e *Encryptor) freshCellsOfRow(t *relation.Table, plans []*masPlan, r int) int {
+	m := t.NumAttrs()
+	var grouped []*masPlan
+	for _, p := range plans {
+		if p.rowInst[r] != nil {
+			grouped = append(grouped, p)
+		}
+	}
+	parts := splitConflicts(grouped, e.cfg.SkipConflictResolution)
+	fresh := 0
+	for pi, part := range parts {
+		for a := 0; a < m; a++ {
+			if ownerIn(part, a) != nil {
+				continue
+			}
+			if pi == 0 && !groupedElsewhere(grouped, part, a) {
+				continue
+			}
+			fresh++
+		}
+	}
+	return fresh
 }
 
 // splitConflicts partitions the grouped MASs of one row into parts of
@@ -412,70 +478,4 @@ func groupedElsewhere(grouped, part []*masPlan, a int) bool {
 		}
 	}
 	return false
-}
-
-// emitPaddingRows synthesizes count rows carrying inst's ciphertext over
-// the MAS attributes of p and fresh values everywhere else. For a real
-// member these are scale copies (Step 2.2, with §3.3.1's type-1 conflict
-// handling built in); for a fake member they materialize the fake
-// equivalence class of Step 2.1. Both the full pipeline and the
-// incremental engine (which tops instances up to a raised target) emit
-// through here.
-func (e *Encryptor) emitPaddingRows(p *masPlan, inst *ecInstance, count int, fake bool, out *relation.Table, res *Result) {
-	m := out.NumAttrs()
-	row := make([]string, m)
-	for c := 0; c < count; c++ {
-		for a := 0; a < m; a++ {
-			if p.attrs.Has(a) {
-				row[a] = inst.cipher[a]
-			} else {
-				row[a] = e.freshCipher(a)
-			}
-		}
-		out.AppendRow(append([]string(nil), row...))
-		if fake {
-			res.Origins = append(res.Origins, RowOrigin{Kind: RowFakeEC, SourceRow: -1, Carried: 0})
-			res.Report.GroupRows++
-		} else {
-			res.Origins = append(res.Origins, RowOrigin{Kind: RowScaleCopy, SourceRow: -1, Carried: p.attrs})
-			res.Report.ScaleRows++
-		}
-	}
-}
-
-// emitScaleCopies materializes the scaling copies of Step 2.2: each copy
-// carries its instance's ciphertext over the MAS attributes and fresh
-// values everywhere else, which is exactly the type-1 conflict handling of
-// §3.3.1 (the copy joins no equivalence class of any other MAS).
-func (e *Encryptor) emitScaleCopies(plans []*masPlan, out *relation.Table, res *Result) {
-	for _, p := range plans {
-		for _, g := range p.ecgs {
-			for _, mem := range g.members {
-				if mem.fake {
-					continue
-				}
-				for _, inst := range mem.instances {
-					e.emitPaddingRows(p, inst, inst.copies, false, out, res)
-				}
-			}
-		}
-	}
-}
-
-// emitFakeECRows materializes the fake equivalence classes added by
-// grouping: target-many rows per instance, sharing the instance ciphertext
-// over the MAS attributes and fresh elsewhere.
-func (e *Encryptor) emitFakeECRows(plans []*masPlan, out *relation.Table, res *Result) {
-	for _, p := range plans {
-		for _, g := range p.ecgs {
-			for _, mem := range g.members {
-				if !mem.fake {
-					continue
-				}
-				for _, inst := range mem.instances {
-					e.emitPaddingRows(p, inst, g.target, true, out, res)
-				}
-			}
-		}
-	}
 }

@@ -3,6 +3,7 @@ package core
 import (
 	"context"
 	"fmt"
+	"sync"
 
 	"f2/internal/border"
 	"f2/internal/relation"
@@ -34,6 +35,16 @@ type fpWitness struct {
 // nodes proportional to the border, not to the holding region of the
 // lattice, and subsumes the paper's "mark descendants checked" pruning.
 //
+// The per-Y border searches are independent — violation is a property of
+// (X, Y) pairs on D — so they fan out across the pool, one RHS attribute
+// per task; only the shared representative indexes are built under a
+// lock, once per MAS. Witness caches are per-Y (a node carries its Y, so
+// the serial path never shared entries across Y either), which keeps the
+// probe results identical to the serial sweep. The artificial pairs are
+// then emitted in ascending-Y, sorted-X order through the sharded
+// emitter, so row order and minted values match the serial path byte for
+// byte.
+//
 // Deviation from the paper (documented in DESIGN.md): the paper's
 // artificial pairs agree exactly on X and differ everywhere else, which
 // can incidentally break a *real* FD X'→Z (X' ⊆ X, Z outside X∪{Y}) and
@@ -47,12 +58,6 @@ type fpWitness struct {
 // incremental engine keeps that set to decide which newly violated
 // dependencies still need witnessing after an append.
 func (e *Encryptor) eliminateFalsePositives(ctx context.Context, t *relation.Table, plans []*masPlan, out *relation.Table, res *Result) (map[fpNode]bool, error) {
-	// Violation oracle results are shared across MASs: for X∪{Y} inside
-	// two overlapping MASs the answer is identical (violations are a
-	// property of D, not of the covering MAS).
-	cache := make(map[fpNode]*fpWitness)
-	emitted := make(map[fpNode]bool)
-
 	// A violated X needs a row pair agreeing on X, so X must be a
 	// non-unique column combination — equivalently, contained in some MAS
 	// (Step 1 already computed them all). That containment test is a few
@@ -71,17 +76,22 @@ func (e *Encryptor) eliminateFalsePositives(ctx context.Context, t *relation.Tab
 		return false
 	}
 
-	// Lazily built representative indexes, one per MAS.
-	repIndexes := make(map[relation.AttrSet]*repIndex, len(plans))
+	// Lazily built representative indexes, one per MAS, shared across the
+	// concurrent per-Y searches. A per-plan sync.Once keeps the build
+	// lazy (an unprobed MAS never pays for an index) while the hot
+	// lookup path — every uncached oracle probe of every Y search —
+	// stays lock-free after the build.
+	type lazyRepIndex struct {
+		once sync.Once
+		idx  *repIndex
+	}
+	lazies := make([]lazyRepIndex, len(plans))
 	repFor := func(attrs relation.AttrSet) *repIndex {
-		for _, p := range plans {
+		for i, p := range plans {
 			if attrs.SubsetOf(p.attrs) {
-				idx, ok := repIndexes[p.attrs]
-				if !ok {
-					idx = newRepIndex(p)
-					repIndexes[p.attrs] = idx
-				}
-				return idx
+				l := &lazies[i]
+				l.once.Do(func() { l.idx = newRepIndex(p) })
+				return l.idx
 			}
 		}
 		return nil
@@ -92,10 +102,12 @@ func (e *Encryptor) eliminateFalsePositives(ctx context.Context, t *relation.Tab
 	// violated on D" — stays downward closed in X, so the positive border
 	// is exactly the set of globally maximal false-positive dependencies,
 	// with no duplicated work across overlapping MASs.
-	for y := 0; y < t.NumAttrs(); y++ {
-		if err := ctx.Err(); err != nil {
-			return nil, fmt.Errorf("core: encrypt: %w", err)
-		}
+	type fpFound struct {
+		x relation.AttrSet
+		w *fpWitness
+	}
+	found := make([][]fpFound, t.NumAttrs())
+	err := e.pool.ForEach(ctx, t.NumAttrs(), func(ctx context.Context, y int) error {
 		universe := relation.AttrSet(0)
 		for _, m := range masSets {
 			if m.Has(y) && m.Size() >= 2 {
@@ -104,8 +116,9 @@ func (e *Encryptor) eliminateFalsePositives(ctx context.Context, t *relation.Tab
 		}
 		universe = universe.Remove(y)
 		if universe.IsEmpty() {
-			continue
+			return nil
 		}
+		cache := make(map[fpNode]*fpWitness)
 		sets, _ := border.Find(universe, func(x relation.AttrSet) bool {
 			// A cancelled ctx makes the oracle constant-false so the
 			// border search drains quickly; the ctx.Err() check after
@@ -126,14 +139,28 @@ func (e *Encryptor) eliminateFalsePositives(ctx context.Context, t *relation.Tab
 			return w != nil
 		})
 		if err := ctx.Err(); err != nil {
-			return nil, fmt.Errorf("core: encrypt: %w", err)
+			return err
 		}
 		for _, x := range sets {
-			w := cache[fpNode{x, y}]
-			res.Report.FPNodes++
-			emitted[fpNode{x, y}] = true
-			e.emitFPPairs(t, w.ri, w.rj, out, res)
+			found[y] = append(found[y], fpFound{x, cache[fpNode{x, y}]})
 		}
+		return nil
+	})
+	if err != nil {
+		return nil, fmt.Errorf("core: encrypt: %w", err)
+	}
+
+	emitted := make(map[fpNode]bool)
+	var jobs []fpWitness
+	for y := range found {
+		for _, f := range found[y] {
+			emitted[fpNode{f.x, y}] = true
+			jobs = append(jobs, *f.w)
+		}
+	}
+	res.Report.FPNodes += len(jobs)
+	if err := e.emitFPJobs(ctx, t, jobs, out, res); err != nil {
+		return nil, fmt.Errorf("core: encrypt: %w", err)
 	}
 	return emitted, nil
 }
@@ -143,7 +170,8 @@ func (e *Encryptor) eliminateFalsePositives(ctx context.Context, t *relation.Tab
 // equivalent to testing all row pairs: rows inside one EC agree on all of
 // M, so they can never witness a violation of X→Y with X∪{Y} ⊆ M.
 // Representatives are dictionary-encoded per attribute so violation scans
-// work on integer codes.
+// work on integer codes. A built index is immutable and safe for
+// concurrent readers.
 type repIndex struct {
 	cols   []int       // MAS attributes, ascending
 	colPos map[int]int // attribute -> index into rep slices
@@ -212,9 +240,51 @@ func (x *repIndex) findViolation(attrs relation.AttrSet, y int) (ri, rj int, vio
 	return 0, 0, false
 }
 
+// fpFreshCells counts the fresh values one artificial pair set for
+// template rows (ri, rj) consumes: per pair, one shared value for every
+// agreeing attribute and two distinct values for every differing one.
+func fpFreshCells(t *relation.Table, ri, rj, k int) int {
+	per := 0
+	for a := 0; a < t.NumAttrs(); a++ {
+		if t.Cell(ri, a) == t.Cell(rj, a) {
+			per++
+		} else {
+			per += 2
+		}
+	}
+	return k * per
+}
+
+// emitFPJobs inserts the artificial record pairs for every witness, in
+// order, sharded across the pool (each job's fresh-value budget is
+// computed from its template rows' agreement pattern).
+func (e *Encryptor) emitFPJobs(ctx context.Context, t *relation.Table, jobs []fpWitness, out *relation.Table, res *Result) error {
+	if len(jobs) == 0 {
+		return ctx.Err()
+	}
+	k := e.cfg.K()
+	var prefix []uint64
+	if e.emitChunks(len(jobs)) > 1 {
+		counts := make([]int, len(jobs))
+		for i, j := range jobs {
+			counts[i] = fpFreshCells(t, j.ri, j.rj, k)
+		}
+		prefix = prefixSums(counts)
+	}
+	return e.runEmitShards(ctx, len(jobs), prefix, out, res, func(s *emitSink, lo, hi int, mint *freshMinter) error {
+		for ji := lo; ji < hi; ji++ {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+			e.emitFPPairs(t, jobs[ji].ri, jobs[ji].rj, mint, s)
+		}
+		return nil
+	})
+}
+
 // emitFPPairs inserts k = ⌈1/α⌉ artificial record pairs replicating the
 // agreement pattern of the template rows (ri, rj) with fresh values.
-func (e *Encryptor) emitFPPairs(t *relation.Table, ri, rj int, out *relation.Table, res *Result) {
+func (e *Encryptor) emitFPPairs(t *relation.Table, ri, rj int, mint *freshMinter, s *emitSink) {
 	m := t.NumAttrs()
 	k := e.cfg.K()
 	for i := 0; i < k; i++ {
@@ -222,18 +292,17 @@ func (e *Encryptor) emitFPPairs(t *relation.Table, ri, rj int, out *relation.Tab
 		r2 := make([]string, m)
 		for a := 0; a < m; a++ {
 			if t.Cell(ri, a) == t.Cell(rj, a) {
-				c := e.freshCipher(a)
+				c := e.freshCipherM(mint, a)
 				r1[a], r2[a] = c, c
 			} else {
-				r1[a] = e.freshCipher(a)
-				r2[a] = e.freshCipher(a)
+				r1[a] = e.freshCipherM(mint, a)
+				r2[a] = e.freshCipherM(mint, a)
 			}
 		}
-		out.AppendRow(r1)
-		out.AppendRow(r2)
-		res.Origins = append(res.Origins,
+		s.rows = append(s.rows, r1, r2)
+		s.origins = append(s.origins,
 			RowOrigin{Kind: RowFPArtificial, SourceRow: -1, Carried: 0},
 			RowOrigin{Kind: RowFPArtificial, SourceRow: -1, Carried: 0})
-		res.Report.FPRows += 2
+		s.fpRows += 2
 	}
 }

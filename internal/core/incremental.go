@@ -8,6 +8,7 @@ import (
 
 	"f2/internal/mas"
 	"f2/internal/partition"
+	"f2/internal/pool"
 	"f2/internal/relation"
 )
 
@@ -97,6 +98,8 @@ func (e *Encryptor) EncryptIncremental(ctx context.Context, prev *Result, t *rel
 	// ---- Step 2': plan extension (SSE) ----
 	start = time.Now()
 	e.mint = &freshMinter{n: prev.state.minted}
+	e.pool = pool.New(e.cfg.Workers())
+	defer func() { e.pool.Close(); e.pool = nil }()
 	plans := make([]*masPlan, len(prev.state.plans))
 	var patches []*ecgPatch
 	for i, old := range prev.state.plans {
@@ -129,17 +132,26 @@ func (e *Encryptor) EncryptIncremental(ctx context.Context, prev *Result, t *rel
 
 	out := prev.Encrypted.Clone()
 	res.Origins = append(make([]RowOrigin, 0, len(prev.Origins)+4*(t.NumRows()-oldRows)), prev.Origins...)
-	e.emitOriginalRows(t, plans, out, res, oldRows, t.NumRows())
+	if err := e.emitOriginalRows(ctx, t, plans, out, res, oldRows, t.NumRows()); err != nil {
+		return nil, false, fmt.Errorf("core: incremental: %w", err)
+	}
+	// Top up every instance of a grown ECG through the shared padding
+	// emitter (parallel, ordered merge) — same job order as the serial
+	// patch walk.
+	var topUps []padJob
 	for _, p := range patches {
 		for _, mem := range p.g.members {
 			for _, inst := range mem.instances {
 				if mem.fake {
-					e.emitPaddingRows(p.plan, inst, p.maxG, true, out, res)
+					topUps = append(topUps, padJob{p.plan, inst, p.maxG, true})
 				} else {
-					e.emitPaddingRows(p.plan, inst, p.maxG-p.gains[inst], false, out, res)
+					topUps = append(topUps, padJob{p.plan, inst, p.maxG - p.gains[inst], false})
 				}
 			}
 		}
+	}
+	if err := e.emitPaddingJobs(ctx, topUps, out, res); err != nil {
+		return nil, false, fmt.Errorf("core: incremental: %w", err)
 	}
 	res.Report.TimeSYN = time.Since(start)
 
@@ -393,6 +405,7 @@ func (e *Encryptor) patchFalsePositives(t *relation.Table, agreements map[relati
 		}
 		return order[i].Y < order[j].Y
 	})
+	var sink emitSink
 	for _, n := range order {
 		if covered(n) {
 			continue
@@ -400,7 +413,8 @@ func (e *Encryptor) patchFalsePositives(t *relation.Table, agreements map[relati
 		pair := cands[n]
 		res.Report.FPNodes++
 		nodes[n] = true
-		e.emitFPPairs(t, pair[0], pair[1], out, res)
+		e.emitFPPairs(t, pair[0], pair[1], e.mint, &sink)
 	}
+	sink.mergeInto(out, res)
 	return nodes
 }

@@ -3,6 +3,14 @@
 // The Computer Journal 1999) for FD discovery, and an exponential
 // brute-force oracle used to cross-check TANE in tests. FD discovery is the
 // server-side workload that F² must keep intact on encrypted data.
+//
+// The load-bearing distinction is *witnessed* FDs: X→Y is witnessed when
+// it holds AND some row pair actually agrees on X (it does not hold
+// merely vacuously). F²'s preservation guarantee (Theorem 3.7) is about
+// witnessed dependencies — DiscoverWitnessed on the ciphertext must
+// equal DiscoverWitnessed on the plaintext — and the encryptor's
+// MinInstanceFreq floor exists precisely to keep witnesses alive.
+// Discovery is read-only and safe to run concurrently on one table.
 package fd
 
 import (

@@ -3,6 +3,21 @@
 // stripped-partition representation and partition product used by TANE
 // (Huhtala et al., 1999). Partitions are the shared machinery behind FD
 // discovery, MAS discovery, and the F² encryptor itself.
+//
+// Invariants the rest of the system leans on:
+//
+//   - within one class, Rows is ascending, and Representative is the
+//     projection (in ascending attribute order) shared by every row of
+//     the class;
+//   - representatives are unique within one partition — the encryptor's
+//     incremental engine uses them as stable member identities across
+//     refinements;
+//   - Refine is append-aware and copy-on-write: refining with appended
+//     rows never mutates the receiver, keeps every pre-existing row
+//     *before* every appended row inside a grown class, and reports the
+//     grown/born class indices as a Delta. The incremental encryptor's
+//     positional old/new split (core.appendedSuffix) is correct only
+//     because of that ordering guarantee.
 package partition
 
 import (

@@ -1,8 +1,21 @@
 // Package relation provides the relational substrate for F²: schemas,
 // in-memory tables, attribute bitsets, projections, frequency statistics,
-// and CSV import/export. Tables are immutable-by-convention column stores
-// of string-typed cells; the F² scheme (and FD theory generally) only needs
-// cell equality, so every value is a string.
+// and CSV/JSON import/export. Tables are immutable-by-convention column
+// stores of string-typed cells; the F² scheme (and FD theory generally)
+// only needs cell equality, so every value is a string.
+//
+// Invariants:
+//
+//   - an AttrSet is a uint64 bitmask, so schemas are capped at MaxAttrs
+//     attributes; set algebra (subset, overlap, union) is a handful of
+//     word operations, which is what makes the border searches cheap;
+//   - AppendRow/AppendRows validate width and are atomic — a ragged
+//     batch leaves the table unchanged, the guarantee the updater's
+//     Buffer and the server's WAL-then-buffer sequencing rely on;
+//   - row order is insertion order and is load-bearing throughout:
+//     partitions keep it inside classes, the incremental engine splits
+//     old from appended rows positionally, and encrypted tables must
+//     replay byte-identically.
 package relation
 
 import (

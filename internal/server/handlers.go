@@ -35,6 +35,10 @@ type createDatasetRequest struct {
 	// falls back to a rebuild on structural changes; "rebuild" always
 	// re-runs the full pipeline.
 	UpdateMode string `json:"updateMode,omitempty"`
+	// Parallelism overrides the server's default pipeline parallelism
+	// for this dataset (0 = server default; 1 = serial). The ciphertext
+	// is byte-identical at every setting.
+	Parallelism int `json:"parallelism,omitempty"`
 	// KeySeed derives the dataset key deterministically (tests and
 	// reproducible demos); empty draws a random key.
 	KeySeed string `json:"keySeed,omitempty"`
@@ -157,6 +161,10 @@ func (s *Server) handleCreateDataset(w http.ResponseWriter, r *http.Request) {
 	}
 	if req.SplitFactor != 0 {
 		cfg.SplitFactor = req.SplitFactor
+	}
+	cfg.Parallelism = s.opts.Parallelism
+	if req.Parallelism != 0 {
+		cfg.Parallelism = req.Parallelism
 	}
 	if err := cfg.Validate(); err != nil {
 		writeError(w, http.StatusBadRequest, "%v", err)

@@ -65,6 +65,10 @@ type Summary struct {
 	IncrementalFlushes int     `json:"incrementalFlushes"`
 	LastFlushMode      string  `json:"lastFlushMode"`
 	Overhead           float64 `json:"overhead"`
+	// Parallelism is the effective worker count the dataset's pipeline
+	// runs fan out across (its core.Config.Parallelism resolved against
+	// GOMAXPROCS).
+	Parallelism int `json:"parallelism"`
 }
 
 // refreshSummaryLocked recomputes and caches the summary; the caller
@@ -85,6 +89,7 @@ func (d *Dataset) refreshSummaryLocked() Summary {
 		IncrementalFlushes: d.upd.IncrementalFlushes,
 		LastFlushMode:      string(d.upd.LastFlush),
 		Overhead:           res.Report.Overhead(),
+		Parallelism:        d.cfg.Workers(),
 	}
 	d.statMu.Lock()
 	d.stats = s

@@ -42,6 +42,13 @@ type Options struct {
 	// VerifyProbes is the completeness-probe count for /report's
 	// verification pass. Default 200.
 	VerifyProbes int
+	// Parallelism is the default core.Config.Parallelism for new
+	// datasets: how many workers one pipeline run (encrypt, flush,
+	// decrypt) fans out across. 0 means GOMAXPROCS, 1 forces the serial
+	// pipeline. Together with Workers it bounds total pipeline
+	// concurrency at Workers × Parallelism goroutines. Per-dataset
+	// overrides arrive via the create request's "parallelism" field.
+	Parallelism int
 	// Store, when non-nil, makes datasets durable: appends are journaled
 	// before they are acknowledged, flushes snapshot the dataset state,
 	// and New recovers every stored dataset at boot. Nil keeps the
@@ -85,6 +92,11 @@ type Server struct {
 // also runs boot-time recovery, so the returned server already holds
 // every dataset that survived the previous process.
 func New(opts Options) (*Server, error) {
+	// A bad parallelism default must fail the boot, not turn into a 400
+	// on every subsequent create.
+	if opts.Parallelism < 0 {
+		return nil, fmt.Errorf("server: Parallelism must be ≥ 0 (0 = GOMAXPROCS), got %d", opts.Parallelism)
+	}
 	opts.fillDefaults()
 	lifecycle, stop := context.WithCancel(context.Background())
 	s := &Server{

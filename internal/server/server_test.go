@@ -635,3 +635,63 @@ func TestPoolRecoversJobPanic(t *testing.T) {
 		t.Fatalf("pool dead after panic: %v", err)
 	}
 }
+
+// TestParallelismWiring covers the -parallelism plumbing: the server
+// default reaches new datasets, the per-request field overrides it, the
+// effective width lands in summaries, and a negative value is a 400.
+func TestParallelismWiring(t *testing.T) {
+	srv, err := New(Options{Workers: 2, Parallelism: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	defer func() {
+		ts.Close()
+		srv.Close()
+	}()
+
+	rows := [][]string{{"a", "x"}, {"a", "x"}, {"b", "y"}, {"c", "y"}, {"d", "z"}}
+	create := func(body map[string]any) (*http.Response, []byte) {
+		base := map[string]any{"name": "p", "columns": []string{"A", "B"}, "rows": rows, "keySeed": "par-test"}
+		for k, v := range body {
+			base[k] = v
+		}
+		return doJSON(t, http.MethodPost, ts.URL+"/v1/datasets", base)
+	}
+
+	var created struct {
+		Dataset Summary `json:"dataset"`
+	}
+	resp, data := create(nil)
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("create: %d %s", resp.StatusCode, data)
+	}
+	if err := json.Unmarshal(data, &created); err != nil {
+		t.Fatal(err)
+	}
+	if created.Dataset.Parallelism != 3 {
+		t.Fatalf("server default parallelism: summary says %d, want 3", created.Dataset.Parallelism)
+	}
+
+	resp, data = create(map[string]any{"parallelism": 1})
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("create with override: %d %s", resp.StatusCode, data)
+	}
+	if err := json.Unmarshal(data, &created); err != nil {
+		t.Fatal(err)
+	}
+	if created.Dataset.Parallelism != 1 {
+		t.Fatalf("request override: summary says %d, want 1", created.Dataset.Parallelism)
+	}
+
+	resp, data = create(map[string]any{"parallelism": -2})
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("negative parallelism: %d %s, want 400", resp.StatusCode, data)
+	}
+}
+
+func TestNegativeParallelismOptionFailsBoot(t *testing.T) {
+	if _, err := New(Options{Parallelism: -1}); err == nil {
+		t.Fatal("New accepted a negative Parallelism default")
+	}
+}

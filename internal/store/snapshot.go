@@ -45,6 +45,11 @@ type configFile struct {
 	NaiveSplitPoint        bool    `json:"naiveSplitPoint,omitempty"`
 	SkipFPElimination      bool    `json:"skipFPElimination,omitempty"`
 	SkipConflictResolution bool    `json:"skipConflictResolution,omitempty"`
+	// Parallelism is a pure throughput knob (the ciphertext is identical
+	// at every setting), but it round-trips so a restored dataset keeps
+	// the width it was created with. Absent in old snapshots → 0 →
+	// GOMAXPROCS.
+	Parallelism int `json:"parallelism,omitempty"`
 }
 
 func configToFile(cfg core.Config) configFile {
@@ -57,6 +62,7 @@ func configToFile(cfg core.Config) configFile {
 		NaiveSplitPoint:        cfg.NaiveSplitPoint,
 		SkipFPElimination:      cfg.SkipFPElimination,
 		SkipConflictResolution: cfg.SkipConflictResolution,
+		Parallelism:            cfg.Parallelism,
 	}
 }
 
@@ -71,6 +77,7 @@ func (c configFile) config(key crypt.Key) core.Config {
 		NaiveSplitPoint:        c.NaiveSplitPoint,
 		SkipFPElimination:      c.SkipFPElimination,
 		SkipConflictResolution: c.SkipConflictResolution,
+		Parallelism:            c.Parallelism,
 	}
 }
 

@@ -1,0 +1,165 @@
+// mdlinkcheck verifies intra-repository markdown links: every relative
+// link target must exist on disk, and a #fragment pointing into a
+// markdown file must match one of its headings (GitHub-style anchors).
+// External links (http, https, mailto) are deliberately not fetched —
+// CI must not depend on the network.
+//
+// Usage:
+//
+//	go run ./scripts/mdlinkcheck [file-or-dir ...]
+//
+// With no arguments it walks the repository for *.md files, skipping
+// dot-directories. Exit status 1 lists every broken link.
+package main
+
+import (
+	"bufio"
+	"fmt"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+)
+
+// linkRE matches inline markdown links and images: [text](target) with
+// an optional title. Targets with spaces are not used in this repo.
+var linkRE = regexp.MustCompile(`!?\[[^\]]*\]\(([^)\s]+)(?:\s+"[^"]*")?\)`)
+
+func main() {
+	roots := os.Args[1:]
+	if len(roots) == 0 {
+		roots = []string{"."}
+	}
+	var files []string
+	for _, root := range roots {
+		info, err := os.Stat(root)
+		if err != nil {
+			fatal("%v", err)
+		}
+		if !info.IsDir() {
+			files = append(files, root)
+			continue
+		}
+		err = filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
+			if err != nil {
+				return err
+			}
+			if d.IsDir() && strings.HasPrefix(d.Name(), ".") && path != root {
+				return filepath.SkipDir
+			}
+			if !d.IsDir() && strings.HasSuffix(d.Name(), ".md") {
+				files = append(files, path)
+			}
+			return nil
+		})
+		if err != nil {
+			fatal("%v", err)
+		}
+	}
+
+	broken := 0
+	anchors := map[string]map[string]bool{} // md file -> heading slugs
+	for _, f := range files {
+		for _, problem := range checkFile(f, anchors) {
+			fmt.Fprintf(os.Stderr, "%s\n", problem)
+			broken++
+		}
+	}
+	if broken > 0 {
+		fatal("mdlinkcheck: %d broken link(s)", broken)
+	}
+	fmt.Printf("mdlinkcheck: %d file(s) clean\n", len(files))
+}
+
+func checkFile(path string, anchors map[string]map[string]bool) []string {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return []string{fmt.Sprintf("%s: %v", path, err)}
+	}
+	var problems []string
+	lineNo := 0
+	inFence := false
+	sc := bufio.NewScanner(strings.NewReader(string(data)))
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		lineNo++
+		line := sc.Text()
+		if strings.HasPrefix(strings.TrimSpace(line), "```") {
+			inFence = !inFence
+			continue
+		}
+		if inFence {
+			continue
+		}
+		for _, m := range linkRE.FindAllStringSubmatch(line, -1) {
+			target := m[1]
+			if strings.Contains(target, "://") || strings.HasPrefix(target, "mailto:") {
+				continue
+			}
+			file, frag, _ := strings.Cut(target, "#")
+			resolved := path
+			if file != "" {
+				resolved = filepath.Join(filepath.Dir(path), file)
+				if _, err := os.Stat(resolved); err != nil {
+					problems = append(problems, fmt.Sprintf("%s:%d: broken link %q: %s does not exist", path, lineNo, target, resolved))
+					continue
+				}
+			}
+			if frag != "" && strings.HasSuffix(resolved, ".md") {
+				if !headingAnchors(resolved, anchors)[frag] {
+					problems = append(problems, fmt.Sprintf("%s:%d: broken anchor %q: no heading #%s in %s", path, lineNo, target, frag, resolved))
+				}
+			}
+		}
+	}
+	return problems
+}
+
+// headingAnchors returns (and caches) the GitHub-style anchor slugs of a
+// markdown file's headings.
+func headingAnchors(path string, cache map[string]map[string]bool) map[string]bool {
+	if got, ok := cache[path]; ok {
+		return got
+	}
+	slugs := map[string]bool{}
+	data, err := os.ReadFile(path)
+	if err == nil {
+		inFence := false
+		for _, line := range strings.Split(string(data), "\n") {
+			if strings.HasPrefix(strings.TrimSpace(line), "```") {
+				inFence = !inFence
+				continue
+			}
+			if inFence || !strings.HasPrefix(line, "#") {
+				continue
+			}
+			title := strings.TrimLeft(line, "#")
+			slugs[slugify(title)] = true
+		}
+	}
+	cache[path] = slugs
+	return slugs
+}
+
+// slugify reproduces GitHub's heading-anchor algorithm closely enough
+// for this repository: lowercase, drop everything but letters, digits,
+// spaces, hyphens and underscores, then turn spaces into hyphens.
+func slugify(title string) string {
+	title = strings.TrimSpace(strings.ToLower(title))
+	var b strings.Builder
+	for _, r := range title {
+		switch {
+		case r >= 'a' && r <= 'z', r >= '0' && r <= '9', r == '-', r == '_':
+			b.WriteRune(r)
+		case r == ' ':
+			b.WriteRune('-')
+		}
+	}
+	return b.String()
+}
+
+func fatal(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, format+"\n", args...)
+	os.Exit(1)
+}
