@@ -15,21 +15,22 @@ import (
 	"f2/internal/crypt"
 	"f2/internal/fd"
 	"f2/internal/mas"
+	"f2/internal/perf"
 	"f2/internal/relation"
 	"f2/internal/workload"
 )
 
-func benchKey() crypt.Key { return crypt.KeyFromSeed("f2-bench-key") }
+// The deterministic key/config and the memoized dataset generator are
+// shared with internal/bench and the perf harness via internal/perf, so
+// every benchmark surface measures the same tables under the same
+// configuration.
+func benchKey() crypt.Key { return perf.Key() }
 
-func benchConfig(alpha float64) core.Config {
-	cfg := core.DefaultConfig(benchKey())
-	cfg.Alpha = alpha
-	return cfg
-}
+func benchConfig(alpha float64) core.Config { return perf.Config(alpha) }
 
 func mustGen(b *testing.B, name string, n int) *relation.Table {
 	b.Helper()
-	t, err := workload.Generate(name, n, 1)
+	t, err := perf.Dataset(name, n, 1)
 	if err != nil {
 		b.Fatal(err)
 	}

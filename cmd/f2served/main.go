@@ -15,6 +15,13 @@
 // dataset state (keys encrypted under a service master key), and a
 // restart recovers every dataset to its last transactional state.
 //
+// With -pprof-addr set, a SECOND listener serves net/http/pprof
+// (/debug/pprof/...) so the perf harness and operators can profile a
+// live server. It is off by default and must never be exposed publicly:
+// profiles leak memory contents and the endpoint invites trivial DoS.
+// Bind it to localhost (e.g. -pprof-addr 127.0.0.1:6060) and keep it
+// firewalled.
+//
 // See docs/API.md for the endpoint reference and the top-level README.md
 // for a quickstart and the operations guide.
 package main
@@ -24,7 +31,9 @@ import (
 	"errors"
 	"flag"
 	"log"
+	"net"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
@@ -42,6 +51,7 @@ func main() {
 		maxBody     = flag.Int64("max-body", 32<<20, "maximum request body bytes")
 		trials      = flag.Int("trials", 1000, "default attack-game trials for /report")
 		dataDir     = flag.String("data-dir", "", "durable dataset store directory (empty: in-memory only)")
+		pprofAddr   = flag.String("pprof-addr", "", "OPT-IN net/http/pprof listener (e.g. 127.0.0.1:6060); unsafe to expose publicly, keep it off or loopback-bound")
 		quiet       = flag.Bool("q", false, "suppress request logs")
 	)
 	flag.Parse()
@@ -71,6 +81,34 @@ func main() {
 		logger.Fatal(err)
 	}
 	defer srv.Close()
+
+	if *pprofAddr != "" {
+		// A dedicated mux on a dedicated listener: the profiling surface
+		// never shares a port with the API, so firewalling the API port
+		// open cannot accidentally expose /debug/pprof. The bind happens
+		// synchronously, before the API starts serving — an operator who
+		// asked for profiling should learn about a bad address or an
+		// occupied port at startup, not at incident time, and a late
+		// failure must not tear down an already-serving API.
+		pprofMux := http.NewServeMux()
+		pprofMux.HandleFunc("/debug/pprof/", pprof.Index)
+		pprofMux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		pprofMux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		pprofMux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		pprofMux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		pprofLn, err := net.Listen("tcp", *pprofAddr)
+		if err != nil {
+			logger.Fatalf("pprof listener: %v", err)
+		}
+		pprofSrv := &http.Server{Handler: pprofMux, ReadHeaderTimeout: 10 * time.Second}
+		go func() {
+			logger.Printf("pprof listening on %s (do NOT expose publicly)", pprofLn.Addr())
+			if err := pprofSrv.Serve(pprofLn); err != nil && !errors.Is(err, http.ErrServerClosed) {
+				logger.Printf("pprof listener: %v", err)
+			}
+		}()
+		defer pprofSrv.Close()
+	}
 
 	httpSrv := &http.Server{
 		Addr:              *addr,

@@ -3,75 +3,28 @@
 // function returns a rendered text table whose rows/series mirror what the
 // paper plots; cmd/f2bench drives them and EXPERIMENTS.md records the
 // measured outputs against the paper's.
+//
+// The table renderer, the deterministic benchmark key/config, and the
+// memoized dataset generator live in internal/perf, so the paper harness,
+// the testing.B benchmarks (bench_test.go), and the perf runner share one
+// measurement path; PerfWorkloads bridges every experiment into the perf
+// registry so `f2perf -run 'paper/*'` runs them under the same reporting
+// pipeline.
 package bench
 
 import (
 	"context"
-	"fmt"
-	"strings"
 	"time"
 
 	"f2/internal/core"
 	"f2/internal/crypt"
+	"f2/internal/perf"
 	"f2/internal/relation"
-	"f2/internal/workload"
 )
 
-// Table is a rendered experiment result: a title, a header row, and data
-// rows, printable as aligned text.
-type Table struct {
-	ID     string // experiment id, e.g. "fig6a"
-	Title  string
-	Header []string
-	Rows   [][]string
-	Notes  []string
-}
-
-// AddRow appends one data row.
-func (t *Table) AddRow(cells ...string) {
-	t.Rows = append(t.Rows, cells)
-}
-
-// String renders the table as aligned text.
-func (t *Table) String() string {
-	var b strings.Builder
-	fmt.Fprintf(&b, "== %s: %s ==\n", t.ID, t.Title)
-	widths := make([]int, len(t.Header))
-	for i, h := range t.Header {
-		widths[i] = len(h)
-	}
-	for _, r := range t.Rows {
-		for i, c := range r {
-			if i < len(widths) && len(c) > widths[i] {
-				widths[i] = len(c)
-			}
-		}
-	}
-	writeRow := func(cells []string) {
-		for i, c := range cells {
-			if i > 0 {
-				b.WriteString("  ")
-			}
-			fmt.Fprintf(&b, "%-*s", widths[i], c)
-		}
-		b.WriteByte('\n')
-	}
-	writeRow(t.Header)
-	for i, w := range widths {
-		if i > 0 {
-			b.WriteString("  ")
-		}
-		b.WriteString(strings.Repeat("-", w))
-	}
-	b.WriteByte('\n')
-	for _, r := range t.Rows {
-		writeRow(r)
-	}
-	for _, n := range t.Notes {
-		fmt.Fprintf(&b, "note: %s\n", n)
-	}
-	return b.String()
-}
+// Table is a rendered experiment result (shared renderer; see
+// perf.Table).
+type Table = perf.Table
 
 // Options configures the harness scale. Zero value = default scale;
 // Quick() shrinks everything for smoke runs.
@@ -99,16 +52,12 @@ func (o Options) scale(n int) int {
 	return s
 }
 
-// key returns the deterministic benchmark key (benchmarks must be
+// benchKey returns the deterministic benchmark key (benchmarks must be
 // reproducible; production users call crypt.GenerateKey).
-func benchKey() crypt.Key { return crypt.KeyFromSeed("f2-bench-key") }
+func benchKey() crypt.Key { return perf.Key() }
 
-// config builds the standard benchmark config.
-func benchConfig(alpha float64) core.Config {
-	cfg := core.DefaultConfig(benchKey())
-	cfg.Alpha = alpha
-	return cfg
-}
+// benchConfig builds the standard benchmark config.
+func benchConfig(alpha float64) core.Config { return perf.Config(alpha) }
 
 // encrypt runs F² and returns the result, failing loudly on error.
 func encrypt(tbl *relation.Table, cfg core.Config) (*core.Result, error) {
@@ -119,35 +68,17 @@ func encrypt(tbl *relation.Table, cfg core.Config) (*core.Result, error) {
 	return enc.Encrypt(context.Background(), tbl)
 }
 
-// genCache memoizes generated datasets within one harness run.
-var genCache = map[string]*relation.Table{}
-
+// dataset generates (or reuses the process-wide memoized copy of) a
+// workload table.
 func dataset(name string, n int, seed int64) (*relation.Table, error) {
-	key := fmt.Sprintf("%s/%d/%d", name, n, seed)
-	if t, ok := genCache[key]; ok {
-		return t, nil
-	}
-	t, err := workload.Generate(name, n, seed)
-	if err != nil {
-		return nil, err
-	}
-	genCache[key] = t
-	return t, nil
+	return perf.Dataset(name, n, seed)
 }
 
-func ms(d time.Duration) string {
-	return fmt.Sprintf("%.1f", float64(d.Microseconds())/1000.0)
-}
+func ms(d time.Duration) string { return perf.Ms(d) }
 
-func pct(v float64) string { return fmt.Sprintf("%.2f%%", 100*v) }
+func pct(v float64) string { return perf.Pct(v) }
 
-func mb(bytes int64) string { return fmt.Sprintf("%.2f", float64(bytes)/(1<<20)) }
+func mb(bytes int64) string { return perf.MB(bytes) }
 
 // alphaLabel renders α as the paper does (1/5, 1/10, ...).
-func alphaLabel(alpha float64) string {
-	inv := 1 / alpha
-	if inv == float64(int(inv)) {
-		return fmt.Sprintf("1/%d", int(inv))
-	}
-	return fmt.Sprintf("%.3f", alpha)
-}
+func alphaLabel(alpha float64) string { return perf.AlphaLabel(alpha) }

@@ -1,0 +1,75 @@
+package bench
+
+import (
+	"context"
+	"fmt"
+
+	"f2/internal/perf"
+)
+
+// PerfWorkloads bridges every paper experiment into the perf registry as
+// a "paper/<id>" workload, so the paper evaluation and the perf harness
+// share one measurement and reporting path. One op = one full experiment
+// at a scale derived from the perf Scale (the rendered tables are
+// discarded; the op measures the experiment's wall clock, and a BENCH
+// report diff over paper/* catches regressions in the §5 figures).
+//
+// The workloads are marked Heavy: a bare `f2perf -run '*'` skips them —
+// an experiment sweep re-encrypts at many α values and would dominate a
+// smoke run — and `f2perf -run 'paper/*'` (or an exact id) selects them.
+func PerfWorkloads() []perf.Workload {
+	var out []perf.Workload
+	for _, e := range Experiments() {
+		e := e
+		out = append(out, perf.Workload{
+			Name:           "paper/" + e.ID,
+			Desc:           fmt.Sprintf("paper experiment: %s (§5 evaluation)", e.Paper),
+			Heavy:          true,
+			MaxConcurrency: 1, // experiments share the dataset memo and time themselves
+			OpsCap:         4,
+			Setup: func(ctx context.Context, sc Scale) (*perf.Instance, error) {
+				o := Options{Seed: sc.Seed, Scale: quarter(sc)}
+				return &perf.Instance{
+					// Experiments don't take a context, so the op runs
+					// them in a goroutine and unblocks on cancellation:
+					// Ctrl-C during a multi-minute sweep returns
+					// immediately (the abandoned experiment keeps
+					// computing only until the f2perf process exits,
+					// which happens right after the partial report is
+					// written).
+					Op: func(ctx context.Context) error {
+						if err := ctx.Err(); err != nil {
+							return err
+						}
+						done := make(chan error, 1)
+						go func() {
+							_, err := e.Run(o)
+							done <- err
+						}()
+						select {
+						case err := <-done:
+							return err
+						case <-ctx.Done():
+							return ctx.Err()
+						}
+					},
+				}, nil
+			},
+		})
+	}
+	return out
+}
+
+// Scale aliases perf.Scale for the bridge signature.
+type Scale = perf.Scale
+
+// quarter maps the perf size factor onto experiment scale, keeping the
+// bridged runs at smoke size by default (a full-size experiment sweep is
+// minutes per op; ask for it explicitly with -scale 4).
+func quarter(sc Scale) float64 {
+	f := sc.SizeFactor
+	if f == 0 {
+		f = 1.0
+	}
+	return f * 0.25
+}

@@ -1,0 +1,149 @@
+package perf
+
+import (
+	"fmt"
+)
+
+// Delta is one metric's movement between two reports.
+type Delta struct {
+	Workload string  `json:"workload"`
+	Metric   string  `json:"metric"`
+	Old      float64 `json:"old"`
+	New      float64 `json:"new"`
+	// ChangePct is the relative movement in percent, signed so that
+	// positive is always WORSE (latency up, throughput down).
+	ChangePct float64 `json:"changePct"`
+}
+
+// Comparison is the outcome of diffing two reports.
+type Comparison struct {
+	ThresholdPct float64 `json:"thresholdPct"`
+	// Regressions are metrics that moved worse by strictly more than the
+	// threshold; any entry here fails the gate.
+	Regressions []Delta `json:"regressions"`
+	// Improvements moved better by strictly more than the threshold
+	// (informational).
+	Improvements []Delta `json:"improvements"`
+	// Missing are workloads present in the old report only; Added are
+	// new-report-only. Neither fails the gate — workload sets evolve —
+	// but both are listed so a silently dropped benchmark is visible.
+	Missing []string `json:"missing,omitempty"`
+	Added   []string `json:"added,omitempty"`
+}
+
+// OK reports whether the gate passes (no regressions).
+func (c *Comparison) OK() bool { return len(c.Regressions) == 0 }
+
+// latencyMetrics are the per-run latency fields the comparator gates on
+// (higher is worse). Throughput (lower is worse) is gated separately.
+var latencyMetrics = []struct {
+	name string
+	get  func(*RunResult) float64
+}{
+	{"p50Ms", func(r *RunResult) float64 { return r.P50Ms }},
+	{"p95Ms", func(r *RunResult) float64 { return r.P95Ms }},
+	{"p99Ms", func(r *RunResult) float64 { return r.P99Ms }},
+}
+
+// minGateMs floors the latency gate: quantiles under 50µs are dominated
+// by scheduler and timer noise, and a 10% threshold on them would flag
+// nanosecond jitter as a regression.
+const minGateMs = 0.05
+
+// Compare diffs two reports against a threshold (in percent, e.g. 10).
+// A latency quantile that grew by strictly more than thresholdPct, or a
+// rows/sec (falling back to ops/sec) that shrank by strictly more than
+// thresholdPct, is a regression; exact threshold movement passes. Runs
+// are matched by workload name; cancelled or op-less runs never gate.
+func Compare(old, new *Report, thresholdPct float64) *Comparison {
+	c := &Comparison{ThresholdPct: thresholdPct}
+	t := thresholdPct / 100
+
+	for i := range old.Runs {
+		o := &old.Runs[i]
+		n, ok := new.Run(o.Workload)
+		if !ok {
+			c.Missing = append(c.Missing, o.Workload)
+			continue
+		}
+		if o.Ops == 0 || n.Ops == 0 || o.Cancelled || n.Cancelled {
+			continue
+		}
+		for _, m := range latencyMetrics {
+			ov, nv := m.get(o), m.get(n)
+			if ov <= 0 {
+				continue // malformed or sub-resolution sample
+			}
+			change := (nv - ov) / ov
+			d := Delta{Workload: o.Workload, Metric: m.name, Old: ov, New: nv, ChangePct: 100 * change}
+			switch {
+			case change > t && (ov >= minGateMs || nv >= minGateMs):
+				c.Regressions = append(c.Regressions, d)
+			case change < -t:
+				c.Improvements = append(c.Improvements, d)
+			}
+		}
+		// Throughput: prefer rows/sec (scale-aware), fall back to ops/sec.
+		// The regression delta is the slowdown factor old/new − 1 —
+		// symmetric with the latency metrics and unbounded, so generous
+		// thresholds (CI gates at 400%) can still fire; the naive
+		// (old−new)/old tops out at 100% and a ≥100% threshold could
+		// mathematically never trip on a throughput collapse.
+		metric, ov, nv := "rowsPerSec", o.RowsPerSec, n.RowsPerSec
+		if ov <= 0 || nv <= 0 {
+			metric, ov, nv = "opsPerSec", o.OpsPerSec, n.OpsPerSec
+		}
+		if ov > 0 && nv > 0 {
+			d := Delta{Workload: o.Workload, Metric: metric, Old: ov, New: nv}
+			switch {
+			case ov/nv-1 > t: // slowdown
+				d.ChangePct = 100 * (ov/nv - 1)
+				c.Regressions = append(c.Regressions, d)
+			case nv/ov-1 > t: // speedup
+				d.ChangePct = -100 * (nv/ov - 1)
+				c.Improvements = append(c.Improvements, d)
+			}
+		}
+	}
+	for i := range new.Runs {
+		if _, ok := old.Run(new.Runs[i].Workload); !ok {
+			c.Added = append(c.Added, new.Runs[i].Workload)
+		}
+	}
+	return c
+}
+
+// Render returns the comparison as human-readable tables.
+func (c *Comparison) Render(old, new *Report) string {
+	out := fmt.Sprintf("comparing %s (%s, %s/%s, %d CPU) -> %s (%s, %s/%s, %d CPU), threshold %.0f%%\n",
+		old.Name, old.Env.GoVersion, old.Env.GOOS, old.Env.GOARCH, old.Env.NumCPU,
+		new.Name, new.Env.GoVersion, new.Env.GOOS, new.Env.GOARCH, new.Env.NumCPU,
+		c.ThresholdPct)
+	section := func(id, title string, ds []Delta) string {
+		if len(ds) == 0 {
+			return ""
+		}
+		t := &Table{ID: id, Title: title, Header: []string{"workload", "metric", "old", "new", "change"}}
+		for _, d := range ds {
+			chg := fmt.Sprintf("%.1f%% worse", d.ChangePct)
+			if d.ChangePct < 0 {
+				chg = fmt.Sprintf("%.1f%% better", -d.ChangePct)
+			}
+			t.AddRow(d.Workload, d.Metric,
+				fmt.Sprintf("%.3f", d.Old), fmt.Sprintf("%.3f", d.New), chg)
+		}
+		return t.String()
+	}
+	out += section("regressions", "REGRESSIONS (fail the gate)", c.Regressions)
+	out += section("improvements", "improvements", c.Improvements)
+	for _, m := range c.Missing {
+		out += fmt.Sprintf("note: workload %s is in the old report only\n", m)
+	}
+	for _, a := range c.Added {
+		out += fmt.Sprintf("note: workload %s is new in this report\n", a)
+	}
+	if c.OK() {
+		out += "no regressions\n"
+	}
+	return out
+}

@@ -1,0 +1,173 @@
+package perf
+
+import (
+	"strings"
+	"testing"
+)
+
+// mkReport builds a one-run report with the given p95 and rows/sec (the
+// other latency fields scale off p95 so only the metric under test
+// moves).
+func mkReport(p95, rowsPerSec float64) *Report {
+	r := NewReport("t", Scale{})
+	r.Runs = []RunResult{{
+		Workload: "encrypt/full", Ops: 100,
+		P50Ms: p95 / 2, P95Ms: p95, P99Ms: p95,
+		OpsPerSec: rowsPerSec / 100, RowsPerSec: rowsPerSec,
+	}}
+	return r
+}
+
+func findDelta(ds []Delta, metric string) *Delta {
+	for i := range ds {
+		if ds[i].Metric == metric {
+			return &ds[i]
+		}
+	}
+	return nil
+}
+
+func TestCompareRegression(t *testing.T) {
+	old, new := mkReport(100, 1000), mkReport(150, 1000)
+	c := Compare(old, new, 10)
+	if c.OK() {
+		t.Fatal("a 50% p95 regression passed a 10% gate")
+	}
+	d := findDelta(c.Regressions, "p95Ms")
+	if d == nil {
+		t.Fatalf("no p95Ms regression in %+v", c.Regressions)
+	}
+	if d.Old != 100 || d.New != 150 || d.ChangePct != 50 {
+		t.Errorf("delta = %+v, want old=100 new=150 change=50%%", d)
+	}
+	// p50 moved identically (mkReport scales it), p99 too: 3 latency
+	// regressions total, throughput unchanged.
+	if len(c.Regressions) != 3 {
+		t.Errorf("got %d regressions, want 3 (p50, p95, p99): %+v", len(c.Regressions), c.Regressions)
+	}
+}
+
+func TestCompareThroughputRegression(t *testing.T) {
+	old, new := mkReport(100, 1000), mkReport(100, 800)
+	c := Compare(old, new, 10)
+	d := findDelta(c.Regressions, "rowsPerSec")
+	if d == nil {
+		t.Fatalf("a 20%% rows/sec drop passed a 10%% gate: %+v", c.Regressions)
+	}
+	if d.ChangePct != 25 {
+		t.Errorf("change = %v%%, want a 25%% slowdown factor (1000/800 - 1)", d.ChangePct)
+	}
+}
+
+// TestCompareThroughputCollapseBeatsGenerousThreshold: the slowdown
+// factor is unbounded, so even the CI gate's generous 400% threshold
+// fires on a big throughput collapse (the capped (old-new)/old form
+// could never exceed 100%).
+func TestCompareThroughputCollapseBeatsGenerousThreshold(t *testing.T) {
+	old, new := mkReport(0.01, 6000), mkReport(0.01, 1000) // 6x collapse, latencies sub-noise-floor
+	c := Compare(old, new, 400)
+	d := findDelta(c.Regressions, "rowsPerSec")
+	if d == nil {
+		t.Fatalf("a 6x throughput collapse passed a 400%% gate: %+v", c.Regressions)
+	}
+	if d.ChangePct != 500 {
+		t.Errorf("change = %v%%, want 500%% (6000/1000 - 1)", d.ChangePct)
+	}
+}
+
+func TestCompareImprovement(t *testing.T) {
+	old, new := mkReport(100, 1000), mkReport(50, 2000)
+	c := Compare(old, new, 10)
+	if !c.OK() {
+		t.Fatalf("an improvement failed the gate: %+v", c.Regressions)
+	}
+	if findDelta(c.Improvements, "p95Ms") == nil || findDelta(c.Improvements, "rowsPerSec") == nil {
+		t.Errorf("improvements not reported: %+v", c.Improvements)
+	}
+}
+
+// TestCompareThresholdBoundary: movement of exactly the threshold passes
+// (the gate is strictly greater-than), one tick beyond fails.
+func TestCompareThresholdBoundary(t *testing.T) {
+	// 100 -> 110 is exactly +10%, representable without FP error.
+	c := Compare(mkReport(100, 1000), mkReport(110, 1000), 10)
+	if !c.OK() {
+		t.Errorf("exactly-threshold latency move failed the gate: %+v", c.Regressions)
+	}
+	// 1280 -> 1024 rows/sec is exactly a 25% slowdown factor
+	// (1280/1024 = 1.25, FP-exact).
+	c = Compare(mkReport(100, 1280), mkReport(100, 1024), 25)
+	if !c.OK() {
+		t.Errorf("exactly-threshold throughput move failed the gate: %+v", c.Regressions)
+	}
+	// One tick past it fails.
+	c = Compare(mkReport(100, 1280), mkReport(100, 1000), 25)
+	if c.OK() {
+		t.Error("a past-threshold throughput slowdown passed the gate")
+	}
+	// Just past the boundary fails.
+	c = Compare(mkReport(100, 1000), mkReport(111, 1000), 10)
+	if c.OK() {
+		t.Error("10.99% more than threshold passed the gate")
+	}
+	// And the identical report always passes.
+	same := mkReport(100, 1000)
+	if c := Compare(same, same, 10); !c.OK() || len(c.Improvements) != 0 {
+		t.Errorf("self-compare not clean: %+v", c)
+	}
+}
+
+// TestCompareNoiseFloor: sub-50µs quantiles never gate — at that
+// resolution a 10% threshold flags scheduler jitter.
+func TestCompareNoiseFloor(t *testing.T) {
+	c := Compare(mkReport(0.01, 0), mkReport(0.04, 0), 10)
+	if d := findDelta(c.Regressions, "p95Ms"); d != nil {
+		t.Errorf("sub-noise-floor latencies gated: %+v", d)
+	}
+}
+
+func TestCompareMissingAndAdded(t *testing.T) {
+	old, new := mkReport(100, 1000), mkReport(100, 1000)
+	old.Runs = append(old.Runs, RunResult{Workload: "gone/away", Ops: 5, P95Ms: 1})
+	new.Runs = append(new.Runs, RunResult{Workload: "brand/new", Ops: 5, P95Ms: 1})
+	c := Compare(old, new, 10)
+	if !c.OK() {
+		t.Fatal("workload set drift must not fail the gate")
+	}
+	if len(c.Missing) != 1 || c.Missing[0] != "gone/away" {
+		t.Errorf("missing = %v", c.Missing)
+	}
+	if len(c.Added) != 1 || c.Added[0] != "brand/new" {
+		t.Errorf("added = %v", c.Added)
+	}
+}
+
+// TestCompareSkipsUnusableRuns: cancelled or op-less runs carry no
+// signal and must not gate.
+func TestCompareSkipsUnusableRuns(t *testing.T) {
+	old, new := mkReport(100, 1000), mkReport(500, 100)
+	new.Runs[0].Cancelled = true
+	if c := Compare(old, new, 10); !c.OK() {
+		t.Errorf("a cancelled run gated: %+v", c.Regressions)
+	}
+	new.Runs[0].Cancelled = false
+	new.Runs[0].Ops = 0
+	if c := Compare(old, new, 10); !c.OK() {
+		t.Errorf("an op-less run gated: %+v", c.Regressions)
+	}
+}
+
+func TestCompareRender(t *testing.T) {
+	old, new := mkReport(100, 1000), mkReport(150, 1000)
+	c := Compare(old, new, 10)
+	out := c.Render(old, new)
+	for _, want := range []string{"REGRESSIONS", "encrypt/full", "p95Ms", "50.0% worse", "threshold 10%"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("rendered comparison missing %q:\n%s", want, out)
+		}
+	}
+	ok := Compare(old, old, 10)
+	if out := ok.Render(old, old); !strings.Contains(out, "no regressions") {
+		t.Errorf("clean comparison missing the all-clear:\n%s", out)
+	}
+}

@@ -1,0 +1,70 @@
+package perf
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"f2/internal/core"
+	"f2/internal/crypt"
+	"f2/internal/relation"
+	"f2/internal/workload"
+)
+
+// Key returns the deterministic benchmark key. Benchmarks and the paper
+// experiments must be reproducible; production users call
+// crypt.GenerateKey.
+func Key() crypt.Key { return crypt.KeyFromSeed("f2-bench-key") }
+
+// Config builds the standard benchmark config at the given α.
+func Config(alpha float64) core.Config {
+	cfg := core.DefaultConfig(Key())
+	cfg.Alpha = alpha
+	return cfg
+}
+
+// datasetCache memoizes generated datasets across workloads and
+// experiments within one process, so a sweep over α does not regenerate
+// the same table per point. Guarded: workload setups may run from tests
+// executing in parallel.
+var (
+	datasetMu    sync.Mutex
+	datasetCache = map[string]*relation.Table{}
+)
+
+// Dataset generates (or returns the memoized) named workload table.
+func Dataset(name string, n int, seed int64) (*relation.Table, error) {
+	key := fmt.Sprintf("%s/%d/%d", name, n, seed)
+	datasetMu.Lock()
+	defer datasetMu.Unlock()
+	if t, ok := datasetCache[key]; ok {
+		return t, nil
+	}
+	t, err := workload.Generate(name, n, seed)
+	if err != nil {
+		return nil, err
+	}
+	datasetCache[key] = t
+	return t, nil
+}
+
+// Ms renders a duration as fractional milliseconds, the unit every table
+// in the paper uses.
+func Ms(d time.Duration) string {
+	return fmt.Sprintf("%.1f", float64(d.Microseconds())/1000.0)
+}
+
+// Pct renders a ratio as a percentage.
+func Pct(v float64) string { return fmt.Sprintf("%.2f%%", 100*v) }
+
+// MB renders a byte count in mebibytes.
+func MB(bytes int64) string { return fmt.Sprintf("%.2f", float64(bytes)/(1<<20)) }
+
+// AlphaLabel renders α as the paper does (1/5, 1/10, ...).
+func AlphaLabel(alpha float64) string {
+	inv := 1 / alpha
+	if inv == float64(int(inv)) {
+		return fmt.Sprintf("1/%d", int(inv))
+	}
+	return fmt.Sprintf("%.3f", alpha)
+}

@@ -1,0 +1,190 @@
+package perf
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime"
+	"runtime/pprof"
+	"strings"
+	"sync"
+	"time"
+)
+
+// ProfileConfig selects which profiles to capture around a run and where
+// to write them.
+type ProfileConfig struct {
+	// Kinds is any subset of {"cpu", "heap", "allocs"}.
+	Kinds []string
+	// Dir receives the profile files, created if needed.
+	Dir string
+	// SampleEvery is the period of the concurrent runtime sampler
+	// (MemStats + goroutine count). 0 disables sampling.
+	SampleEvery time.Duration
+}
+
+// ParseProfileKinds validates a comma-separated -profile flag value.
+func ParseProfileKinds(s string) ([]string, error) {
+	if s == "" {
+		return nil, nil
+	}
+	var kinds []string
+	for _, k := range strings.Split(s, ",") {
+		k = strings.TrimSpace(k)
+		switch k {
+		case "cpu", "heap", "allocs":
+			kinds = append(kinds, k)
+		case "":
+		default:
+			return nil, fmt.Errorf("perf: unknown profile kind %q (want cpu, heap, allocs)", k)
+		}
+	}
+	return kinds, nil
+}
+
+// ProfileRef names one captured profile file in a run result.
+type ProfileRef struct {
+	Kind string `json:"kind"`
+	File string `json:"file"`
+}
+
+// RuntimeSummary condenses the sampler's periodic runtime.MemStats and
+// goroutine-count observations over the measured window.
+type RuntimeSummary struct {
+	Samples       int     `json:"samples"`
+	MaxHeapMB     float64 `json:"maxHeapMB"`
+	MaxGoroutines int     `json:"maxGoroutines"`
+	AllocMB       float64 `json:"allocMB"` // total bytes allocated during the window
+	GCCycles      uint32  `json:"gcCycles"`
+}
+
+// profiler drives profile capture and runtime sampling for one run.
+// start/stop bracket the measured window.
+type profiler struct {
+	cfg      ProfileConfig
+	workload string
+
+	cpuFile  *os.File
+	refs     []ProfileRef
+	startMem runtime.MemStats
+
+	stopSampler chan struct{}
+	samplerDone sync.WaitGroup
+	summary     RuntimeSummary
+}
+
+func (p *profiler) has(kind string) bool {
+	for _, k := range p.cfg.Kinds {
+		if k == kind {
+			return true
+		}
+	}
+	return false
+}
+
+// file returns the destination path for one profile kind, with the
+// workload's '/' flattened so the name stays a single path element.
+func (p *profiler) file(kind string) string {
+	name := strings.ReplaceAll(p.workload, "/", "-")
+	return filepath.Join(p.cfg.Dir, fmt.Sprintf("%s.%s.pprof", name, kind))
+}
+
+// start begins CPU profiling and the runtime sampler.
+func (p *profiler) start() error {
+	runtime.ReadMemStats(&p.startMem)
+	if p.has("cpu") || p.has("heap") || p.has("allocs") {
+		if err := os.MkdirAll(p.cfg.Dir, 0o755); err != nil {
+			return err
+		}
+	}
+	if p.has("cpu") {
+		f, err := os.Create(p.file("cpu"))
+		if err != nil {
+			return err
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			f.Close()
+			return fmt.Errorf("perf: starting CPU profile: %w", err)
+		}
+		p.cpuFile = f
+	}
+	if p.cfg.SampleEvery > 0 {
+		p.stopSampler = make(chan struct{})
+		p.samplerDone.Add(1)
+		go p.sample()
+	}
+	return nil
+}
+
+// sample periodically records MemStats and goroutine counts until stop.
+func (p *profiler) sample() {
+	defer p.samplerDone.Done()
+	tick := time.NewTicker(p.cfg.SampleEvery)
+	defer tick.Stop()
+	for {
+		select {
+		case <-p.stopSampler:
+			return
+		case <-tick.C:
+			var m runtime.MemStats
+			runtime.ReadMemStats(&m)
+			p.summary.Samples++
+			if h := float64(m.HeapAlloc) / (1 << 20); h > p.summary.MaxHeapMB {
+				p.summary.MaxHeapMB = h
+			}
+			if g := runtime.NumGoroutine(); g > p.summary.MaxGoroutines {
+				p.summary.MaxGoroutines = g
+			}
+		}
+	}
+}
+
+// stop ends capture and writes the end-of-run profiles. It returns the
+// refs of everything written plus the runtime summary (nil when the
+// sampler never ran).
+func (p *profiler) stop() ([]ProfileRef, *RuntimeSummary, error) {
+	if p.cpuFile != nil {
+		pprof.StopCPUProfile()
+		err := p.cpuFile.Close()
+		p.cpuFile = nil
+		if err != nil {
+			return nil, nil, err
+		}
+		p.refs = append(p.refs, ProfileRef{Kind: "cpu", File: p.file("cpu")})
+	}
+	if p.stopSampler != nil {
+		close(p.stopSampler)
+		p.samplerDone.Wait()
+		p.stopSampler = nil
+	}
+	for _, kind := range []string{"heap", "allocs"} {
+		if !p.has(kind) {
+			continue
+		}
+		f, err := os.Create(p.file(kind))
+		if err != nil {
+			return nil, nil, err
+		}
+		if kind == "heap" {
+			runtime.GC() // a settled heap profile, not a mid-GC snapshot
+		}
+		err = pprof.Lookup(kind).WriteTo(f, 0)
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			return nil, nil, err
+		}
+		p.refs = append(p.refs, ProfileRef{Kind: kind, File: p.file(kind)})
+	}
+	var end runtime.MemStats
+	runtime.ReadMemStats(&end)
+	p.summary.AllocMB = float64(end.TotalAlloc-p.startMem.TotalAlloc) / (1 << 20)
+	p.summary.GCCycles = end.NumGC - p.startMem.NumGC
+	var sum *RuntimeSummary
+	if p.cfg.SampleEvery > 0 || len(p.cfg.Kinds) > 0 {
+		s := p.summary
+		sum = &s
+	}
+	return p.refs, sum, nil
+}

@@ -1,0 +1,164 @@
+package perf
+
+import (
+	"math"
+	"time"
+)
+
+// bucketsPerDecade sets the histogram resolution: bucket upper bounds are
+// log-spaced at 10 per decade (ratio 10^0.1 ≈ 1.259), so an interpolated
+// quantile is off from the exact order statistic by at most one bucket
+// ratio (~26% relative), and in practice much less. The recorder also
+// tracks the exact min/max/sum, so Max and Mean are precise.
+const bucketsPerDecade = 10
+
+// bucketBounds are the latency bucket upper bounds in nanoseconds,
+// spanning 1µs .. ~1000s. Ops outside the span clamp into the edge
+// buckets (their exact values still flow into min/max/sum).
+var bucketBounds = func() []float64 {
+	const lo, hi = 1e3, 1e12 // 1µs .. 1000s, in ns
+	var bounds []float64
+	ratio := math.Pow(10, 1.0/bucketsPerDecade)
+	for b := lo; b < hi*1.0000001; b *= ratio {
+		bounds = append(bounds, b)
+	}
+	return bounds
+}()
+
+// Recorder accumulates per-op latencies into log-spaced buckets and
+// derives order statistics by interpolation. It is NOT safe for
+// concurrent use: the runner gives each worker goroutine its own
+// Recorder and merges them once the workers are done.
+type Recorder struct {
+	counts []uint64 // len(bucketBounds)+1; last is +Inf
+	count  uint64
+	errs   uint64
+	sum    float64 // ns
+	min    float64 // ns; valid when count > 0
+	max    float64 // ns
+}
+
+// NewRecorder returns an empty recorder.
+func NewRecorder() *Recorder {
+	return &Recorder{counts: make([]uint64, len(bucketBounds)+1)}
+}
+
+// Record adds one completed op. Errored ops are counted separately and
+// excluded from the latency distribution, so a fast failure path cannot
+// masquerade as a latency improvement.
+func (r *Recorder) Record(d time.Duration, err error) {
+	if err != nil {
+		r.errs++
+		return
+	}
+	ns := float64(d.Nanoseconds())
+	if ns < 0 {
+		ns = 0
+	}
+	if r.count == 0 || ns < r.min {
+		r.min = ns
+	}
+	if ns > r.max {
+		r.max = ns
+	}
+	r.count++
+	r.sum += ns
+	r.counts[bucketIndex(ns)]++
+}
+
+// bucketIndex finds the first bucket whose upper bound is ≥ ns (binary
+// search over the log-spaced bounds).
+func bucketIndex(ns float64) int {
+	lo, hi := 0, len(bucketBounds)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if ns <= bucketBounds[mid] {
+			hi = mid
+		} else {
+			lo = mid + 1
+		}
+	}
+	return lo
+}
+
+// Merge folds another recorder's observations into r.
+func (r *Recorder) Merge(o *Recorder) {
+	for i, c := range o.counts {
+		r.counts[i] += c
+	}
+	if o.count > 0 {
+		if r.count == 0 || o.min < r.min {
+			r.min = o.min
+		}
+		if o.max > r.max {
+			r.max = o.max
+		}
+	}
+	r.count += o.count
+	r.errs += o.errs
+	r.sum += o.sum
+}
+
+// Count returns the number of successful ops recorded.
+func (r *Recorder) Count() int { return int(r.count) }
+
+// Errors returns the number of errored ops.
+func (r *Recorder) Errors() int { return int(r.errs) }
+
+// Min returns the exact fastest successful op.
+func (r *Recorder) Min() time.Duration { return time.Duration(r.min) }
+
+// Max returns the exact slowest successful op.
+func (r *Recorder) Max() time.Duration { return time.Duration(r.max) }
+
+// Mean returns the exact mean latency.
+func (r *Recorder) Mean() time.Duration {
+	if r.count == 0 {
+		return 0
+	}
+	return time.Duration(r.sum / float64(r.count))
+}
+
+// Quantile returns the interpolated q-quantile (0 < q ≤ 1) of the
+// recorded latencies: the cumulative bucket counts locate the target
+// rank's bucket, and the position within it is linearly interpolated
+// between the bucket bounds, clamped to the exact observed min/max.
+func (r *Recorder) Quantile(q float64) time.Duration {
+	if r.count == 0 {
+		return 0
+	}
+	if q <= 0 {
+		return r.Min()
+	}
+	if q >= 1 {
+		return r.Max()
+	}
+	rank := q * float64(r.count)
+	cum := 0.0
+	for i, c := range r.counts {
+		if c == 0 {
+			continue
+		}
+		next := cum + float64(c)
+		if rank <= next {
+			lo := 0.0
+			if i > 0 {
+				lo = bucketBounds[i-1]
+			}
+			hi := r.max
+			if i < len(bucketBounds) && bucketBounds[i] < hi {
+				hi = bucketBounds[i]
+			}
+			if lo < r.min {
+				lo = r.min
+			}
+			if hi < lo {
+				hi = lo
+			}
+			v := lo + (hi-lo)*(rank-cum)/float64(c)
+			return time.Duration(v)
+		}
+		cum = next
+	}
+	return r.Max()
+}

@@ -1,0 +1,133 @@
+package perf
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+	"time"
+)
+
+// maxQuantileRelErr is the interpolation error budget: an estimate may be
+// off from the exact order statistic by at most one bucket ratio
+// (10^(1/bucketsPerDecade) ≈ 1.26), so 30% relative covers it with a
+// small margin for the rank-vs-index convention.
+const maxQuantileRelErr = 0.30
+
+// exactQuantile is the reference: the ⌈q·n⌉-th smallest sample, matching
+// the recorder's rank convention.
+func exactQuantile(sorted []time.Duration, q float64) time.Duration {
+	idx := int(math.Ceil(q*float64(len(sorted)))) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(sorted) {
+		idx = len(sorted) - 1
+	}
+	return sorted[idx]
+}
+
+// TestRecorderQuantilesVsExactSort drives random latency distributions
+// through the recorder and checks every derived quantile against an
+// exact sort of the same samples.
+func TestRecorderQuantilesVsExactSort(t *testing.T) {
+	distributions := []struct {
+		name string
+		gen  func(r *rand.Rand) time.Duration
+	}{
+		{"uniform-1ms-100ms", func(r *rand.Rand) time.Duration {
+			return time.Duration(1e6 + r.Int63n(99e6))
+		}},
+		{"lognormal", func(r *rand.Rand) time.Duration {
+			return time.Duration(math.Exp(r.NormFloat64()*1.5+13)) + time.Microsecond
+		}},
+		{"bimodal-fast-slow", func(r *rand.Rand) time.Duration {
+			if r.Intn(10) == 0 {
+				return time.Duration(200e6 + r.Int63n(50e6)) // slow tail
+			}
+			return time.Duration(50e3 + r.Int63n(100e3))
+		}},
+	}
+	for _, d := range distributions {
+		t.Run(d.name, func(t *testing.T) {
+			r := rand.New(rand.NewSource(42))
+			rec := NewRecorder()
+			samples := make([]time.Duration, 5000)
+			for i := range samples {
+				samples[i] = d.gen(r)
+				rec.Record(samples[i], nil)
+			}
+			sort.Slice(samples, func(i, j int) bool { return samples[i] < samples[j] })
+
+			if rec.Count() != len(samples) {
+				t.Fatalf("count = %d, want %d", rec.Count(), len(samples))
+			}
+			if rec.Min() != samples[0] || rec.Max() != samples[len(samples)-1] {
+				t.Errorf("min/max = %v/%v, want exact %v/%v",
+					rec.Min(), rec.Max(), samples[0], samples[len(samples)-1])
+			}
+			for _, q := range []float64{0.5, 0.9, 0.95, 0.99} {
+				got := rec.Quantile(q)
+				want := exactQuantile(samples, q)
+				rel := math.Abs(float64(got-want)) / float64(want)
+				if rel > maxQuantileRelErr {
+					t.Errorf("q=%v: got %v, exact %v, rel err %.3f > %.2f",
+						q, got, want, rel, maxQuantileRelErr)
+				}
+			}
+		})
+	}
+}
+
+// TestRecorderMergeEquivalence checks that sharded recorders merged
+// together report exactly what one recorder fed everything reports: the
+// runner's per-worker sharding must not change the statistics.
+func TestRecorderMergeEquivalence(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	single := NewRecorder()
+	shards := []*Recorder{NewRecorder(), NewRecorder(), NewRecorder()}
+	for i := 0; i < 3000; i++ {
+		d := time.Duration(1e3 + r.Int63n(1e9))
+		single.Record(d, nil)
+		shards[i%len(shards)].Record(d, nil)
+	}
+	merged := NewRecorder()
+	for _, s := range shards {
+		merged.Merge(s)
+	}
+	if merged.Count() != single.Count() || merged.Errors() != single.Errors() {
+		t.Fatalf("merged count/errors = %d/%d, want %d/%d",
+			merged.Count(), merged.Errors(), single.Count(), single.Errors())
+	}
+	if merged.Min() != single.Min() || merged.Max() != single.Max() || merged.Mean() != single.Mean() {
+		t.Errorf("merged min/max/mean = %v/%v/%v, want %v/%v/%v",
+			merged.Min(), merged.Max(), merged.Mean(), single.Min(), single.Max(), single.Mean())
+	}
+	for _, q := range []float64{0.5, 0.95, 0.99} {
+		if merged.Quantile(q) != single.Quantile(q) {
+			t.Errorf("q=%v: merged %v != single %v", q, merged.Quantile(q), single.Quantile(q))
+		}
+	}
+}
+
+// TestRecorderErrorsExcluded checks errored ops never enter the latency
+// distribution.
+func TestRecorderErrorsExcluded(t *testing.T) {
+	rec := NewRecorder()
+	rec.Record(time.Millisecond, nil)
+	rec.Record(100*time.Hour, errTest) // absurd latency, but errored
+	if rec.Count() != 1 || rec.Errors() != 1 {
+		t.Fatalf("count/errors = %d/%d, want 1/1", rec.Count(), rec.Errors())
+	}
+	if got := rec.Quantile(0.99); got > 2*time.Millisecond {
+		t.Errorf("p99 = %v polluted by an errored op", got)
+	}
+}
+
+// TestRecorderEmpty checks the zero-sample edge.
+func TestRecorderEmpty(t *testing.T) {
+	rec := NewRecorder()
+	if rec.Quantile(0.5) != 0 || rec.Mean() != 0 || rec.Max() != 0 {
+		t.Error("empty recorder must report zeros")
+	}
+}

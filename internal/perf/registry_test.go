@@ -1,0 +1,142 @@
+package perf
+
+import (
+	"context"
+	"sort"
+	"testing"
+	"time"
+)
+
+func dummy(name string, heavy bool) Workload {
+	return Workload{
+		Name:  name,
+		Heavy: heavy,
+		Setup: func(ctx context.Context, sc Scale) (*Instance, error) {
+			return &Instance{Op: func(ctx context.Context) error { return nil }}, nil
+		},
+	}
+}
+
+func TestRegistryRejectsDuplicatesAndAnonymous(t *testing.T) {
+	r := NewRegistry()
+	if err := r.Register(dummy("a/b", false)); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Register(dummy("a/b", false)); err == nil {
+		t.Error("duplicate registration accepted")
+	}
+	if err := r.Register(Workload{Name: "no-setup"}); err == nil {
+		t.Error("setup-less workload accepted")
+	}
+}
+
+func TestRegistryMatch(t *testing.T) {
+	r := NewRegistry()
+	if err := r.Register(
+		dummy("encrypt/full", false),
+		dummy("encrypt/parallel-1", false),
+		dummy("store/recover", false),
+		dummy("paper/fig6", true),
+	); err != nil {
+		t.Fatal(err)
+	}
+	names := func(ws []Workload) []string {
+		var out []string
+		for _, w := range ws {
+			out = append(out, w.Name)
+		}
+		sort.Strings(out)
+		return out
+	}
+	cases := []struct {
+		glob string
+		want []string
+	}{
+		// '*' crosses '/' but skips heavy workloads.
+		{"*", []string{"encrypt/full", "encrypt/parallel-1", "store/recover"}},
+		{"encrypt/*", []string{"encrypt/full", "encrypt/parallel-1"}},
+		{"encrypt/parallel-?", []string{"encrypt/parallel-1"}},
+		// Heavy workloads are selected by any constrained glob.
+		{"paper/*", []string{"paper/fig6"}},
+		{"paper/fig6", []string{"paper/fig6"}},
+		{"*fig*", []string{"paper/fig6"}},
+		{"nope/*", nil},
+	}
+	for _, c := range cases {
+		got := names(r.Match(c.glob))
+		if len(got) != len(c.want) {
+			t.Errorf("Match(%q) = %v, want %v", c.glob, got, c.want)
+			continue
+		}
+		for i := range got {
+			if got[i] != c.want[i] {
+				t.Errorf("Match(%q) = %v, want %v", c.glob, got, c.want)
+				break
+			}
+		}
+	}
+}
+
+func TestGlobMatch(t *testing.T) {
+	cases := []struct {
+		pattern, name string
+		want          bool
+	}{
+		{"*", "a/b/c", true},
+		{"a/*", "a/b/c", true},
+		{"*/c", "a/b/c", true},
+		{"a/?", "a/b", true},
+		{"a/?", "a/bc", false},
+		{"a*c", "abc", true},
+		{"a*c", "ac", true},
+		{"a*c", "ab", false},
+		{"", "", true},
+		{"", "x", false},
+		{"**", "anything", true},
+	}
+	for _, c := range cases {
+		if got := globMatch(c.pattern, c.name); got != c.want {
+			t.Errorf("globMatch(%q, %q) = %v, want %v", c.pattern, c.name, got, c.want)
+		}
+	}
+}
+
+// TestDefaultWorkloadsCoverage pins the acceptance surface: at least 8
+// non-heavy workloads spanning encrypt, incremental, decrypt, FD
+// discovery, store recovery, and server HTTP.
+func TestDefaultWorkloadsCoverage(t *testing.T) {
+	std := DefaultWorkloads().Match("*")
+	if len(std) < 8 {
+		t.Errorf("only %d standard workloads, acceptance floor is 8", len(std))
+	}
+	got := map[string]bool{}
+	for _, g := range groupsCovered(std) {
+		got[g] = true
+	}
+	for _, want := range []string{"encrypt", "incremental", "decrypt", "fd", "store", "server"} {
+		if !got[want] {
+			t.Errorf("no workload covers group %q", want)
+		}
+	}
+}
+
+// TestStoreSnapshotWorkloadEndToEnd runs one real workload through the
+// runner at tiny scale: setup, measured ops, metrics, cleanup.
+func TestStoreSnapshotWorkloadEndToEnd(t *testing.T) {
+	reg := DefaultWorkloads()
+	ws := reg.Match("store/snapshot")
+	if len(ws) != 1 {
+		t.Fatalf("store/snapshot not registered")
+	}
+	res, err := Run(context.Background(), ws[0], Scale{SizeFactor: 0.05, Seed: 1},
+		RunConfig{MaxOps: 3, WarmupOps: 1, Duration: 30 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Ops != 3 || res.Errors != 0 {
+		t.Fatalf("ops/errors = %d/%d, want 3/0", res.Ops, res.Errors)
+	}
+	if res.P95Ms <= 0 || res.RowsPerSec <= 0 {
+		t.Errorf("stats not derived: %+v", res)
+	}
+}

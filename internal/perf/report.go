@@ -1,0 +1,125 @@
+package perf
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime"
+	"time"
+)
+
+// ReportVersion guards the on-disk schema: a comparator fed a report
+// from an incompatible harness fails loudly instead of diffing garbage.
+const ReportVersion = 1
+
+// Env records where a report was measured; the comparator prints both
+// sides so cross-machine diffs are read with the right suspicion.
+type Env struct {
+	GoVersion  string `json:"goVersion"`
+	GOOS       string `json:"goos"`
+	GOARCH     string `json:"goarch"`
+	NumCPU     int    `json:"numCPU"`
+	GOMAXPROCS int    `json:"gomaxprocs"`
+	Hostname   string `json:"hostname,omitempty"`
+}
+
+// CurrentEnv captures the running process's environment.
+func CurrentEnv() Env {
+	host, _ := os.Hostname()
+	return Env{
+		GoVersion:  runtime.Version(),
+		GOOS:       runtime.GOOS,
+		GOARCH:     runtime.GOARCH,
+		NumCPU:     runtime.NumCPU(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Hostname:   host,
+	}
+}
+
+// Report is one f2perf invocation's full output: environment metadata
+// plus every run's stats. It serializes as BENCH_<name>.json.
+type Report struct {
+	Version   int         `json:"version"`
+	Name      string      `json:"name"`
+	CreatedAt time.Time   `json:"createdAt"`
+	Scale     Scale       `json:"scale"`
+	Env       Env         `json:"env"`
+	Runs      []RunResult `json:"runs"`
+}
+
+// NewReport starts a report for the given invocation name.
+func NewReport(name string, sc Scale) *Report {
+	return &Report{
+		Version:   ReportVersion,
+		Name:      name,
+		CreatedAt: time.Now().UTC().Truncate(time.Second),
+		Scale:     sc,
+		Env:       CurrentEnv(),
+	}
+}
+
+// Run returns the named run, if present.
+func (r *Report) Run(workload string) (*RunResult, bool) {
+	for i := range r.Runs {
+		if r.Runs[i].Workload == workload {
+			return &r.Runs[i], true
+		}
+	}
+	return nil, false
+}
+
+// Filename is the canonical report file name, BENCH_<name>.json.
+func (r *Report) Filename() string {
+	return fmt.Sprintf("BENCH_%s.json", r.Name)
+}
+
+// Write serializes the report into dir under its canonical name and
+// returns the full path. The write is atomic (temp + rename) so a
+// watcher or CI artifact upload never sees a torn report.
+func (r *Report) Write(dir string) (string, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return "", err
+	}
+	data, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return "", err
+	}
+	data = append(data, '\n')
+	path := filepath.Join(dir, r.Filename())
+	tmp, err := os.CreateTemp(dir, ".bench-*.json")
+	if err != nil {
+		return "", err
+	}
+	_, werr := tmp.Write(data)
+	cerr := tmp.Close()
+	if werr == nil {
+		werr = cerr
+	}
+	if werr != nil {
+		os.Remove(tmp.Name())
+		return "", werr
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		os.Remove(tmp.Name())
+		return "", err
+	}
+	return path, nil
+}
+
+// ReadReport loads and validates a report file.
+func ReadReport(path string) (*Report, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var r Report
+	if err := json.Unmarshal(data, &r); err != nil {
+		return nil, fmt.Errorf("perf: parsing report %s: %w", path, err)
+	}
+	if r.Version != ReportVersion {
+		return nil, fmt.Errorf("perf: report %s has version %d, this harness reads %d",
+			path, r.Version, ReportVersion)
+	}
+	return &r, nil
+}

@@ -1,0 +1,85 @@
+package perf
+
+import (
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func sampleReport(name string) *Report {
+	r := NewReport(name, QuickScale())
+	r.Runs = []RunResult{
+		{
+			Workload: "encrypt/full", Concurrency: 1, Ops: 40,
+			ElapsedMs: 1500, P50Ms: 30.5, P95Ms: 38.2, P99Ms: 39.9,
+			MinMs: 28.0, MeanMs: 31.0, MaxMs: 41.2,
+			OpsPerSec: 26.7, RowsPerSec: 53400,
+			Metrics:  map[string]float64{"ciphertextExpansion": 1.262},
+			Profiles: []ProfileRef{{Kind: "cpu", File: "profiles/encrypt-full.cpu.pprof"}},
+			Runtime:  &RuntimeSummary{Samples: 15, MaxHeapMB: 120.5, MaxGoroutines: 9, AllocMB: 900, GCCycles: 12},
+		},
+		{
+			Workload: "server/read", Concurrency: 4, Ops: 10000, Errors: 2,
+			ElapsedMs: 1500, P50Ms: 0.12, P95Ms: 0.24, P99Ms: 1.1,
+			MinMs: 0.05, MeanMs: 0.15, MaxMs: 4.0, OpsPerSec: 6666,
+		},
+	}
+	return r
+}
+
+// TestReportRoundTrip: what Write persists, ReadReport restores exactly.
+func TestReportRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	orig := sampleReport("roundtrip")
+	path, err := orig.Write(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := filepath.Join(dir, "BENCH_roundtrip.json"); path != want {
+		t.Errorf("path = %q, want canonical %q", path, want)
+	}
+	got, err := ReadReport(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(orig, got) {
+		t.Errorf("round-trip mismatch:\nwrote %+v\nread  %+v", orig, got)
+	}
+}
+
+// TestReportVersionGate: a report from an incompatible harness fails
+// loudly instead of diffing garbage.
+func TestReportVersionGate(t *testing.T) {
+	dir := t.TempDir()
+	r := sampleReport("ver")
+	r.Version = ReportVersion + 1
+	path, err := r.Write(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadReport(path); err == nil || !strings.Contains(err.Error(), "version") {
+		t.Fatalf("err = %v, want version mismatch", err)
+	}
+}
+
+func TestReportReadRejectsGarbage(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "BENCH_bad.json")
+	if err := os.WriteFile(path, []byte("{not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadReport(path); err == nil {
+		t.Fatal("garbage report parsed without error")
+	}
+}
+
+func TestReportRunLookup(t *testing.T) {
+	r := sampleReport("lookup")
+	if _, ok := r.Run("encrypt/full"); !ok {
+		t.Error("Run failed to find an existing workload")
+	}
+	if _, ok := r.Run("nope"); ok {
+		t.Error("Run found a nonexistent workload")
+	}
+}

@@ -1,0 +1,557 @@
+package perf
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"sync/atomic"
+	"time"
+
+	"f2/internal/core"
+	"f2/internal/fd"
+	"f2/internal/relation"
+	"f2/internal/server"
+	"f2/internal/store"
+	"f2/internal/workload"
+)
+
+// Default dataset sizes (rows, before Scale.Rows). Chosen so a -quick
+// run (SizeFactor 0.25) of the whole registry finishes in well under two
+// minutes on a laptop while still exercising every pipeline stage.
+const (
+	encryptRows = 8000 // synthetic; full/parallel encrypt + decrypt
+	taneRows    = 2000 // customer; FD discovery (wider schema)
+	streamRows  = 2000 // synthetic; incremental append stream base
+	storeRows   = 1500 // synthetic; snapshot + recovery
+	serverRows  = 800  // synthetic; f2served round-trips
+)
+
+// DefaultWorkloads returns the standard registry: every pipeline stage
+// under one measurement path. internal/bench layers the paper
+// experiments (group "paper") on top via its PerfWorkloads bridge.
+func DefaultWorkloads() *Registry {
+	r := NewRegistry()
+	must := func(err error) {
+		if err != nil {
+			panic(err) // duplicate registration is a programming error
+		}
+	}
+	must(r.Register(
+		encryptWorkload("encrypt/full", -1,
+			"full F² encryption of a synthetic table (pipeline width from -parallelism)"),
+		encryptWorkload("encrypt/parallel-1", 1,
+			"full encryption pinned to the serial pipeline (width 1)"),
+		encryptWorkload("encrypt/parallel-max", 0,
+			"full encryption fanned across GOMAXPROCS workers"),
+		incrementalWorkload("incremental/append-16", 16,
+			"append stream: buffer 16 rows + incremental flush per op"),
+		incrementalWorkload("incremental/append-128", 128,
+			"append stream: buffer 128 rows + incremental flush per op"),
+		decryptWorkload(),
+		fdWorkload("fd/discover-plain", false,
+			"witnessed TANE FD discovery on the plaintext table"),
+		fdWorkload("fd/discover-encrypted", true,
+			"witnessed TANE FD discovery on the encrypted view (the untrusted server's job)"),
+		storeSnapshotWorkload(),
+		storeRecoverWorkload(),
+		serverRoundtripWorkload(),
+		serverReadWorkload(),
+	))
+	return r
+}
+
+// expansionGauge publishes the ciphertext-expansion ratio observed by the
+// last completed op (atomically: ops run concurrently).
+type expansionGauge struct{ bits atomic.Uint64 }
+
+func (g *expansionGauge) set(orig, enc int) {
+	if orig > 0 {
+		g.bits.Store(math.Float64bits(float64(enc) / float64(orig)))
+	}
+}
+
+func (g *expansionGauge) metrics() map[string]float64 {
+	if b := g.bits.Load(); b != 0 {
+		return map[string]float64{"ciphertextExpansion": math.Float64frombits(b)}
+	}
+	return nil
+}
+
+// encryptWorkload measures a full pipeline run at a fixed width
+// (parallelism ≥ 0) or at the scale's width (-1).
+func encryptWorkload(name string, parallelism int, desc string) Workload {
+	return Workload{
+		Name: name,
+		Desc: desc,
+		Setup: func(ctx context.Context, sc Scale) (*Instance, error) {
+			tbl, err := Dataset(workload.NameSynthetic, sc.Rows(encryptRows), sc.Seed)
+			if err != nil {
+				return nil, err
+			}
+			cfg := Config(0.25)
+			if parallelism >= 0 {
+				cfg.Parallelism = parallelism
+			} else {
+				cfg.Parallelism = sc.Parallelism
+			}
+			var exp expansionGauge
+			return &Instance{
+				RowsPerOp: tbl.NumRows(),
+				Metrics:   exp.metrics,
+				// A fresh Encryptor per op: the type is reusable but not
+				// concurrency-safe, and construction is microseconds.
+				Op: func(ctx context.Context) error {
+					enc, err := core.NewEncryptor(cfg)
+					if err != nil {
+						return err
+					}
+					res, err := enc.Encrypt(ctx, tbl)
+					if err != nil {
+						return err
+					}
+					exp.set(tbl.NumRows(), res.Encrypted.NumRows())
+					return nil
+				},
+			}, nil
+		},
+	}
+}
+
+// incrementalWorkload measures the append stream: each op buffers Δ rows
+// and flushes through the incremental engine. The table legitimately
+// grows during the run (that is the scenario); OpsCap bounds the drift.
+func incrementalWorkload(name string, delta int, desc string) Workload {
+	return Workload{
+		Name:           name,
+		Desc:           desc,
+		MaxConcurrency: 1, // core.Updater is single-owner
+		OpsCap:         2048 / delta,
+		Setup: func(ctx context.Context, sc Scale) (*Instance, error) {
+			base, err := Dataset(workload.NameSynthetic, sc.Rows(streamRows), sc.Seed)
+			if err != nil {
+				return nil, err
+			}
+			// The appended rows come from the same generator at a shifted
+			// seed: schema-compatible, value-fresh. Some flushes will hit
+			// the rebuild fallback — that mix is the production scenario,
+			// and the flush-mode metrics below record it.
+			pool, err := Dataset(workload.NameSynthetic, sc.Rows(streamRows), sc.Seed+7)
+			if err != nil {
+				return nil, err
+			}
+			cfg := Config(0.25)
+			cfg.Parallelism = sc.Parallelism
+			upd, _, err := core.NewUpdater(ctx, cfg, base)
+			if err != nil {
+				return nil, err
+			}
+			cursor := 0
+			next := func() [][]string {
+				rows := make([][]string, delta)
+				for i := range rows {
+					r := make([]string, pool.NumAttrs())
+					for a := range r {
+						r[a] = pool.Cell(cursor%pool.NumRows(), a)
+					}
+					cursor++
+					rows[i] = r
+				}
+				return rows
+			}
+			return &Instance{
+				RowsPerOp: delta,
+				Metrics: func() map[string]float64 {
+					return map[string]float64{
+						"incrementalFlushes": float64(upd.IncrementalFlushes),
+						"rebuilds":           float64(upd.Rebuilds),
+					}
+				},
+				Op: func(ctx context.Context) error {
+					if err := upd.Buffer(next()); err != nil {
+						return err
+					}
+					_, err := upd.Flush(ctx)
+					return err
+				},
+			}, nil
+		},
+	}
+}
+
+// decryptWorkload measures owner-side full-table decryption.
+func decryptWorkload() Workload {
+	return Workload{
+		Name: "decrypt/full",
+		Desc: "owner-side decryption of a full encrypted table",
+		Setup: func(ctx context.Context, sc Scale) (*Instance, error) {
+			tbl, err := Dataset(workload.NameSynthetic, sc.Rows(encryptRows), sc.Seed)
+			if err != nil {
+				return nil, err
+			}
+			cfg := Config(0.25)
+			cfg.Parallelism = sc.Parallelism
+			enc, err := core.NewEncryptor(cfg)
+			if err != nil {
+				return nil, err
+			}
+			res, err := enc.Encrypt(ctx, tbl)
+			if err != nil {
+				return nil, err
+			}
+			return &Instance{
+				RowsPerOp: tbl.NumRows(),
+				Op: func(ctx context.Context) error {
+					dec, err := core.NewDecryptor(cfg)
+					if err != nil {
+						return err
+					}
+					_, err = dec.DecryptTable(ctx, res.Encrypted)
+					return err
+				},
+			}, nil
+		},
+	}
+}
+
+// fdWorkload measures witnessed TANE discovery on the plaintext or the
+// encrypted view.
+func fdWorkload(name string, encrypted bool, desc string) Workload {
+	return Workload{
+		Name: name,
+		Desc: desc,
+		Setup: func(ctx context.Context, sc Scale) (*Instance, error) {
+			tbl, err := Dataset(workload.NameCustomer, sc.Rows(taneRows), sc.Seed)
+			if err != nil {
+				return nil, err
+			}
+			target := tbl
+			if encrypted {
+				cfg := Config(0.2)
+				cfg.Parallelism = sc.Parallelism
+				enc, err := core.NewEncryptor(cfg)
+				if err != nil {
+					return nil, err
+				}
+				res, err := enc.Encrypt(ctx, tbl)
+				if err != nil {
+					return nil, err
+				}
+				target = res.Encrypted
+			}
+			return &Instance{
+				RowsPerOp: target.NumRows(),
+				Op: func(ctx context.Context) error {
+					_, err := fd.DiscoverWitnessedCtx(ctx, target)
+					return err
+				},
+			}, nil
+		},
+	}
+}
+
+// storeRecord builds a durable-store record over a freshly encrypted
+// synthetic table, shared by both store workloads.
+func storeRecord(ctx context.Context, sc Scale) (*store.Record, *relation.Table, error) {
+	tbl, err := Dataset(workload.NameSynthetic, sc.Rows(storeRows), sc.Seed)
+	if err != nil {
+		return nil, nil, err
+	}
+	cfg := Config(0.25)
+	cfg.Parallelism = sc.Parallelism
+	upd, _, err := core.NewUpdater(ctx, cfg, tbl)
+	if err != nil {
+		return nil, nil, err
+	}
+	return &store.Record{
+		ID:      "perf",
+		Name:    "perf",
+		Created: time.Now().UTC(),
+		Config:  cfg,
+		Updater: upd.State(),
+	}, tbl, nil
+}
+
+// storeSnapshotWorkload measures one durable snapshot write (serialize,
+// seal the key, fsync, atomic rename).
+func storeSnapshotWorkload() Workload {
+	return Workload{
+		Name:           "store/snapshot",
+		Desc:           "durable snapshot write of an encrypted dataset (seal + fsync + rename)",
+		MaxConcurrency: 1, // one dataset dir; concurrent rotations would measure rename races
+		Setup: func(ctx context.Context, sc Scale) (*Instance, error) {
+			dir, err := os.MkdirTemp("", "f2perf-store-*")
+			if err != nil {
+				return nil, err
+			}
+			st, err := store.Open(dir)
+			if err != nil {
+				os.RemoveAll(dir)
+				return nil, err
+			}
+			rec, tbl, err := storeRecord(ctx, sc)
+			if err != nil {
+				st.Close()
+				os.RemoveAll(dir)
+				return nil, err
+			}
+			return &Instance{
+				RowsPerOp: tbl.NumRows(),
+				Cleanup: func() error {
+					st.Close()
+					return os.RemoveAll(dir)
+				},
+				Op: func(ctx context.Context) error {
+					return st.SaveSnapshot(rec)
+				},
+			}, nil
+		},
+	}
+}
+
+// storeRecoverWorkload measures the full boot-recovery path: open the
+// store, load + unseal the snapshot, CRC-walk the WAL tail, restore the
+// updater, and replay the tail through it — exactly what f2served does
+// at startup.
+func storeRecoverWorkload() Workload {
+	return Workload{
+		Name: "store/recover",
+		Desc: "boot recovery: snapshot load + WAL tail replay + updater restore",
+		Setup: func(ctx context.Context, sc Scale) (*Instance, error) {
+			dir, err := os.MkdirTemp("", "f2perf-recover-*")
+			if err != nil {
+				return nil, err
+			}
+			fail := func(err error) (*Instance, error) {
+				os.RemoveAll(dir)
+				return nil, err
+			}
+			st, err := store.Open(dir)
+			if err != nil {
+				return fail(err)
+			}
+			rec, tbl, err := storeRecord(ctx, sc)
+			if err != nil {
+				st.Close()
+				return fail(err)
+			}
+			if err := st.SaveSnapshot(rec); err != nil {
+				st.Close()
+				return fail(err)
+			}
+			// A WAL tail of 8 acknowledged-but-unsnapshotted batches.
+			const tailBatches, batchRows = 8, 16
+			row := make([]string, tbl.NumAttrs())
+			for seq := uint64(1); seq <= tailBatches; seq++ {
+				rows := make([][]string, batchRows)
+				for i := range rows {
+					src := (int(seq)*batchRows + i) % tbl.NumRows()
+					for a := range row {
+						row[a] = tbl.Cell(src, a)
+					}
+					rows[i] = append([]string(nil), row...)
+				}
+				if err := st.AppendBatch("perf", store.Batch{Seq: seq, Rows: rows}); err != nil {
+					st.Close()
+					return fail(err)
+				}
+			}
+			if err := st.Close(); err != nil {
+				return fail(err)
+			}
+			return &Instance{
+				RowsPerOp: tbl.NumRows() + tailBatches*batchRows,
+				Cleanup:   func() error { return os.RemoveAll(dir) },
+				Op: func(ctx context.Context) error {
+					s2, err := store.Open(dir)
+					if err != nil {
+						return err
+					}
+					defer s2.Close()
+					loaded, skipped, err := s2.LoadAll()
+					if err != nil {
+						return err
+					}
+					if len(skipped) > 0 || len(loaded) != 1 {
+						return fmt.Errorf("recover: %d loaded, %d skipped", len(loaded), len(skipped))
+					}
+					l := loaded[0]
+					upd, err := core.RestoreUpdater(l.Config, l.Updater)
+					if err != nil {
+						return err
+					}
+					for _, b := range l.Tail {
+						if err := upd.Buffer(b.Rows); err != nil {
+							return err
+						}
+					}
+					return nil
+				},
+			}, nil
+		},
+	}
+}
+
+// httpDataset boots an in-process f2served over httptest, creates one
+// dataset from a synthetic table, and returns the client plumbing.
+func httpDataset(ctx context.Context, sc Scale) (ts *httptest.Server, srv *server.Server, id string, tbl *relation.Table, err error) {
+	tbl, err = Dataset(workload.NameSynthetic, sc.Rows(serverRows), sc.Seed)
+	if err != nil {
+		return nil, nil, "", nil, err
+	}
+	srv, err = server.New(server.Options{Workers: 4, Parallelism: sc.Parallelism})
+	if err != nil {
+		return nil, nil, "", nil, err
+	}
+	ts = httptest.NewServer(srv.Handler())
+	fail := func(err error) (*httptest.Server, *server.Server, string, *relation.Table, error) {
+		ts.Close()
+		srv.Close()
+		return nil, nil, "", nil, err
+	}
+	rows := make([][]string, tbl.NumRows())
+	for i := range rows {
+		r := make([]string, tbl.NumAttrs())
+		for a := range r {
+			r[a] = tbl.Cell(i, a)
+		}
+		rows[i] = r
+	}
+	body, err := json.Marshal(map[string]any{
+		"name":    "perf",
+		"columns": tbl.Schema().Names(),
+		"rows":    rows,
+		"keySeed": "f2-perf-http",
+	})
+	if err != nil {
+		return fail(err)
+	}
+	resp, err := httpPost(ctx, ts.URL+"/v1/datasets", body)
+	if err != nil {
+		return fail(err)
+	}
+	var created struct {
+		Dataset struct {
+			ID string `json:"id"`
+		} `json:"dataset"`
+	}
+	if err := json.Unmarshal(resp, &created); err != nil || created.Dataset.ID == "" {
+		return fail(fmt.Errorf("create dataset: bad response %.120q (%v)", resp, err))
+	}
+	return ts, srv, created.Dataset.ID, tbl, nil
+}
+
+// httpPost / httpGet are minimal JSON round-trip helpers that fail on
+// non-2xx statuses (an errored request must not count as a fast op).
+func httpDo(req *http.Request) ([]byte, error) {
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode/100 != 2 {
+		return nil, fmt.Errorf("%s %s: %s: %.200s", req.Method, req.URL.Path, resp.Status, data)
+	}
+	return data, nil
+}
+
+func httpPost(ctx context.Context, url string, body []byte) ([]byte, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, url, bytes.NewReader(body))
+	if err != nil {
+		return nil, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	return httpDo(req)
+}
+
+func httpGet(ctx context.Context, url string) ([]byte, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
+	if err != nil {
+		return nil, err
+	}
+	return httpDo(req)
+}
+
+// serverRoundtripWorkload measures the end-to-end append path: POST a
+// small batch of rows, then GET the refreshed summary. The server's
+// FlushFraction auto-flush fires periodically during the run, so the op
+// mix includes real pipeline work, exactly like a production stream.
+func serverRoundtripWorkload() Workload {
+	const appendRows = 8
+	return Workload{
+		Name:   "server/roundtrip",
+		Desc:   "f2served HTTP round-trip: POST 8 rows + GET summary (auto-flush included)",
+		OpsCap: 256,
+		Setup: func(ctx context.Context, sc Scale) (*Instance, error) {
+			ts, srv, id, tbl, err := httpDataset(ctx, sc)
+			if err != nil {
+				return nil, err
+			}
+			var cursor atomic.Int64
+			return &Instance{
+				RowsPerOp: appendRows,
+				Cleanup: func() error {
+					ts.Close()
+					srv.Close()
+					return nil
+				},
+				Op: func(ctx context.Context) error {
+					base := int(cursor.Add(appendRows)) - appendRows
+					rows := make([][]string, appendRows)
+					for i := range rows {
+						r := make([]string, tbl.NumAttrs())
+						for a := range r {
+							r[a] = tbl.Cell((base+i)%tbl.NumRows(), a)
+						}
+						rows[i] = r
+					}
+					body, err := json.Marshal(map[string]any{"rows": rows})
+					if err != nil {
+						return err
+					}
+					if _, err := httpPost(ctx, ts.URL+"/v1/datasets/"+id+"/rows", body); err != nil {
+						return err
+					}
+					_, err = httpGet(ctx, ts.URL+"/v1/datasets/"+id)
+					return err
+				},
+			}, nil
+		},
+	}
+}
+
+// serverReadWorkload measures the read path under concurrency: GET the
+// dataset summary (registry lock + cached summary + JSON encode).
+func serverReadWorkload() Workload {
+	return Workload{
+		Name:               "server/read",
+		Desc:               "f2served HTTP read: GET dataset summary at concurrency 4",
+		DefaultConcurrency: 4,
+		Setup: func(ctx context.Context, sc Scale) (*Instance, error) {
+			ts, srv, id, _, err := httpDataset(ctx, sc)
+			if err != nil {
+				return nil, err
+			}
+			return &Instance{
+				Cleanup: func() error {
+					ts.Close()
+					srv.Close()
+					return nil
+				},
+				Op: func(ctx context.Context) error {
+					_, err := httpGet(ctx, ts.URL+"/v1/datasets/"+id)
+					return err
+				},
+			}, nil
+		},
+	}
+}

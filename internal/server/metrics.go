@@ -30,6 +30,41 @@ type opStats struct {
 	buckets []uint64 // len(latencyBuckets)+1, last is +Inf
 }
 
+// quantile derives the q-quantile (0 < q ≤ 1) from the histogram the
+// way Prometheus's histogram_quantile does: locate the bucket holding
+// the target rank through the cumulative counts, then interpolate
+// linearly between the bucket's bounds (the first bucket's lower bound
+// is 0). The open +Inf bucket has no upper bound to interpolate toward,
+// so it reports the exact observed max instead — tighter than the
+// Prometheus convention of clamping to the last finite bound.
+func (s *opStats) quantile(q float64) time.Duration {
+	if s.count == 0 {
+		return 0
+	}
+	rank := q * float64(s.count)
+	cum := 0.0
+	for i, c := range s.buckets {
+		if c == 0 {
+			continue
+		}
+		next := cum + float64(c)
+		if rank <= next {
+			if i == len(latencyBuckets) {
+				return s.max
+			}
+			lo := time.Duration(0)
+			if i > 0 {
+				lo = latencyBuckets[i-1]
+			}
+			hi := latencyBuckets[i]
+			frac := (rank - cum) / float64(c)
+			return lo + time.Duration(float64(hi-lo)*frac)
+		}
+		cum = next
+	}
+	return s.max
+}
+
 // Metrics records per-operation request counts and latency histograms and
 // renders them in Prometheus text exposition format. Gauges (pool depth,
 // dataset count) are registered as callbacks so the render reflects live
@@ -160,6 +195,17 @@ func (m *Metrics) Render(w io.Writer) {
 			fmt.Fprintf(w, "f2_http_request_duration_seconds_sum{op=%q} %.6f\n", n, s.sum.Seconds())
 			fmt.Fprintf(w, "f2_http_request_duration_seconds_count{op=%q} %d\n", n, s.count)
 			fmt.Fprintf(w, "f2_http_request_duration_seconds_max{op=%q} %.6f\n", n, s.max.Seconds())
+		}
+		// Server-side derived quantiles: dashboards without a PromQL
+		// engine (and the perf harness) read p50/p95/p99 directly instead
+		// of re-implementing histogram_quantile over the buckets.
+		fmt.Fprintf(w, "# TYPE f2_http_request_latency_quantile_seconds gauge\n")
+		for _, n := range opNames {
+			s := m.ops[n]
+			for _, q := range []float64{0.5, 0.95, 0.99} {
+				fmt.Fprintf(w, "f2_http_request_latency_quantile_seconds{op=%q,quantile=\"%g\"} %.6f\n",
+					n, q, s.quantile(q).Seconds())
+			}
 		}
 	}
 }

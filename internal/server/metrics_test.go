@@ -1,0 +1,91 @@
+package server
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestQuantileInterpolationExact pins the histogram-quantile
+// interpolation against an exactly-sorted sample. The bucket layout is
+// latencyBuckets = [1ms 5ms 25ms ...]; we place 8 observations in the
+// first bucket and 2 in the second, i.e. the sorted sample
+//
+//	x_1 ≤ ... ≤ x_8 ≤ 1ms < x_9, x_10 ≤ 5ms
+//
+// With observations assumed uniform inside their bucket, the q-quantile
+// at rank r = q·10 interpolates linearly between the enclosing bucket's
+// bounds; these closed-form positions are pinned exactly.
+func TestQuantileInterpolationExact(t *testing.T) {
+	m := NewMetrics()
+	for i := 0; i < 8; i++ {
+		m.Observe("op", 200, 500*time.Microsecond) // bucket (0, 1ms]
+	}
+	for i := 0; i < 2; i++ {
+		m.Observe("op", 200, 2*time.Millisecond) // bucket (1ms, 5ms]
+	}
+	s := m.ops["op"]
+	cases := []struct {
+		q    float64
+		want time.Duration
+	}{
+		// rank 5 of 10 → bucket 0, frac 5/8: 0 + (1ms)·5/8.
+		{0.50, 625 * time.Microsecond},
+		// rank 8 → exactly fills bucket 0: its upper bound.
+		{0.80, time.Millisecond},
+		// rank 9.5 → bucket 1, frac 1.5/2: 1ms + 4ms·0.75.
+		{0.95, 4 * time.Millisecond},
+		// rank 9.9 → bucket 1, frac 1.9/2: 1ms + 4ms·0.95.
+		{0.99, 4800 * time.Microsecond},
+	}
+	for _, c := range cases {
+		if got := s.quantile(c.q); got != c.want {
+			t.Errorf("quantile(%v) = %v, want %v", c.q, got, c.want)
+		}
+	}
+}
+
+// TestQuantileOverflowBucketUsesMax: the +Inf bucket has no upper bound
+// to interpolate toward, so quantiles landing there report the exact
+// observed max.
+func TestQuantileOverflowBucketUsesMax(t *testing.T) {
+	m := NewMetrics()
+	m.Observe("op", 200, time.Millisecond)
+	m.Observe("op", 200, 42*time.Second) // beyond the last 10s bound
+	s := m.ops["op"]
+	if got := s.quantile(0.99); got != 42*time.Second {
+		t.Errorf("quantile(0.99) = %v, want the exact max 42s", got)
+	}
+}
+
+func TestQuantileEmptyOp(t *testing.T) {
+	s := &opStats{buckets: make([]uint64, len(latencyBuckets)+1)}
+	if got := s.quantile(0.5); got != 0 {
+		t.Errorf("quantile on empty stats = %v, want 0", got)
+	}
+}
+
+// TestMetricsRenderQuantileGauges checks the derived gauges land in the
+// Prometheus exposition with the pinned interpolated values.
+func TestMetricsRenderQuantileGauges(t *testing.T) {
+	m := NewMetrics()
+	for i := 0; i < 8; i++ {
+		m.Observe("flush", 200, 500*time.Microsecond)
+	}
+	for i := 0; i < 2; i++ {
+		m.Observe("flush", 200, 2*time.Millisecond)
+	}
+	var b strings.Builder
+	m.Render(&b)
+	out := b.String()
+	for _, want := range []string{
+		`# TYPE f2_http_request_latency_quantile_seconds gauge`,
+		`f2_http_request_latency_quantile_seconds{op="flush",quantile="0.5"} 0.000625`,
+		`f2_http_request_latency_quantile_seconds{op="flush",quantile="0.95"} 0.004000`,
+		`f2_http_request_latency_quantile_seconds{op="flush",quantile="0.99"} 0.004800`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("rendered metrics missing %q in:\n%s", want, out)
+		}
+	}
+}
