@@ -50,6 +50,10 @@ func main() {
 		parallelism = flag.Int("parallelism", 0, "pipeline width for width-unpinned workloads (0: GOMAXPROCS)")
 		compare     = flag.Bool("compare", false, "compare two reports: f2perf -compare old.json new.json [-threshold N]")
 		threshold   = flag.Float64("threshold", 10, "regression threshold in percent for -compare")
+		stages      = flag.Bool("stages", true, "trace every measured op and record per-stage breakdowns in the report")
+		traceOvh    = flag.Bool("trace-overhead", false, "measure tracing overhead (interleaved traced vs untraced encrypts) and gate on -overhead-budget")
+		ovhBudget   = flag.Float64("overhead-budget", 2, "max acceptable tracing overhead in percent for -trace-overhead")
+		ovhRounds   = flag.Int("overhead-rounds", 9, "A/B rounds for -trace-overhead (odd; min 3)")
 	)
 	flag.Parse()
 
@@ -116,6 +120,10 @@ func main() {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
+	if *traceOvh {
+		os.Exit(runTraceOverhead(ctx, sc, *ovhRounds, *ovhBudget))
+	}
+
 	report := perf.NewReport(reportName, sc)
 	start := time.Now()
 	for _, w := range selected {
@@ -125,6 +133,7 @@ func main() {
 			Duration:    runFor,
 			MaxOps:      *maxOps,
 			Profile:     prof,
+			Stages:      *stages,
 		}
 		res, err := perf.Run(ctx, w, sc, rc)
 		if res != nil {
@@ -161,6 +170,25 @@ func registry() *perf.Registry {
 		os.Exit(2)
 	}
 	return reg
+}
+
+// runTraceOverhead implements the tracing-overhead gate: interleaved
+// traced/untraced encrypt rounds in one process, failing when the traced
+// median exceeds the untraced one by more than the budget. Exit 0 = within
+// budget, 1 = over budget, 2 = could not measure.
+func runTraceOverhead(ctx context.Context, sc perf.Scale, rounds int, budgetPct float64) int {
+	res, err := perf.TraceOverhead(ctx, sc, rounds)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "f2perf: trace overhead: %v\n", err)
+		return 2
+	}
+	fmt.Println(res)
+	if !res.Within(budgetPct) {
+		fmt.Fprintf(os.Stderr, "f2perf: tracing overhead %.2f%% exceeds the %.2f%% budget\n",
+			res.OverheadPct, budgetPct)
+		return 1
+	}
+	return 0
 }
 
 // runCompare implements the gate mode. args may carry trailing flags

@@ -30,7 +30,7 @@ import (
 	"context"
 	"errors"
 	"flag"
-	"log"
+	"log/slog"
 	"net"
 	"net/http"
 	"net/http/pprof"
@@ -52,11 +52,18 @@ func main() {
 		trials      = flag.Int("trials", 1000, "default attack-game trials for /report")
 		dataDir     = flag.String("data-dir", "", "durable dataset store directory (empty: in-memory only)")
 		pprofAddr   = flag.String("pprof-addr", "", "OPT-IN net/http/pprof listener (e.g. 127.0.0.1:6060); unsafe to expose publicly, keep it off or loopback-bound")
+		logText     = flag.Bool("log-text", false, "log human-readable text instead of JSON lines")
 		quiet       = flag.Bool("q", false, "suppress request logs")
 	)
 	flag.Parse()
 
-	logger := log.New(os.Stderr, "f2served ", log.LstdFlags)
+	// Structured logs by default: one JSON record per request carrying the
+	// trace id and per-stage timings (pipe through jq to slice them).
+	var handler slog.Handler = slog.NewJSONHandler(os.Stderr, nil)
+	if *logText {
+		handler = slog.NewTextHandler(os.Stderr, nil)
+	}
+	logger := slog.New(handler)
 	opts := server.Options{
 		Workers:      *workers,
 		Parallelism:  *parallelism,
@@ -70,15 +77,17 @@ func main() {
 	if *dataDir != "" {
 		st, err := store.Open(*dataDir)
 		if err != nil {
-			logger.Fatal(err)
+			logger.Error("opening durable store", "error", err)
+			os.Exit(1)
 		}
 		defer st.Close()
 		opts.Store = st
-		logger.Printf("durable store at %s", st.Dir())
+		logger.Info("durable store open", "dir", st.Dir())
 	}
 	srv, err := server.New(opts)
 	if err != nil {
-		logger.Fatal(err)
+		logger.Error("starting server", "error", err)
+		os.Exit(1)
 	}
 	defer srv.Close()
 
@@ -98,13 +107,14 @@ func main() {
 		pprofMux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 		pprofLn, err := net.Listen("tcp", *pprofAddr)
 		if err != nil {
-			logger.Fatalf("pprof listener: %v", err)
+			logger.Error("pprof listener", "error", err)
+			os.Exit(1)
 		}
 		pprofSrv := &http.Server{Handler: pprofMux, ReadHeaderTimeout: 10 * time.Second}
 		go func() {
-			logger.Printf("pprof listening on %s (do NOT expose publicly)", pprofLn.Addr())
+			logger.Info("pprof listening (do NOT expose publicly)", "addr", pprofLn.Addr().String())
 			if err := pprofSrv.Serve(pprofLn); err != nil && !errors.Is(err, http.ErrServerClosed) {
-				logger.Printf("pprof listener: %v", err)
+				logger.Error("pprof listener", "error", err)
 			}
 		}()
 		defer pprofSrv.Close()
@@ -122,15 +132,15 @@ func main() {
 	go func() {
 		defer close(shutdownDone)
 		<-ctx.Done()
-		logger.Printf("shutting down")
+		logger.Info("shutting down")
 		shutdownCtx, cancel := context.WithTimeout(context.Background(), 15*time.Second)
 		defer cancel()
 		if err := httpSrv.Shutdown(shutdownCtx); err != nil {
-			logger.Printf("shutdown: %v", err)
+			logger.Error("shutdown", "error", err)
 		}
 	}()
 
-	logger.Printf("listening on %s", *addr)
+	logger.Info("listening", "addr", *addr)
 	err = httpSrv.ListenAndServe()
 	// ListenAndServe returns the moment Shutdown is called; wait for the
 	// drain to finish before the deferred pool.Close, so in-flight
@@ -138,6 +148,7 @@ func main() {
 	stop()
 	<-shutdownDone
 	if err != nil && !errors.Is(err, http.ErrServerClosed) {
-		logger.Fatal(err)
+		logger.Error("serve", "error", err)
+		os.Exit(1)
 	}
 }

@@ -5,6 +5,7 @@ import (
 	"fmt"
 
 	"f2/internal/crypt"
+	"f2/internal/obs"
 	"f2/internal/pool"
 	"f2/internal/relation"
 )
@@ -38,6 +39,9 @@ func NewDecryptor(cfg Config) (*Decryptor, error) {
 // Config.Parallelism workers and written straight to their final
 // positions — the output table is identical at every parallelism.
 func (d *Decryptor) DecryptTable(ctx context.Context, t *relation.Table) (*relation.Table, error) {
+	ctx, sp := obs.Start(ctx, "decrypt.table")
+	sp.SetAttr("rows", t.NumRows())
+	defer sp.End()
 	n := t.NumRows()
 	m := t.NumAttrs()
 	rows := make([][]string, n)

@@ -8,6 +8,7 @@ import (
 
 	"f2/internal/crypt"
 	"f2/internal/mas"
+	"f2/internal/obs"
 	"f2/internal/partition"
 	"f2/internal/pool"
 	"f2/internal/relation"
@@ -135,58 +136,81 @@ func (e *Encryptor) Encrypt(ctx context.Context, t *relation.Table) (*Result, er
 
 	// ---- Step 1: MAS discovery (MAX) ----
 	start := time.Now()
+	sctx, sp := obs.Start(ctx, "encrypt.step1.mas")
 	var disc *mas.Result
 	var err error
 	if e.cfg.MAS == MASLevelwise {
-		disc, err = mas.DiscoverLevelwiseCtx(ctx, t)
+		disc, err = mas.DiscoverLevelwiseCtx(sctx, t)
 	} else {
-		disc, err = mas.DiscoverCtx(ctx, t)
+		disc, err = mas.DiscoverCtx(sctx, t)
 	}
 	if err != nil {
+		sp.End()
 		return nil, fmt.Errorf("core: encrypt: %w", err)
 	}
 	res.MASs = disc.Sets
 	res.Report.MASs = disc.Sets
 	res.Report.UniquenessChecks = disc.Checked
+	sp.SetAttr("rows", t.NumRows())
+	sp.SetAttr("mas", len(disc.Sets))
+	sp.SetAttr("uniquenessChecks", disc.Checked)
+	sp.End()
 	res.Report.TimeMAX = time.Since(start)
 
 	// ---- Step 2: grouping + splitting-and-scaling (SSE) ----
 	start = time.Now()
-	plans, err := e.buildPlans(ctx, disc, t.NumRows())
+	sctx, sp = obs.Start(ctx, "encrypt.step2.group")
+	plans, err := e.buildPlans(sctx, disc, t.NumRows())
 	if err != nil {
+		sp.End()
 		return nil, err
 	}
 	for _, p := range plans {
 		res.Report.addGroupStats(p.stats)
 	}
+	sp.SetAttr("ecgs", res.Report.NumECGs)
+	sp.SetAttr("instances", res.Report.NumInstances)
+	sp.End()
 	res.Report.TimeSSE = time.Since(start)
 
 	// ---- Step 3: conflict resolution + table assembly (SYN) ----
 	start = time.Now()
+	sctx, sp = obs.Start(ctx, "encrypt.step3.emit")
 	if err := ctx.Err(); err != nil {
+		sp.End()
 		return nil, fmt.Errorf("core: encrypt: %w", err)
 	}
 	out := relation.NewTable(t.Schema().Clone())
-	if err := e.emitOriginalRows(ctx, t, plans, out, res, 0, t.NumRows()); err != nil {
+	if err := e.emitOriginalRows(sctx, t, plans, out, res, 0, t.NumRows()); err != nil {
+		sp.End()
 		return nil, fmt.Errorf("core: encrypt: %w", err)
 	}
-	if err := e.emitPaddingJobs(ctx, scaleCopyJobs(plans), out, res); err != nil {
+	if err := e.emitPaddingJobs(sctx, scaleCopyJobs(plans), out, res); err != nil {
+		sp.End()
 		return nil, fmt.Errorf("core: encrypt: %w", err)
 	}
-	if err := e.emitPaddingJobs(ctx, fakeECJobs(plans), out, res); err != nil {
+	if err := e.emitPaddingJobs(sctx, fakeECJobs(plans), out, res); err != nil {
+		sp.End()
 		return nil, fmt.Errorf("core: encrypt: %w", err)
 	}
+	sp.SetAttr("emittedRows", out.NumRows())
+	sp.End()
 	res.Report.TimeSYN = time.Since(start)
 
 	// ---- Step 4: false-positive elimination (FP) ----
 	start = time.Now()
+	sctx, sp = obs.Start(ctx, "encrypt.step4.fp")
 	fpNodes := make(map[fpNode]bool)
 	if !e.cfg.SkipFPElimination {
 		var err error
-		if fpNodes, err = e.eliminateFalsePositives(ctx, t, plans, out, res); err != nil {
+		if fpNodes, err = e.eliminateFalsePositives(sctx, t, plans, out, res); err != nil {
+			sp.End()
 			return nil, err
 		}
 	}
+	sp.SetAttr("fpNodes", res.Report.FPNodes)
+	sp.SetAttr("fpRows", res.Report.FPRows)
+	sp.End()
 	res.Report.TimeFP = time.Since(start)
 
 	res.Encrypted = out

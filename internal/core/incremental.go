@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"f2/internal/mas"
+	"f2/internal/obs"
 	"f2/internal/partition"
 	"f2/internal/pool"
 	"f2/internal/relation"
@@ -83,20 +84,28 @@ func (e *Encryptor) EncryptIncremental(ctx context.Context, prev *Result, t *rel
 
 	// ---- Step 1': local border maintenance (MAX) ----
 	start := time.Now()
-	ref, ok, err := mas.MaintainBorder(ctx, prev.state.disc, t, oldRows)
+	sctx, sp := obs.Start(ctx, "incremental.border-maintain")
+	ref, ok, err := mas.MaintainBorder(sctx, prev.state.disc, t, oldRows)
 	if err != nil {
+		sp.End()
 		return nil, false, fmt.Errorf("core: incremental: %w", err)
 	}
 	if !ok {
+		sp.SetAttr("fallback", true)
+		sp.End()
 		return nil, false, nil
 	}
 	res.MASs = ref.Result.Sets
 	res.Report.MASs = ref.Result.Sets
 	res.Report.BorderProbes = ref.Result.Checked
+	sp.SetAttr("appendedRows", t.NumRows()-oldRows)
+	sp.SetAttr("borderProbes", ref.Result.Checked)
+	sp.End()
 	res.Report.TimeMAX = time.Since(start)
 
 	// ---- Step 2': plan extension (SSE) ----
 	start = time.Now()
+	_, sp = obs.Start(ctx, "incremental.extend")
 	e.mint = &freshMinter{n: prev.state.minted}
 	e.pool = pool.New(e.cfg.Workers())
 	defer func() { e.pool.Close(); e.pool = nil }()
@@ -105,16 +114,22 @@ func (e *Encryptor) EncryptIncremental(ctx context.Context, prev *Result, t *rel
 	for i, old := range prev.state.plans {
 		np, ps, ok := extendPlan(old, ref.Result.Partitions[old.attrs], ref.Deltas[old.attrs], t, oldRows)
 		if !ok {
+			sp.SetAttr("fallback", true)
+			sp.End()
 			return nil, false, nil
 		}
 		plans[i] = np
 		patches = append(patches, ps...)
 	}
+	sp.SetAttr("patchedECGs", len(patches))
+	sp.End()
 	res.Report.TimeSSE = time.Since(start)
 
 	// ---- Step 3': emit only what the append adds (SYN) ----
 	start = time.Now()
+	sctx, sp = obs.Start(ctx, "incremental.top-up")
 	if err := ctx.Err(); err != nil {
+		sp.End()
 		return nil, false, fmt.Errorf("core: incremental: %w", err)
 	}
 	// Carry the cumulative counters forward so Overhead() and the row
@@ -132,7 +147,8 @@ func (e *Encryptor) EncryptIncremental(ctx context.Context, prev *Result, t *rel
 
 	out := prev.Encrypted.Clone()
 	res.Origins = append(make([]RowOrigin, 0, len(prev.Origins)+4*(t.NumRows()-oldRows)), prev.Origins...)
-	if err := e.emitOriginalRows(ctx, t, plans, out, res, oldRows, t.NumRows()); err != nil {
+	if err := e.emitOriginalRows(sctx, t, plans, out, res, oldRows, t.NumRows()); err != nil {
+		sp.End()
 		return nil, false, fmt.Errorf("core: incremental: %w", err)
 	}
 	// Top up every instance of a grown ECG through the shared padding
@@ -150,20 +166,28 @@ func (e *Encryptor) EncryptIncremental(ctx context.Context, prev *Result, t *rel
 			}
 		}
 	}
-	if err := e.emitPaddingJobs(ctx, topUps, out, res); err != nil {
+	if err := e.emitPaddingJobs(sctx, topUps, out, res); err != nil {
+		sp.End()
 		return nil, false, fmt.Errorf("core: incremental: %w", err)
 	}
+	sp.SetAttr("topUpJobs", len(topUps))
+	sp.SetAttr("emittedRows", out.NumRows()-prev.Encrypted.NumRows())
+	sp.End()
 	res.Report.TimeSYN = time.Since(start)
 
 	// ---- Step 4': witness only newly violated dependencies (FP) ----
 	start = time.Now()
+	_, sp = obs.Start(ctx, "incremental.re-witness")
 	fpNodes := prev.state.fpNodes
 	if !e.cfg.SkipFPElimination {
 		if err := ctx.Err(); err != nil {
+			sp.End()
 			return nil, false, fmt.Errorf("core: incremental: %w", err)
 		}
 		fpNodes = e.patchFalsePositives(t, ref.Agreements, prev.state.fpNodes, res.MASs, out, res)
 	}
+	sp.SetAttr("fpNodes", res.Report.FPNodes-prev.Report.FPNodes)
+	sp.End()
 	res.Report.TimeFP = time.Since(start)
 
 	res.Encrypted = out

@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 
+	"f2/internal/obs"
 	"f2/internal/relation"
 )
 
@@ -112,6 +113,10 @@ func (e *Encryptor) runEmitShards(ctx context.Context, n int, freshPrefix []uint
 	base := e.mint.n
 	err := e.pool.ForEach(ctx, len(ranges), func(ctx context.Context, si int) error {
 		rng := ranges[si]
+		_, sp := obs.Start(ctx, "emit.shard")
+		sp.SetAttr("shard", si)
+		sp.SetAttr("units", rng[1]-rng[0])
+		defer sp.End()
 		mint := e.mint
 		if len(ranges) > 1 {
 			mint = &freshMinter{n: base + freshPrefix[rng[0]]}

@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 
+	"f2/internal/obs"
 	"f2/internal/relation"
 )
 
@@ -198,6 +199,9 @@ func (u *Updater) Flush(ctx context.Context) (*Result, error) {
 	if u.buffer.NumRows() == 0 {
 		return u.last, nil
 	}
+	ctx, sp := obs.Start(ctx, "update.flush")
+	sp.SetAttr("pending", u.buffer.NumRows())
+	defer sp.End()
 	combined := u.current.Clone()
 	for i := 0; i < u.buffer.NumRows(); i++ {
 		if err := combined.AppendRow(u.buffer.Row(i)); err != nil {
@@ -214,6 +218,7 @@ func (u *Updater) Flush(ctx context.Context) (*Result, error) {
 			u.commit(combined, res)
 			u.IncrementalFlushes++
 			u.LastFlush = FlushModeIncremental
+			sp.SetAttr("mode", string(FlushModeIncremental))
 			return res, nil
 		}
 		// Structural change (border moved, class promoted, ...): fall back.
@@ -225,6 +230,7 @@ func (u *Updater) Flush(ctx context.Context) (*Result, error) {
 	u.commit(combined, res)
 	u.Rebuilds++
 	u.LastFlush = FlushModeRebuild
+	sp.SetAttr("mode", string(FlushModeRebuild))
 	return res, nil
 }
 

@@ -1,0 +1,212 @@
+package obs
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestNoTraceIsNoOp: without a trace attached, Start returns the same
+// context and a nil span, and every span method tolerates nil.
+func TestNoTraceIsNoOp(t *testing.T) {
+	ctx := context.Background()
+	ctx2, sp := Start(ctx, "stage")
+	if sp != nil {
+		t.Fatalf("Start without a trace returned a span")
+	}
+	if ctx2 != ctx {
+		t.Fatalf("Start without a trace returned a new context")
+	}
+	sp.End()              // must not panic
+	sp.SetAttr("rows", 1) // must not panic
+	Record(ctx, "queued", time.Millisecond)
+	if tr := FromContext(ctx); tr != nil {
+		t.Fatalf("FromContext without a trace = %v, want nil", tr)
+	}
+}
+
+// TestSpanTree builds a nested trace and checks the snapshot shape:
+// nesting, attributes, durations, and stage totals.
+func TestSpanTree(t *testing.T) {
+	ctx, tr := NewTrace(context.Background(), "tid-1", "request")
+	if FromContext(ctx) != tr {
+		t.Fatalf("FromContext did not return the active trace")
+	}
+	ctx1, s1 := Start(ctx, "encrypt")
+	_, s11 := Start(ctx1, "step1")
+	s11.SetAttr("rows", 42)
+	s11.End()
+	s1.End()
+	Record(ctx, "queued", 5*time.Millisecond, "pos", 3)
+	tr.Finish()
+
+	snap := tr.Snapshot()
+	if snap.ID != "tid-1" || !snap.Complete {
+		t.Fatalf("snapshot id/complete = %q/%v", snap.ID, snap.Complete)
+	}
+	if snap.Root.Name != "request" || len(snap.Root.Children) != 2 {
+		t.Fatalf("root = %q with %d children, want request with 2", snap.Root.Name, len(snap.Root.Children))
+	}
+	enc := snap.Root.Children[0]
+	if enc.Name != "encrypt" || len(enc.Children) != 1 {
+		t.Fatalf("child 0 = %q with %d children", enc.Name, len(enc.Children))
+	}
+	if got := enc.Children[0].Attrs["rows"]; got != 42 {
+		t.Fatalf("step1 rows attr = %v, want 42", got)
+	}
+	q := snap.Root.Children[1]
+	if q.Name != "queued" || q.DurationMs < 4.9 || q.DurationMs > 5.1 {
+		t.Fatalf("recorded span = %q %vms, want queued ~5ms", q.Name, q.DurationMs)
+	}
+	if got := q.Attrs["pos"]; got != 3 {
+		t.Fatalf("queued pos attr = %v, want 3", got)
+	}
+
+	totals := snap.StageTotals()
+	if len(totals) != 2 || totals["queued"] <= 0 || totals["encrypt"] < 0 {
+		t.Fatalf("stage totals = %v", totals)
+	}
+	names := map[string]int{}
+	snap.EachSpan(func(name string, d time.Duration) { names[name]++ })
+	if names["encrypt"] != 1 || names["step1"] != 1 || names["queued"] != 1 {
+		t.Fatalf("EachSpan visited %v", names)
+	}
+}
+
+// TestOpenSpanSnapshot: snapshotting mid-flight marks unfinished spans
+// Open and reports elapsed-so-far durations; EachSpan skips them.
+func TestOpenSpanSnapshot(t *testing.T) {
+	ctx, tr := NewTrace(context.Background(), "", "request")
+	_, sp := Start(ctx, "running")
+	snap := tr.Snapshot()
+	if snap.Complete {
+		t.Fatalf("unfinished trace snapshot marked complete")
+	}
+	if len(snap.Root.Children) != 1 || !snap.Root.Children[0].Open {
+		t.Fatalf("open span not marked Open: %+v", snap.Root.Children)
+	}
+	count := 0
+	snap.EachSpan(func(string, time.Duration) { count++ })
+	if count != 0 {
+		t.Fatalf("EachSpan visited %d open spans, want 0", count)
+	}
+	sp.End()
+	tr.Finish()
+	if !tr.Snapshot().Complete {
+		t.Fatalf("finished trace snapshot not complete")
+	}
+}
+
+// TestConcurrentSpans exercises parallel span creation under one parent
+// (the parallel emission shards do exactly this); run with -race.
+func TestConcurrentSpans(t *testing.T) {
+	ctx, tr := NewTrace(context.Background(), "", "request")
+	ctx, parent := Start(ctx, "emit")
+	var wg sync.WaitGroup
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			_, sp := Start(ctx, "emit.shard")
+			sp.SetAttr("shard", i)
+			sp.End()
+		}(i)
+	}
+	wg.Wait()
+	parent.End()
+	tr.Finish()
+	snap := tr.Snapshot()
+	if got := len(snap.Root.Children[0].Children); got != 16 {
+		t.Fatalf("parent has %d shard spans, want 16", got)
+	}
+}
+
+func mkSnap(id string, ms float64) *TraceSnapshot {
+	return &TraceSnapshot{ID: id, DurationMs: ms, Complete: true,
+		Root: SpanSnapshot{Name: "request", DurationMs: ms}}
+}
+
+// TestRingEviction: the recent list holds exactly the last N traces,
+// newest first, and Get misses evicted ones (unless slowest retains
+// them).
+func TestRingEviction(t *testing.T) {
+	r := NewRing(3, 0)
+	for i := 0; i < 5; i++ {
+		r.Add(mkSnap(fmt.Sprintf("t%d", i), float64(i)))
+	}
+	rec := r.Recent()
+	if len(rec) != 3 {
+		t.Fatalf("recent holds %d, want 3", len(rec))
+	}
+	for i, want := range []string{"t4", "t3", "t2"} {
+		if rec[i].ID != want {
+			t.Fatalf("recent[%d] = %s, want %s", i, rec[i].ID, want)
+		}
+	}
+	if _, ok := r.Get("t0"); ok {
+		t.Fatalf("evicted trace t0 still addressable")
+	}
+	if s, ok := r.Get("t3"); !ok || s.DurationMs != 3 {
+		t.Fatalf("Get(t3) = %v, %v", s, ok)
+	}
+}
+
+// TestRingSlowestRetention: the slowest-K set keeps the slowest traces
+// seen since boot even after the recent ring evicted them.
+func TestRingSlowestRetention(t *testing.T) {
+	r := NewRing(2, 2)
+	r.Add(mkSnap("slow-a", 900))
+	r.Add(mkSnap("slow-b", 800))
+	for i := 0; i < 10; i++ {
+		r.Add(mkSnap(fmt.Sprintf("fast-%d", i), 1))
+	}
+	slow := r.Slowest()
+	if len(slow) != 2 || slow[0].ID != "slow-a" || slow[1].ID != "slow-b" {
+		t.Fatalf("slowest = %v", ids(slow))
+	}
+	// Evicted from recent, still addressable through slowest.
+	if _, ok := r.Get("slow-a"); !ok {
+		t.Fatalf("slow-a fell out of the ring entirely")
+	}
+	// A new slower trace displaces the faster of the two.
+	r.Add(mkSnap("slower", 950))
+	slow = r.Slowest()
+	if len(slow) != 2 || slow[0].ID != "slower" || slow[1].ID != "slow-a" {
+		t.Fatalf("slowest after displacement = %v", ids(slow))
+	}
+	if _, ok := r.Get("slow-b"); ok {
+		t.Fatalf("displaced slow-b still addressable")
+	}
+}
+
+func ids(ss []*TraceSnapshot) []string {
+	out := make([]string, len(ss))
+	for i, s := range ss {
+		out[i] = s.ID
+	}
+	return out
+}
+
+// TestRingConcurrent hammers the ring from many goroutines (-race).
+func TestRingConcurrent(t *testing.T) {
+	r := NewRing(8, 4)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				r.Add(mkSnap(fmt.Sprintf("g%d-%d", g, i), float64(i%17)))
+				r.Recent()
+				r.Slowest()
+				r.Get("g0-0")
+			}
+		}(g)
+	}
+	wg.Wait()
+	if len(r.Recent()) != 8 || len(r.Slowest()) != 4 {
+		t.Fatalf("ring sizes = %d recent, %d slowest", len(r.Recent()), len(r.Slowest()))
+	}
+}

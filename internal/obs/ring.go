@@ -1,0 +1,101 @@
+package obs
+
+import "sync"
+
+// Ring retains completed trace snapshots for the live trace API: the
+// last Recent traces in completion order, plus the Slowest traces seen
+// since boot so a single slow flush survives being pushed out by a
+// stream of fast metadata reads. Both sets are bounded, so the ring's
+// memory is O(Recent + Slowest) snapshots no matter how long the
+// process lives.
+type Ring struct {
+	mu      sync.Mutex
+	cap     int
+	slowCap int
+	recent  []*TraceSnapshot // completion order, oldest first
+	slowest []*TraceSnapshot // duration-descending, ties keep the earlier trace
+}
+
+// NewRing builds a ring keeping the last recent traces and the slowest
+// slow traces (minimums of 1 and 0 respectively).
+func NewRing(recent, slow int) *Ring {
+	if recent < 1 {
+		recent = 1
+	}
+	if slow < 0 {
+		slow = 0
+	}
+	return &Ring{cap: recent, slowCap: slow}
+}
+
+// Add records a completed trace snapshot.
+func (r *Ring) Add(s *TraceSnapshot) {
+	if s == nil {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.recent = append(r.recent, s)
+	if len(r.recent) > r.cap {
+		// Shift rather than reslice so the backing array cannot grow
+		// without bound over the process lifetime.
+		copy(r.recent, r.recent[1:])
+		r.recent[len(r.recent)-1] = nil
+		r.recent = r.recent[:r.cap]
+	}
+	if r.slowCap == 0 {
+		return
+	}
+	// Insertion sort into the duration-descending slowest list; a trace
+	// slower than the current tail (or a non-full list) is inserted and
+	// the list trimmed back to slowCap.
+	i := len(r.slowest)
+	for i > 0 && r.slowest[i-1].DurationMs < s.DurationMs {
+		i--
+	}
+	if i == len(r.slowest) && len(r.slowest) >= r.slowCap {
+		return
+	}
+	r.slowest = append(r.slowest, nil)
+	copy(r.slowest[i+1:], r.slowest[i:])
+	r.slowest[i] = s
+	if len(r.slowest) > r.slowCap {
+		r.slowest[len(r.slowest)-1] = nil
+		r.slowest = r.slowest[:r.slowCap]
+	}
+}
+
+// Recent returns the retained traces, newest first.
+func (r *Ring) Recent() []*TraceSnapshot {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]*TraceSnapshot, len(r.recent))
+	for i, s := range r.recent {
+		out[len(r.recent)-1-i] = s
+	}
+	return out
+}
+
+// Slowest returns the slowest retained traces, slowest first.
+func (r *Ring) Slowest() []*TraceSnapshot {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return append([]*TraceSnapshot(nil), r.slowest...)
+}
+
+// Get looks a trace up by id, searching both retention sets.
+func (r *Ring) Get(id string) (*TraceSnapshot, bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for i := len(r.recent) - 1; i >= 0; i-- {
+		if r.recent[i].ID == id {
+			return r.recent[i], true
+		}
+	}
+	for _, s := range r.slowest {
+		if s.ID == id {
+			return s, true
+		}
+	}
+	return nil, false
+}

@@ -1,0 +1,141 @@
+package perf
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"time"
+
+	"f2/internal/core"
+	"f2/internal/obs"
+	"f2/internal/workload"
+)
+
+// TraceOverheadResult reports the in-process A/B comparison between the
+// traced and untraced encrypt path. Cross-machine (or even cross-run)
+// baseline diffs cannot resolve a 2% budget — scheduler noise alone is
+// bigger — so the check interleaves traced and untraced ops in the SAME
+// process and compares medians.
+type TraceOverheadResult struct {
+	Rounds      int     `json:"rounds"`
+	Rows        int     `json:"rows"`
+	BaseMs      float64 `json:"baseMs"`      // median untraced encrypt
+	TracedMs    float64 `json:"tracedMs"`    // median traced encrypt
+	OverheadPct float64 `json:"overheadPct"` // (traced-base)/base × 100
+}
+
+// Within reports whether the measured overhead is within the given
+// percentage budget. A traced median faster than the untraced one
+// (negative overhead, pure noise) passes trivially.
+func (r TraceOverheadResult) Within(budgetPct float64) bool {
+	return r.OverheadPct <= budgetPct
+}
+
+func (r TraceOverheadResult) String() string {
+	return fmt.Sprintf("trace overhead: base=%.2fms traced=%.2fms overhead=%+.2f%% (%d rounds, %d rows)",
+		r.BaseMs, r.TracedMs, r.OverheadPct, r.Rounds, r.Rows)
+}
+
+// TraceOverhead measures the cost of span instrumentation on the full
+// encrypt pipeline. Each round runs one untraced op (the production
+// no-trace path: every obs.Start is a nil-check) and one traced op
+// (a live trace attached to the context), alternating which goes first
+// so clock drift and thermal ramps cancel instead of biasing one side.
+// rounds < 3 is raised to 3; an odd count keeps the medians unambiguous.
+func TraceOverhead(ctx context.Context, sc Scale, rounds int) (*TraceOverheadResult, error) {
+	if rounds < 3 {
+		rounds = 3
+	}
+	if rounds%2 == 0 {
+		rounds++
+	}
+	tbl, err := Dataset(workload.NameSynthetic, sc.Rows(encryptRows), sc.Seed)
+	if err != nil {
+		return nil, err
+	}
+	cfg := Config(0.25)
+	cfg.Parallelism = sc.Parallelism
+
+	encryptOnce := func(ctx context.Context) error {
+		enc, err := core.NewEncryptor(cfg)
+		if err != nil {
+			return err
+		}
+		_, err = enc.Encrypt(ctx, tbl)
+		return err
+	}
+
+	// Warm both paths once so first-touch costs (page faults, lazily
+	// built caches) land outside the measured rounds.
+	if err := encryptOnce(ctx); err != nil {
+		return nil, err
+	}
+	tctx, tr := obs.NewTrace(ctx, "", "warmup")
+	if err := encryptOnce(tctx); err != nil {
+		return nil, err
+	}
+	tr.Finish()
+
+	base := make([]float64, 0, rounds)
+	traced := make([]float64, 0, rounds)
+	for i := 0; i < rounds; i++ {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		runBase := func() error {
+			t0 := time.Now()
+			if err := encryptOnce(ctx); err != nil {
+				return err
+			}
+			base = append(base, ms(time.Since(t0)))
+			return nil
+		}
+		runTraced := func() error {
+			opCtx, tr := obs.NewTrace(ctx, "", "overhead")
+			t0 := time.Now()
+			if err := encryptOnce(opCtx); err != nil {
+				return err
+			}
+			d := time.Since(t0)
+			tr.Finish()
+			traced = append(traced, ms(d))
+			return nil
+		}
+		first, second := runBase, runTraced
+		if i%2 == 1 {
+			first, second = runTraced, runBase
+		}
+		if err := first(); err != nil {
+			return nil, err
+		}
+		if err := second(); err != nil {
+			return nil, err
+		}
+	}
+
+	baseMed := median(base)
+	tracedMed := median(traced)
+	res := &TraceOverheadResult{
+		Rounds:   rounds,
+		Rows:     tbl.NumRows(),
+		BaseMs:   baseMed,
+		TracedMs: tracedMed,
+	}
+	if baseMed > 0 {
+		res.OverheadPct = (tracedMed - baseMed) / baseMed * 100
+	}
+	return res, nil
+}
+
+func median(v []float64) float64 {
+	if len(v) == 0 {
+		return 0
+	}
+	s := append([]float64(nil), v...)
+	sort.Float64s(s)
+	mid := len(s) / 2
+	if len(s)%2 == 1 {
+		return s[mid]
+	}
+	return (s[mid-1] + s[mid]) / 2
+}

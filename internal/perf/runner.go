@@ -6,7 +6,15 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"f2/internal/obs"
 )
+
+// stageAcc accumulates one stage's span durations within a worker.
+type stageAcc struct {
+	total time.Duration
+	count int
+}
 
 // RunConfig bounds one measured run of a workload.
 type RunConfig struct {
@@ -27,6 +35,14 @@ type RunConfig struct {
 	// Profile, when non-nil, captures profiles around the measured
 	// window.
 	Profile *ProfileConfig
+	// Stages attaches a pipeline trace (internal/obs) to every measured
+	// op and aggregates the per-stage span timings into RunResult.Stages.
+	// The spans cover encrypt steps 1–4, incremental flush phases, WAL
+	// appends/fsyncs, and snapshot rotation; workloads that cross an HTTP
+	// boundary report no stages (the trace does not propagate over the
+	// wire). Adds one trace allocation per op — leave it off when
+	// measuring absolute latency ceilings.
+	Stages bool
 }
 
 // RunResult is the machine-readable outcome of one run. Latencies are
@@ -52,8 +68,21 @@ type RunResult struct {
 	// Metrics carries workload-specific values, e.g. ciphertextExpansion.
 	Metrics map[string]float64 `json:"metrics,omitempty"`
 
+	// Stages is the per-stage breakdown aggregated from the op traces
+	// (RunConfig.Stages). Keys are span names ("encrypt.step1.mas",
+	// "wal.fsync", ...); nested spans appear under their own names, so
+	// totals across stages can exceed ElapsedMs.
+	Stages map[string]StageStat `json:"stages,omitempty"`
+
 	Profiles []ProfileRef    `json:"profiles,omitempty"`
 	Runtime  *RuntimeSummary `json:"runtime,omitempty"`
+}
+
+// StageStat aggregates one pipeline stage across all measured ops.
+type StageStat struct {
+	TotalMs float64 `json:"totalMs"`
+	Count   int     `json:"count"`
+	MeanMs  float64 `json:"meanMs"`
 }
 
 func ms(ns time.Duration) float64 { return float64(ns.Nanoseconds()) / 1e6 }
@@ -112,11 +141,17 @@ func Run(ctx context.Context, w Workload, sc Scale, rc RunConfig) (*RunResult, e
 	}
 	var claimed int64 // op tickets; the first ticket always runs
 	recorders := make([]*Recorder, conc)
+	stageAggs := make([]map[string]*stageAcc, conc)
 	var firstErr atomic.Pointer[error]
 	var wg sync.WaitGroup
 	for i := 0; i < conc; i++ {
 		rec := NewRecorder()
 		recorders[i] = rec
+		var stages map[string]*stageAcc
+		if rc.Stages {
+			stages = map[string]*stageAcc{}
+		}
+		stageAggs[i] = stages
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
@@ -133,8 +168,13 @@ func Run(ctx context.Context, w Workload, sc Scale, rc RunConfig) (*RunResult, e
 				if ticket > 1 && !deadline.IsZero() && !time.Now().Before(deadline) {
 					return
 				}
+				opCtx := ctx
+				var tr *obs.Trace
+				if rc.Stages {
+					opCtx, tr = obs.NewTrace(ctx, "", "op")
+				}
 				t0 := time.Now()
-				err := inst.Op(ctx)
+				err := inst.Op(opCtx)
 				if err != nil && ctx.Err() != nil {
 					return // cancellation, not an op failure
 				}
@@ -142,6 +182,18 @@ func Run(ctx context.Context, w Workload, sc Scale, rc RunConfig) (*RunResult, e
 					firstErr.CompareAndSwap(nil, &err)
 				}
 				rec.Record(time.Since(t0), err)
+				if tr != nil && err == nil {
+					tr.Finish()
+					tr.Snapshot().EachSpan(func(name string, d time.Duration) {
+						a := stages[name]
+						if a == nil {
+							a = &stageAcc{}
+							stages[name] = a
+						}
+						a.total += d
+						a.count++
+					})
+				}
 			}
 		}()
 	}
@@ -151,6 +203,31 @@ func Run(ctx context.Context, w Workload, sc Scale, rc RunConfig) (*RunResult, e
 	merged := recorders[0]
 	for _, r := range recorders[1:] {
 		merged.Merge(r)
+	}
+	var stages map[string]StageStat
+	if rc.Stages {
+		mergedStages := map[string]*stageAcc{}
+		for _, m := range stageAggs {
+			for name, a := range m {
+				t := mergedStages[name]
+				if t == nil {
+					t = &stageAcc{}
+					mergedStages[name] = t
+				}
+				t.total += a.total
+				t.count += a.count
+			}
+		}
+		if len(mergedStages) > 0 {
+			stages = make(map[string]StageStat, len(mergedStages))
+			for name, a := range mergedStages {
+				stages[name] = StageStat{
+					TotalMs: ms(a.total),
+					Count:   a.count,
+					MeanMs:  ms(a.total) / float64(a.count),
+				}
+			}
+		}
 	}
 
 	res := &RunResult{
@@ -166,6 +243,7 @@ func Run(ctx context.Context, w Workload, sc Scale, rc RunConfig) (*RunResult, e
 		MinMs:       ms(merged.Min()),
 		MeanMs:      ms(merged.Mean()),
 		MaxMs:       ms(merged.Max()),
+		Stages:      stages,
 	}
 	if sec := elapsed.Seconds(); sec > 0 {
 		res.OpsPerSec = float64(res.Ops) / sec

@@ -307,7 +307,7 @@ func storeSnapshotWorkload() Workload {
 					return os.RemoveAll(dir)
 				},
 				Op: func(ctx context.Context) error {
-					return st.SaveSnapshot(rec)
+					return st.SaveSnapshot(ctx, rec)
 				},
 			}, nil
 		},
@@ -340,7 +340,7 @@ func storeRecoverWorkload() Workload {
 				st.Close()
 				return fail(err)
 			}
-			if err := st.SaveSnapshot(rec); err != nil {
+			if err := st.SaveSnapshot(ctx, rec); err != nil {
 				st.Close()
 				return fail(err)
 			}
@@ -356,7 +356,7 @@ func storeRecoverWorkload() Workload {
 					}
 					rows[i] = append([]string(nil), row...)
 				}
-				if err := st.AppendBatch("perf", store.Batch{Seq: seq, Rows: rows}); err != nil {
+				if err := st.AppendBatch(ctx, "perf", store.Batch{Seq: seq, Rows: rows}); err != nil {
 					st.Close()
 					return fail(err)
 				}

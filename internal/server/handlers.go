@@ -198,7 +198,7 @@ func (s *Server) handleCreateDataset(w http.ResponseWriter, r *http.Request) {
 	// the client can retry. The lock orders us against any request that
 	// grabbed the freshly published dataset first.
 	ds.Lock()
-	persistErr := s.persistSnapshotLocked(ds)
+	persistErr := s.persistSnapshotLocked(r.Context(), ds)
 	if persistErr != nil {
 		// Tombstone before unlocking: a request that grabbed the freshly
 		// published dataset and queued on the lock must see the rollback,
@@ -214,10 +214,12 @@ func (s *Server) handleCreateDataset(w http.ResponseWriter, r *http.Request) {
 	}
 	s.logf("dataset %s (%q): %d rows -> %d encrypted", ds.ID, ds.Name, tbl.NumRows(), res.Encrypted.NumRows())
 	w.Header().Set("Location", "/v1/datasets/"+ds.ID)
-	writeJSON(w, http.StatusCreated, map[string]any{
+	resp := map[string]any{
 		"dataset": ds.Summary(),
 		"report":  reportToJSON(tbl.Schema(), &res.Report),
-	})
+	}
+	inlineTrace(r, resp)
+	writeJSON(w, http.StatusCreated, resp)
 }
 
 func (s *Server) handleListDatasets(w http.ResponseWriter, r *http.Request) {
@@ -286,7 +288,7 @@ func (s *Server) handleAppendRows(w http.ResponseWriter, r *http.Request) {
 		// failed journal write rejects the whole append before any state
 		// changed — the client's retry is safe.
 		if s.st != nil {
-			if err := s.st.AppendBatch(ds.ID, store.Batch{Seq: ds.walSeq + 1, Rows: req.Rows}); err != nil {
+			if err := s.st.AppendBatch(ctx, ds.ID, store.Batch{Seq: ds.walSeq + 1, Rows: req.Rows}); err != nil {
 				return fmt.Errorf("journaling append: %w", err)
 			}
 			ds.walSeq++
@@ -308,7 +310,7 @@ func (s *Server) handleAppendRows(w http.ResponseWriter, r *http.Request) {
 				// A failed snapshot does not lose the flush: the WAL
 				// still holds every batch, so recovery replays them as
 				// pending rows and the next flush re-applies them.
-				if err := s.persistSnapshotLocked(ds); err != nil {
+				if err := s.persistSnapshotLocked(ctx, ds); err != nil {
 					s.logf("dataset %s: persisting post-flush snapshot: %v", ds.ID, err)
 				}
 			}
@@ -333,6 +335,7 @@ func (s *Server) handleAppendRows(w http.ResponseWriter, r *http.Request) {
 		resp["flushDeferred"] = true
 		resp["flushError"] = flushErr.Error()
 	}
+	inlineTrace(r, resp)
 	writeJSON(w, http.StatusOK, resp)
 }
 
@@ -342,7 +345,7 @@ func (s *Server) handleAppendRows(w http.ResponseWriter, r *http.Request) {
 //	f2_flushes_total{mode="incremental"} 41
 //	f2_flushes_total{mode="rebuild"} 3
 func (s *Server) recordFlush(mode core.FlushMode) {
-	s.metrics.IncCounter("f2_flushes_total", fmt.Sprintf("mode=%q", string(mode)))
+	s.metrics.IncCounter("f2_flushes_total", "mode", string(mode))
 }
 
 // badRequestError marks a pooled-job failure as the client's fault.
@@ -374,7 +377,7 @@ func (s *Server) handleFlush(w http.ResponseWriter, r *http.Request) {
 		}
 		if hadPending {
 			s.recordFlush(ds.upd.LastFlush)
-			if err := s.persistSnapshotLocked(ds); err != nil {
+			if err := s.persistSnapshotLocked(ctx, ds); err != nil {
 				// Not fatal: the journaled batches still recover the
 				// flushed rows as pending (see handleAppendRows).
 				s.logf("dataset %s: persisting post-flush snapshot: %v", ds.ID, err)
@@ -394,6 +397,7 @@ func (s *Server) handleFlush(w http.ResponseWriter, r *http.Request) {
 		// would otherwise echo the previous flush's mode.
 		resp["flushMode"] = string(ds.upd.LastFlush)
 	}
+	inlineTrace(r, resp)
 	writeJSON(w, http.StatusOK, resp)
 }
 

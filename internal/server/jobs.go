@@ -7,6 +7,9 @@ import (
 	"runtime/debug"
 	"sync"
 	"sync/atomic"
+	"time"
+
+	"f2/internal/obs"
 )
 
 // ErrPoolClosed is returned by Pool.Run once Close has been called.
@@ -35,6 +38,7 @@ type poolJob struct {
 	ctx  context.Context
 	fn   Job
 	done chan error
+	enq  time.Time // when Run submitted the job (queue-time attribution)
 }
 
 // NewPool starts a pool with the given number of workers (minimum 1).
@@ -63,9 +67,16 @@ func (p *Pool) worker() {
 				j.done <- err // abandoned while queued
 				continue
 			}
+			// Queue time is over before any span context exists for it, so
+			// it is recorded as an already-measured span; run time is a
+			// live span the job's own pipeline spans nest under.
+			obs.Record(j.ctx, "job.queue", time.Since(j.enq))
+			runCtx, sp := obs.Start(j.ctx, "job.run")
 			p.active.Add(1)
-			j.done <- p.runJob(j)
+			err := p.runJob(runCtx, j)
 			p.active.Add(-1)
+			sp.End()
+			j.done <- err
 		}
 	}
 }
@@ -75,7 +86,7 @@ func (p *Pool) worker() {
 // in-memory dataset with it). The stack goes to the pool's log only; the
 // returned error — which handlers interpolate into client-facing JSON —
 // carries just the panic value.
-func (p *Pool) runJob(j poolJob) (err error) {
+func (p *Pool) runJob(ctx context.Context, j poolJob) (err error) {
 	defer func() {
 		if r := recover(); r != nil {
 			if p.logf != nil {
@@ -84,7 +95,7 @@ func (p *Pool) runJob(j poolJob) (err error) {
 			err = fmt.Errorf("server: job panic: %v", r)
 		}
 	}()
-	return j.fn(j.ctx)
+	return j.fn(ctx)
 }
 
 // Run executes fn on a pool worker and blocks until it finishes,
@@ -93,7 +104,7 @@ func (p *Pool) runJob(j poolJob) (err error) {
 // F² pipeline checks ctx internally). After Close, Run safely returns
 // ErrPoolClosed.
 func (p *Pool) Run(ctx context.Context, fn Job) error {
-	j := poolJob{ctx: ctx, fn: fn, done: make(chan error, 1)}
+	j := poolJob{ctx: ctx, fn: fn, done: make(chan error, 1), enq: time.Now()}
 	p.queued.Add(1)
 	select {
 	case p.jobs <- j:

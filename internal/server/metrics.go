@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"io"
 	"sort"
+	"strings"
 	"sync"
 	"time"
 )
@@ -21,6 +22,22 @@ var latencyBuckets = []time.Duration{
 	10 * time.Second,
 }
 
+// stageBuckets bound the per-stage histogram. Stages are one slice of a
+// request — a WAL fsync is ~100µs, a full rebuild's Step 1 can run for
+// seconds — so the range starts two decades below latencyBuckets and
+// tops out at 20s.
+var stageBuckets = []time.Duration{
+	100 * time.Microsecond,
+	500 * time.Microsecond,
+	2500 * time.Microsecond,
+	10 * time.Millisecond,
+	50 * time.Millisecond,
+	250 * time.Millisecond,
+	time.Second,
+	5 * time.Second,
+	20 * time.Second,
+}
+
 // opStats accumulates one operation's counters and latency histogram.
 type opStats struct {
 	byClass map[string]uint64 // "2xx", "4xx", "5xx"
@@ -28,6 +45,15 @@ type opStats struct {
 	sum     time.Duration
 	max     time.Duration
 	buckets []uint64 // len(latencyBuckets)+1, last is +Inf
+}
+
+// stageStats accumulates one pipeline stage's duration histogram, fed
+// from completed trace spans.
+type stageStats struct {
+	count   uint64
+	sum     time.Duration
+	max     time.Duration
+	buckets []uint64 // len(stageBuckets)+1, last is +Inf
 }
 
 // quantile derives the q-quantile (0 < q ≤ 1) from the histogram the
@@ -72,6 +98,7 @@ func (s *opStats) quantile(q float64) time.Duration {
 type Metrics struct {
 	mu       sync.Mutex
 	ops      map[string]*opStats
+	stages   map[string]*stageStats
 	gauges   map[string]func() float64
 	counters map[string]map[string]uint64 // name -> rendered label list -> count
 	start    time.Time
@@ -81,16 +108,81 @@ type Metrics struct {
 func NewMetrics() *Metrics {
 	return &Metrics{
 		ops:      make(map[string]*opStats),
+		stages:   make(map[string]*stageStats),
 		gauges:   make(map[string]func() float64),
 		counters: make(map[string]map[string]uint64),
 		start:    time.Now(),
 	}
 }
 
-// IncCounter increments a labeled counter, e.g.
-// IncCounter("f2_flushes_total", `mode="incremental"`). The labels string
-// is rendered verbatim inside the braces.
-func (m *Metrics) IncCounter(name, labels string) {
+// escapeLabelValue escapes a label value per the Prometheus text
+// exposition rules (backslash, double quote, newline), so a hostile
+// value — a dataset name, say — cannot break out of its quoted position
+// and corrupt the whole /metrics page.
+func escapeLabelValue(v string) string {
+	if !strings.ContainsAny(v, "\\\"\n") {
+		return v
+	}
+	var b strings.Builder
+	b.Grow(len(v) + 2)
+	for _, r := range v {
+		switch r {
+		case '\\':
+			b.WriteString(`\\`)
+		case '"':
+			b.WriteString(`\"`)
+		case '\n':
+			b.WriteString(`\n`)
+		default:
+			b.WriteRune(r)
+		}
+	}
+	return b.String()
+}
+
+// sanitizeName forces a metric or label name into the Prometheus charset
+// [a-zA-Z_][a-zA-Z0-9_]*, replacing every invalid rune with '_'. Unlike
+// values, names have no quoting to hide behind — they must be valid.
+func sanitizeName(n string) string {
+	if n == "" {
+		return "_"
+	}
+	valid := func(i int, r rune) bool {
+		if r >= 'a' && r <= 'z' || r >= 'A' && r <= 'Z' || r == '_' {
+			return true
+		}
+		return i > 0 && r >= '0' && r <= '9'
+	}
+	ok := true
+	for i, r := range n {
+		if !valid(i, r) {
+			ok = false
+			break
+		}
+	}
+	if ok {
+		return n
+	}
+	var b strings.Builder
+	b.Grow(len(n))
+	i := 0
+	for _, r := range n {
+		if valid(i, r) {
+			b.WriteRune(r)
+		} else {
+			b.WriteRune('_')
+		}
+		i++
+	}
+	return b.String()
+}
+
+// IncCounter increments a labeled counter; kv alternates label names and
+// values, e.g. IncCounter("f2_flushes_total", "mode", "incremental").
+// Label names are sanitized and values escaped, so arbitrary strings are
+// safe to pass through.
+func (m *Metrics) IncCounter(name string, kv ...string) {
+	labels := renderLabels(kv)
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	c, ok := m.counters[name]
@@ -99,6 +191,26 @@ func (m *Metrics) IncCounter(name, labels string) {
 		m.counters[name] = c
 	}
 	c[labels]++
+}
+
+// renderLabels builds the exposition-format label list from alternating
+// name/value pairs (a trailing odd name is dropped).
+func renderLabels(kv []string) string {
+	var b strings.Builder
+	for i := 0; i+1 < len(kv); i += 2 {
+		if b.Len() > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, `%s="%s"`, sanitizeName(kv[i]), escapeLabelValue(kv[i+1]))
+	}
+	return b.String()
+}
+
+// RegisterGauge exposes a live value under the given metric name.
+func (m *Metrics) RegisterGauge(name string, fn func() float64) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.gauges[name] = fn
 }
 
 // Observe records one completed request for op with its HTTP status and
@@ -122,28 +234,54 @@ func (m *Metrics) Observe(op string, status int, d time.Duration) {
 	s.buckets[i]++
 }
 
-// RegisterGauge exposes a live value under the given metric name.
-func (m *Metrics) RegisterGauge(name string, fn func() float64) {
+// ObserveStage records one completed pipeline-stage span (from the
+// tracing layer) under f2_stage_duration_seconds{stage=...}.
+func (m *Metrics) ObserveStage(stage string, d time.Duration) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	m.gauges[name] = fn
+	s, ok := m.stages[stage]
+	if !ok {
+		s = &stageStats{buckets: make([]uint64, len(stageBuckets)+1)}
+		m.stages[stage] = s
+	}
+	s.count++
+	s.sum += d
+	if d > s.max {
+		s.max = d
+	}
+	i := sort.Search(len(stageBuckets), func(i int) bool { return d <= stageBuckets[i] })
+	s.buckets[i]++
 }
 
 // Render writes the registry in Prometheus text format.
 func (m *Metrics) Render(w io.Writer) {
+	// Snapshot the gauge callbacks under the lock but CALL them unlocked:
+	// a gauge closure reads live state owned by other subsystems (pool
+	// stats, registry length), and invoking foreign code while holding
+	// m.mu is a lock-inversion hazard — any gauge whose owner also calls
+	// into Metrics under its own lock would deadlock.
+	m.mu.Lock()
+	gaugeFns := make(map[string]func() float64, len(m.gauges))
+	for n, fn := range m.gauges {
+		gaugeFns[n] = fn
+	}
+	m.mu.Unlock()
+	gaugeVals := make(map[string]float64, len(gaugeFns))
+	names := make([]string, 0, len(gaugeFns))
+	for n, fn := range gaugeFns {
+		gaugeVals[n] = fn()
+		names = append(names, n)
+	}
+	sort.Strings(names)
+
 	m.mu.Lock()
 	defer m.mu.Unlock()
 
 	fmt.Fprintf(w, "# TYPE f2_uptime_seconds gauge\n")
 	fmt.Fprintf(w, "f2_uptime_seconds %.3f\n", time.Since(m.start).Seconds())
 
-	names := make([]string, 0, len(m.gauges))
-	for n := range m.gauges {
-		names = append(names, n)
-	}
-	sort.Strings(names)
 	for _, n := range names {
-		fmt.Fprintf(w, "# TYPE %s gauge\n%s %g\n", n, n, m.gauges[n]())
+		fmt.Fprintf(w, "# TYPE %s gauge\n%s %g\n", n, n, gaugeVals[n])
 	}
 
 	counterNames := make([]string, 0, len(m.counters))
@@ -160,6 +298,30 @@ func (m *Metrics) Render(w io.Writer) {
 		sort.Strings(labels)
 		for _, l := range labels {
 			fmt.Fprintf(w, "%s{%s} %d\n", n, l, m.counters[n][l])
+		}
+	}
+
+	if len(m.stages) > 0 {
+		stageNames := make([]string, 0, len(m.stages))
+		for n := range m.stages {
+			stageNames = append(stageNames, n)
+		}
+		sort.Strings(stageNames)
+		fmt.Fprintf(w, "# TYPE f2_stage_duration_seconds histogram\n")
+		for _, n := range stageNames {
+			s := m.stages[n]
+			lbl := escapeLabelValue(n)
+			cum := uint64(0)
+			for i, ub := range stageBuckets {
+				cum += s.buckets[i]
+				fmt.Fprintf(w, "f2_stage_duration_seconds_bucket{stage=\"%s\",le=\"%s\"} %d\n",
+					lbl, formatSeconds(ub), cum)
+			}
+			cum += s.buckets[len(stageBuckets)]
+			fmt.Fprintf(w, "f2_stage_duration_seconds_bucket{stage=\"%s\",le=\"+Inf\"} %d\n", lbl, cum)
+			fmt.Fprintf(w, "f2_stage_duration_seconds_sum{stage=\"%s\"} %.6f\n", lbl, s.sum.Seconds())
+			fmt.Fprintf(w, "f2_stage_duration_seconds_count{stage=\"%s\"} %d\n", lbl, s.count)
+			fmt.Fprintf(w, "f2_stage_duration_seconds_max{stage=\"%s\"} %.6f\n", lbl, s.max.Seconds())
 		}
 	}
 

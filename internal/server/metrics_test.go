@@ -65,6 +65,131 @@ func TestQuantileEmptyOp(t *testing.T) {
 	}
 }
 
+// TestEscapeLabelValue pins the Prometheus text-exposition escaping:
+// backslash, double quote, and newline are the only escapes, applied in
+// one pass.
+func TestEscapeLabelValue(t *testing.T) {
+	cases := []struct{ in, want string }{
+		{"plain", "plain"},
+		{`back\slash`, `back\\slash`},
+		{`quo"te`, `quo\"te`},
+		{"new\nline", `new\nline`},
+		{"\"}\nevil_metric 1", `\"}\nevil_metric 1`},
+		{"", ""},
+	}
+	for _, c := range cases {
+		if got := escapeLabelValue(c.in); got != c.want {
+			t.Errorf("escapeLabelValue(%q) = %q, want %q", c.in, got, c.want)
+		}
+	}
+}
+
+// TestSanitizeName: names have no quoting to hide behind, so every rune
+// outside [a-zA-Z_][a-zA-Z0-9_]* becomes '_'.
+func TestSanitizeName(t *testing.T) {
+	cases := []struct{ in, want string }{
+		{"mode", "mode"},
+		{"f2_flushes_total", "f2_flushes_total"},
+		{"9starts_with_digit", "_starts_with_digit"},
+		{"has-dash.dot", "has_dash_dot"},
+		{`evil"} label`, "evil___label"},
+		{"", "_"},
+	}
+	for _, c := range cases {
+		if got := sanitizeName(c.in); got != c.want {
+			t.Errorf("sanitizeName(%q) = %q, want %q", c.in, got, c.want)
+		}
+	}
+}
+
+// TestIncCounterHostileLabels: a label value containing quotes and
+// newlines must not break out of its quoted position in the rendered
+// exposition — the regression this guards is IncCounter interpolating
+// label strings verbatim.
+func TestIncCounterHostileLabels(t *testing.T) {
+	m := NewMetrics()
+	m.IncCounter("f2_flushes_total", "mode", "inc\"} pwned_total 999\n")
+	m.IncCounter("f2_flushes_total", "bad-name", "v")
+	var b strings.Builder
+	m.Render(&b)
+	out := b.String()
+	if !strings.Contains(out, `f2_flushes_total{mode="inc\"} pwned_total 999\n"} 1`) {
+		t.Errorf("hostile label value not escaped:\n%s", out)
+	}
+	if !strings.Contains(out, `f2_flushes_total{bad_name="v"} 1`) {
+		t.Errorf("label name not sanitized:\n%s", out)
+	}
+	for _, line := range strings.Split(out, "\n") {
+		if strings.HasPrefix(line, "pwned_total") {
+			t.Fatalf("hostile value injected a metric line: %q", line)
+		}
+	}
+}
+
+// TestIncCounterOddPairDropped: a trailing label name without a value is
+// dropped rather than rendered half-formed.
+func TestIncCounterOddPairDropped(t *testing.T) {
+	m := NewMetrics()
+	m.IncCounter("f2_things_total", "mode", "x", "dangling")
+	var b strings.Builder
+	m.Render(&b)
+	if !strings.Contains(b.String(), `f2_things_total{mode="x"} 1`) {
+		t.Errorf("odd kv tail mishandled:\n%s", b.String())
+	}
+}
+
+// TestRenderGaugeCallbackMayUseMetrics is the lock-inversion regression
+// test: Render used to invoke gauge callbacks while holding m.mu, so a
+// gauge whose closure touches Metrics (directly or through its owner's
+// lock) deadlocked the /metrics scrape. With the snapshot-then-call
+// pattern this completes.
+func TestRenderGaugeCallbackMayUseMetrics(t *testing.T) {
+	m := NewMetrics()
+	m.RegisterGauge("f2_reentrant", func() float64 {
+		m.IncCounter("f2_gauge_calls_total")
+		return 1
+	})
+	done := make(chan string, 1)
+	go func() {
+		var b strings.Builder
+		m.Render(&b)
+		done <- b.String()
+	}()
+	select {
+	case out := <-done:
+		if !strings.Contains(out, "f2_reentrant 1") {
+			t.Errorf("gauge missing from render:\n%s", out)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Render deadlocked on a reentrant gauge callback")
+	}
+}
+
+// TestStageHistogramCumulative pins the stage histogram rendering:
+// cumulative buckets, sum/count/max, escaped stage label.
+func TestStageHistogramCumulative(t *testing.T) {
+	m := NewMetrics()
+	m.ObserveStage("wal.fsync", 50*time.Microsecond)  // bucket le=0.0001
+	m.ObserveStage("wal.fsync", 300*time.Microsecond) // bucket le=0.0005
+	m.ObserveStage("wal.fsync", 30*time.Second)       // +Inf
+	var b strings.Builder
+	m.Render(&b)
+	out := b.String()
+	for _, want := range []string{
+		"# TYPE f2_stage_duration_seconds histogram",
+		`f2_stage_duration_seconds_bucket{stage="wal.fsync",le="0.0001"} 1`,
+		`f2_stage_duration_seconds_bucket{stage="wal.fsync",le="0.0005"} 2`,
+		`f2_stage_duration_seconds_bucket{stage="wal.fsync",le="20"} 2`,
+		`f2_stage_duration_seconds_bucket{stage="wal.fsync",le="+Inf"} 3`,
+		`f2_stage_duration_seconds_count{stage="wal.fsync"} 3`,
+		`f2_stage_duration_seconds_max{stage="wal.fsync"} 30.000000`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("stage histogram missing %q in:\n%s", want, out)
+		}
+	}
+}
+
 // TestMetricsRenderQuantileGauges checks the derived gauges land in the
 // Prometheus exposition with the pinned interpolated values.
 func TestMetricsRenderQuantileGauges(t *testing.T) {

@@ -5,9 +5,12 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"log/slog"
 	"net/http"
 	"runtime/debug"
 	"time"
+
+	"f2/internal/obs"
 )
 
 // statusRecorder captures the status code a handler writes — and whether
@@ -30,11 +33,33 @@ func (r *statusRecorder) Write(p []byte) (int, error) {
 	return r.ResponseWriter.Write(p)
 }
 
-// instrument wraps a handler with panic recovery, request logging, and
-// per-op metrics (count by status class + latency histogram under the op
-// label).
+// Flush forwards to the underlying writer when it supports streaming, so
+// wrapping a handler in the middleware never silently strips its flush
+// capability. Flushing commits the response exactly like a write does.
+func (r *statusRecorder) Flush() {
+	if f, ok := r.ResponseWriter.(http.Flusher); ok {
+		r.wrote = true
+		f.Flush()
+	}
+}
+
+// Unwrap exposes the underlying writer to http.ResponseController, which
+// discovers optional interfaces (Flusher, Hijacker, deadlines) through
+// the Unwrap chain.
+func (r *statusRecorder) Unwrap() http.ResponseWriter {
+	return r.ResponseWriter
+}
+
+// instrument wraps a handler with panic recovery, a per-request trace,
+// structured request logging, and per-op metrics (count by status class +
+// latency histogram under the op label). The trace travels in the request
+// context through the job pool into the pipeline; on completion its
+// snapshot lands in the trace ring (GET /v1/debug/traces) and every
+// completed span feeds the f2_stage_duration_seconds histograms.
 func (s *Server) instrument(op string, h http.HandlerFunc) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		ctx, tr := obs.NewTrace(r.Context(), "", op)
+		r = r.WithContext(ctx)
 		rec := &statusRecorder{ResponseWriter: w, status: http.StatusOK}
 		start := time.Now()
 		defer func() {
@@ -51,10 +76,40 @@ func (s *Server) instrument(op string, h http.HandlerFunc) http.Handler {
 			}
 			d := time.Since(start)
 			s.metrics.Observe(op, rec.status, d)
-			s.logf("%s %s -> %d (%s)", r.Method, r.URL.Path, rec.status, d.Round(time.Microsecond))
+			tr.Finish()
+			snap := tr.Snapshot()
+			s.traces.Add(snap)
+			snap.EachSpan(s.metrics.ObserveStage)
+			s.logRequest(r, op, rec.status, d, snap)
 		}()
 		h(rec, r)
 	})
+}
+
+// logRequest emits the structured request log line: one record carrying
+// the trace id, op, status, total latency, and the top-level stage
+// timings as a nested group (so `jq .stages` over the JSON log recovers
+// the per-stage breakdown of every request).
+func (s *Server) logRequest(r *http.Request, op string, status int, d time.Duration, snap *obs.TraceSnapshot) {
+	if s.opts.Logger == nil {
+		return
+	}
+	attrs := []slog.Attr{
+		slog.String("method", r.Method),
+		slog.String("path", r.URL.Path),
+		slog.String("op", op),
+		slog.Int("status", status),
+		slog.Float64("durationMs", float64(d.Nanoseconds())/1e6),
+		slog.String("traceId", snap.ID),
+	}
+	if totals := snap.StageTotals(); len(totals) > 0 {
+		stages := make([]any, 0, len(totals))
+		for name, sd := range totals {
+			stages = append(stages, slog.Float64(name, float64(sd.Nanoseconds())/1e6))
+		}
+		attrs = append(attrs, slog.Group("stages", stages...))
+	}
+	s.opts.Logger.LogAttrs(r.Context(), slog.LevelInfo, "request", attrs...)
 }
 
 // apiError is the JSON error envelope of every non-2xx response.

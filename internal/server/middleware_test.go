@@ -1,0 +1,76 @@
+package server
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"testing"
+)
+
+// flushRecorder counts Flush calls forwarded through the middleware's
+// statusRecorder.
+type flushRecorder struct {
+	*httptest.ResponseRecorder
+	flushes int
+}
+
+func (f *flushRecorder) Flush() { f.flushes++ }
+
+// TestStatusRecorderForwardsFlush: wrapping a handler in the
+// instrumentation middleware must not strip the underlying writer's
+// streaming capability, whether the handler type-asserts http.Flusher
+// directly or discovers it through http.ResponseController's Unwrap
+// chain.
+func TestStatusRecorderForwardsFlush(t *testing.T) {
+	srv, err := New(Options{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	h := srv.instrument("stream", func(w http.ResponseWriter, r *http.Request) {
+		f, ok := w.(http.Flusher)
+		if !ok {
+			t.Fatal("middleware-wrapped writer lost http.Flusher")
+		}
+		w.WriteHeader(http.StatusOK)
+		f.Flush()
+		rc := http.NewResponseController(w)
+		if err := rc.Flush(); err != nil {
+			t.Fatalf("ResponseController.Flush through Unwrap: %v", err)
+		}
+	})
+
+	under := &flushRecorder{ResponseRecorder: httptest.NewRecorder()}
+	h.ServeHTTP(under, httptest.NewRequest(http.MethodGet, "/stream", nil))
+	if under.flushes < 2 {
+		t.Fatalf("underlying writer saw %d flushes, want 2 (direct + ResponseController)", under.flushes)
+	}
+}
+
+// TestStatusRecorderFlushCommits: a flush marks the response as written,
+// so the panic path cannot stomp a committed streaming response with a
+// second error body.
+func TestStatusRecorderFlushCommits(t *testing.T) {
+	under := &flushRecorder{ResponseRecorder: httptest.NewRecorder()}
+	rec := &statusRecorder{ResponseWriter: under, status: http.StatusOK}
+	if rec.wrote {
+		t.Fatal("fresh recorder marked written")
+	}
+	rec.Flush()
+	if !rec.wrote {
+		t.Fatal("Flush did not commit the response")
+	}
+	if under.flushes != 1 {
+		t.Fatalf("underlying writer saw %d flushes, want 1", under.flushes)
+	}
+}
+
+// TestStatusRecorderUnwrap: Unwrap exposes the wrapped writer so optional
+// interfaces beyond Flusher (Hijacker, deadlines) remain reachable.
+func TestStatusRecorderUnwrap(t *testing.T) {
+	under := httptest.NewRecorder()
+	rec := &statusRecorder{ResponseWriter: under, status: http.StatusOK}
+	if got := rec.Unwrap(); got != http.ResponseWriter(under) {
+		t.Fatalf("Unwrap returned %T, want the wrapped writer", got)
+	}
+}

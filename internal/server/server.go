@@ -18,12 +18,13 @@ package server
 import (
 	"context"
 	"fmt"
-	"log"
+	"log/slog"
 	"net/http"
 	"runtime"
 	"time"
 
 	"f2/internal/core"
+	"f2/internal/obs"
 	"f2/internal/store"
 )
 
@@ -34,8 +35,10 @@ type Options struct {
 	Workers int
 	// MaxBodyBytes caps request bodies. Default 32 MiB.
 	MaxBodyBytes int64
-	// Logger receives request logs and panics; nil disables logging.
-	Logger *log.Logger
+	// Logger receives structured request logs (one record per request,
+	// carrying the trace id and stage timings) and service diagnostics;
+	// nil disables logging.
+	Logger *slog.Logger
 	// AttackTrials is the per-adversary game count used by /report when
 	// the request does not override it. Default 1000.
 	AttackTrials int
@@ -54,6 +57,12 @@ type Options struct {
 	// and New recovers every stored dataset at boot. Nil keeps the
 	// original in-memory-only behavior.
 	Store *store.Store
+	// TraceRecent bounds how many completed request traces the debug ring
+	// retains (GET /v1/debug/traces). Default 64.
+	TraceRecent int
+	// TraceSlowest bounds the slowest-traces-since-boot set retained
+	// alongside the recent ring. Default 16.
+	TraceSlowest int
 }
 
 func (o *Options) fillDefaults() {
@@ -69,6 +78,12 @@ func (o *Options) fillDefaults() {
 	if o.VerifyProbes <= 0 {
 		o.VerifyProbes = 200
 	}
+	if o.TraceRecent <= 0 {
+		o.TraceRecent = 64
+	}
+	if o.TraceSlowest <= 0 {
+		o.TraceSlowest = 16
+	}
 }
 
 // Server is the f2served HTTP service: registry + worker pool + metrics
@@ -78,6 +93,7 @@ type Server struct {
 	reg     *Registry
 	pool    *Pool
 	metrics *Metrics
+	traces  *obs.Ring
 	mux     *http.ServeMux
 	st      *store.Store // nil = in-memory only
 	start   time.Time
@@ -103,6 +119,7 @@ func New(opts Options) (*Server, error) {
 		opts:      opts,
 		reg:       NewRegistry(),
 		metrics:   NewMetrics(),
+		traces:    obs.NewRing(opts.TraceRecent, opts.TraceSlowest),
 		mux:       http.NewServeMux(),
 		st:        opts.Store,
 		start:     time.Now(),
@@ -130,6 +147,10 @@ func New(opts Options) (*Server, error) {
 	s.mux.Handle("GET /v1/datasets/{id}/report", s.instrument("report", s.handleReport))
 	s.mux.Handle("GET /healthz", s.instrument("healthz", s.handleHealthz))
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics) // not instrumented: scrapes shouldn't meter themselves
+	// Also uninstrumented: reading the trace ring must not itself mint
+	// traces into the ring it is reading.
+	s.mux.HandleFunc("GET /v1/debug/traces", s.handleTraces)
+	s.mux.HandleFunc("GET /v1/debug/traces/{id}", s.handleTraceByID)
 	return s, nil
 }
 
@@ -186,12 +207,13 @@ func (s *Server) recover() error {
 // persistSnapshotLocked writes the dataset's durable snapshot (and
 // truncates its WAL). The caller holds ds.mu, so the captured state is
 // consistent and walSeq covers every journaled batch the updater has
-// absorbed. No-op without a store.
-func (s *Server) persistSnapshotLocked(ds *Dataset) error {
+// absorbed. No-op without a store. The context only carries the
+// request's trace.
+func (s *Server) persistSnapshotLocked(ctx context.Context, ds *Dataset) error {
 	if s.st == nil {
 		return nil
 	}
-	return s.st.SaveSnapshot(&store.Record{
+	return s.st.SaveSnapshot(ctx, &store.Record{
 		ID:      ds.ID,
 		Name:    ds.Name,
 		Created: ds.Created,
@@ -222,7 +244,7 @@ func (s *Server) jobContext(req context.Context) (context.Context, context.Cance
 
 func (s *Server) logf(format string, args ...any) {
 	if s.opts.Logger != nil {
-		s.opts.Logger.Printf(format, args...)
+		s.opts.Logger.Info(fmt.Sprintf(format, args...))
 	}
 }
 

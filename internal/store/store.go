@@ -25,6 +25,7 @@ package store
 
 import (
 	"bytes"
+	"context"
 	"errors"
 	"fmt"
 	"os"
@@ -34,6 +35,7 @@ import (
 
 	"f2/internal/core"
 	"f2/internal/crypt"
+	"f2/internal/obs"
 )
 
 const (
@@ -153,12 +155,18 @@ func (s *Store) datasetDir(id string) string {
 // SaveSnapshot durably records rec: the snapshot file is rotated
 // atomically, and on success the WAL is truncated (every journaled batch
 // at or below rec.WALSeq is now covered by the snapshot; replay skips
-// them even if truncation itself is lost to a crash).
-func (s *Store) SaveSnapshot(rec *Record) error {
+// them even if truncation itself is lost to a crash). The context only
+// carries the caller's trace (seal / write / truncate phases become
+// spans); the write itself is never cancelled mid-rotation.
+func (s *Store) SaveSnapshot(ctx context.Context, rec *Record) error {
 	if rec.ID == "" {
 		return errors.New("store: record has no id")
 	}
+	sctx, sp := obs.Start(ctx, "snapshot.save")
+	defer sp.End()
+	_, seal := obs.Start(sctx, "snapshot.seal")
 	keyEnc, err := sealKey(s.master, rec.Config.Key)
+	seal.End()
 	if err != nil {
 		return err
 	}
@@ -175,25 +183,33 @@ func (s *Store) SaveSnapshot(rec *Record) error {
 	if err != nil {
 		return err
 	}
+	sp.SetAttr("bytes", len(data))
 	dir := s.datasetDir(rec.ID)
 	if err := os.MkdirAll(dir, 0o700); err != nil {
 		return fmt.Errorf("store: creating dataset directory: %w", err)
 	}
-	if err := writeFileAtomic(filepath.Join(dir, snapshotName), data, 0o600); err != nil {
+	_, wr := obs.Start(sctx, "snapshot.write")
+	err = writeFileAtomic(filepath.Join(dir, snapshotName), data, 0o600)
+	wr.End()
+	if err != nil {
 		return fmt.Errorf("store: writing snapshot: %w", err)
 	}
-	return s.truncateWAL(rec.ID)
+	_, tr := obs.Start(sctx, "snapshot.truncate-wal")
+	err = s.truncateWAL(rec.ID)
+	tr.End()
+	return err
 }
 
 // AppendBatch journals one append batch and syncs it to disk. It must be
 // called — and must succeed — before the append is acknowledged to the
 // client; a batch that fails to journal must be rejected, not buffered.
-func (s *Store) AppendBatch(id string, b Batch) error {
+// The context only carries the caller's trace.
+func (s *Store) AppendBatch(ctx context.Context, id string, b Batch) error {
 	f, err := s.walFile(id)
 	if err != nil {
 		return err
 	}
-	return appendWALRecord(f, b)
+	return appendWALRecord(ctx, f, b)
 }
 
 // walFile returns the cached WAL appender for id, opening it on first

@@ -109,7 +109,7 @@ func TestSnapshotRoundTrip(t *testing.T) {
 
 	cfg := testConfig("round-trip")
 	upd := newUpdater(t, cfg, testTable(rand.New(rand.NewSource(1)), 40))
-	if err := s.SaveSnapshot(record("ds_aaaaaaaaaaaa", cfg, upd, 0)); err != nil {
+	if err := s.SaveSnapshot(context.Background(), record("ds_aaaaaaaaaaaa", cfg, upd, 0)); err != nil {
 		t.Fatal(err)
 	}
 
@@ -152,7 +152,7 @@ func TestDatasetKeySealedAtRest(t *testing.T) {
 
 	cfg := testConfig("sealed-key")
 	upd := newUpdater(t, cfg, testTable(rand.New(rand.NewSource(2)), 30))
-	if err := s.SaveSnapshot(record("ds_bbbbbbbbbbbb", cfg, upd, 0)); err != nil {
+	if err := s.SaveSnapshot(context.Background(), record("ds_bbbbbbbbbbbb", cfg, upd, 0)); err != nil {
 		t.Fatal(err)
 	}
 
@@ -203,12 +203,12 @@ func TestWALPartialTailTolerated(t *testing.T) {
 	cfg := testConfig("torn-wal")
 	upd := newUpdater(t, cfg, testTable(rand.New(rand.NewSource(3)), 20))
 	const id = "ds_cccccccccccc"
-	if err := s.SaveSnapshot(record(id, cfg, upd, 0)); err != nil {
+	if err := s.SaveSnapshot(context.Background(), record(id, cfg, upd, 0)); err != nil {
 		t.Fatal(err)
 	}
 	for seq := uint64(1); seq <= 3; seq++ {
 		b := Batch{Seq: seq, Rows: [][]string{{"ax", "bx", fmt.Sprintf("wal%d", seq)}}}
-		if err := s.AppendBatch(id, b); err != nil {
+		if err := s.AppendBatch(context.Background(), id, b); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -269,12 +269,12 @@ func TestReplaySkipsCoveredBatches(t *testing.T) {
 	cfg := testConfig("covered")
 	upd := newUpdater(t, cfg, testTable(rand.New(rand.NewSource(4)), 20))
 	const id = "ds_dddddddddddd"
-	if err := s.SaveSnapshot(record(id, cfg, upd, 0)); err != nil {
+	if err := s.SaveSnapshot(context.Background(), record(id, cfg, upd, 0)); err != nil {
 		t.Fatal(err)
 	}
 	for seq := uint64(1); seq <= 3; seq++ {
 		b := Batch{Seq: seq, Rows: [][]string{{"ay", "by", fmt.Sprintf("cov%d", seq)}}}
-		if err := s.AppendBatch(id, b); err != nil {
+		if err := s.AppendBatch(context.Background(), id, b); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -319,7 +319,7 @@ func TestStrayTempSnapshotIgnored(t *testing.T) {
 	cfg := testConfig("stray-tmp")
 	upd := newUpdater(t, cfg, testTable(rand.New(rand.NewSource(5)), 20))
 	const id = "ds_eeeeeeeeeeee"
-	if err := s.SaveSnapshot(record(id, cfg, upd, 0)); err != nil {
+	if err := s.SaveSnapshot(context.Background(), record(id, cfg, upd, 0)); err != nil {
 		t.Fatal(err)
 	}
 	stray := filepath.Join(dir, datasetsDir, id, snapshotName+".tmp-crashed")
@@ -353,7 +353,7 @@ func TestCrashMidFlushRecovery(t *testing.T) {
 	cfg := testConfig("crash-recovery")
 	base := testTable(rng, 40)
 	upd := newUpdater(t, cfg, base)
-	if err := s.SaveSnapshot(record(id, cfg, upd, 0)); err != nil {
+	if err := s.SaveSnapshot(context.Background(), record(id, cfg, upd, 0)); err != nil {
 		t.Fatal(err)
 	}
 
@@ -422,7 +422,7 @@ func TestCrashMidFlushRecovery(t *testing.T) {
 		// re-applies the batch on replay — which is the correct outcome,
 		// since the client was never acked and will see the rows present
 		// on retry-read. Here we treat journal+buffer success as acked.
-		if err := s.AppendBatch(id, Batch{Seq: seq, Rows: rows}); err != nil {
+		if err := s.AppendBatch(context.Background(), id, Batch{Seq: seq, Rows: rows}); err != nil {
 			t.Fatal(err)
 		}
 		if err := upd.Buffer(rows); err != nil {
@@ -441,7 +441,7 @@ func TestCrashMidFlushRecovery(t *testing.T) {
 	}
 	snapshot := func() {
 		t.Helper()
-		if err := s.SaveSnapshot(record(id, cfg, upd, seq)); err != nil {
+		if err := s.SaveSnapshot(context.Background(), record(id, cfg, upd, seq)); err != nil {
 			t.Fatal(err)
 		}
 		lastSnapSeq = seq
@@ -513,10 +513,10 @@ func TestDeleteRemovesEverything(t *testing.T) {
 	cfg := testConfig("delete")
 	upd := newUpdater(t, cfg, testTable(rand.New(rand.NewSource(6)), 20))
 	const id = "ds_999999999999"
-	if err := s.SaveSnapshot(record(id, cfg, upd, 0)); err != nil {
+	if err := s.SaveSnapshot(context.Background(), record(id, cfg, upd, 0)); err != nil {
 		t.Fatal(err)
 	}
-	if err := s.AppendBatch(id, Batch{Seq: 1, Rows: [][]string{{"a", "b", "x"}}}); err != nil {
+	if err := s.AppendBatch(context.Background(), id, Batch{Seq: 1, Rows: [][]string{{"a", "b", "x"}}}); err != nil {
 		t.Fatal(err)
 	}
 	if err := s.Delete(id); err != nil {
@@ -553,7 +553,7 @@ func TestMasterKeyPersists(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := s2.SaveSnapshot(record("ds_121212121212", cfg, upd, 0)); err != nil {
+	if err := s2.SaveSnapshot(context.Background(), record("ds_121212121212", cfg, upd, 0)); err != nil {
 		t.Fatal(err)
 	}
 	s2.Close()

@@ -1,6 +1,7 @@
 package store
 
 import (
+	"context"
 	"encoding/binary"
 	"encoding/json"
 	"errors"
@@ -8,6 +9,8 @@ import (
 	"hash/crc32"
 	"io"
 	"os"
+
+	"f2/internal/obs"
 )
 
 // The WAL is an append-only journal of row batches, one file per dataset.
@@ -38,8 +41,13 @@ const walHeaderSize = 8
 // cannot drive a multi-gigabyte allocation during replay.
 const maxWALRecordBytes = 1 << 30
 
-// appendWALRecord frames and writes one batch, then syncs the file.
-func appendWALRecord(f *os.File, b Batch) error {
+// appendWALRecord frames and writes one batch, then syncs the file. The
+// context only carries the caller's trace.
+func appendWALRecord(ctx context.Context, f *os.File, b Batch) error {
+	sctx, sp := obs.Start(ctx, "wal.append")
+	defer sp.End()
+	sp.SetAttr("seq", b.Seq)
+	sp.SetAttr("rows", len(b.Rows))
 	payload, err := json.Marshal(b)
 	if err != nil {
 		return fmt.Errorf("store: encoding WAL record: %w", err)
@@ -57,7 +65,11 @@ func appendWALRecord(f *os.File, b Batch) error {
 	if _, err := f.Write(rec); err != nil {
 		return fmt.Errorf("store: appending WAL record: %w", err)
 	}
-	if err := f.Sync(); err != nil {
+	_, fs := obs.Start(sctx, "wal.fsync")
+	fs.SetAttr("bytes", len(rec))
+	err = f.Sync()
+	fs.End()
+	if err != nil {
 		return fmt.Errorf("store: syncing WAL: %w", err)
 	}
 	return nil
