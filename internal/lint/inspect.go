@@ -1,0 +1,170 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// eachFunc calls fn once per function body in the package: declared
+// functions, methods, and function literals (each literal analyzed as its
+// own function — a closure's control flow is its own).
+func eachFunc(files []*ast.File, fn func(decl *ast.FuncType, body *ast.BlockStmt)) {
+	for _, f := range files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch d := n.(type) {
+			case *ast.FuncDecl:
+				if d.Body != nil {
+					fn(d.Type, d.Body)
+				}
+			case *ast.FuncLit:
+				fn(d.Type, d.Body)
+			}
+			return true
+		})
+	}
+}
+
+// calleeFunc resolves the static callee of call, or nil for dynamic
+// calls, conversions, and builtins.
+func calleeFunc(info *types.Info, call *ast.CallExpr) *types.Func {
+	var obj types.Object
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		obj = info.Uses[fun]
+	case *ast.SelectorExpr:
+		obj = info.Uses[fun.Sel]
+	}
+	f, _ := obj.(*types.Func)
+	return f
+}
+
+// isPkgFunc reports whether call statically invokes pkgPath.name, where
+// pkgPath matches exactly or by its final "/"-separated suffix (so the
+// real f2/internal/obs and a fixture stub named .../obs both satisfy an
+// "obs" check).
+func isPkgFunc(info *types.Info, call *ast.CallExpr, pkgPath, name string) bool {
+	f := calleeFunc(info, call)
+	if f == nil || f.Name() != name || f.Pkg() == nil {
+		return false
+	}
+	return pathMatches(f.Pkg().Path(), pkgPath)
+}
+
+// pathMatches reports whether got is want or ends in "/"+want.
+func pathMatches(got, want string) bool {
+	return got == want || strings.HasSuffix(got, "/"+want)
+}
+
+// recvNamed returns the named type of a method's receiver (pointers
+// stripped), or nil.
+func recvNamed(f *types.Func) *types.Named {
+	sig, ok := f.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return nil
+	}
+	t := sig.Recv().Type()
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	n, _ := t.(*types.Named)
+	return n
+}
+
+// isMethodOn reports whether f is a method named name on the type
+// pkgPath.typeName (receiver pointer-ness ignored).
+func isMethodOn(f *types.Func, pkgPath, typeName, name string) bool {
+	if f == nil || f.Name() != name {
+		return false
+	}
+	n := recvNamed(f)
+	if n == nil || n.Obj().Pkg() == nil {
+		return false
+	}
+	return n.Obj().Name() == typeName && pathMatches(n.Obj().Pkg().Path(), pkgPath)
+}
+
+// objOf returns the object an identifier expression resolves to (through
+// parens), or nil when e is not a plain identifier.
+func objOf(info *types.Info, e ast.Expr) types.Object {
+	id, ok := ast.Unparen(e).(*ast.Ident)
+	if !ok {
+		return nil
+	}
+	if obj := info.Uses[id]; obj != nil {
+		return obj
+	}
+	return info.Defs[id]
+}
+
+// inspectShallow walks n without descending into function literals, so a
+// per-function analysis never double-visits a closure body.
+func inspectShallow(n ast.Node, fn func(ast.Node)) {
+	ast.Inspect(n, func(child ast.Node) bool {
+		if _, ok := child.(*ast.FuncLit); ok && child != n {
+			return false
+		}
+		if child != nil {
+			fn(child)
+		}
+		return true
+	})
+}
+
+// exprString renders an expression for diagnostics (short, best-effort).
+func exprString(e ast.Expr) string {
+	var b strings.Builder
+	writeExpr(&b, e)
+	return b.String()
+}
+
+func writeExpr(b *strings.Builder, e ast.Expr) {
+	switch x := e.(type) {
+	case *ast.Ident:
+		b.WriteString(x.Name)
+	case *ast.SelectorExpr:
+		writeExpr(b, x.X)
+		b.WriteByte('.')
+		b.WriteString(x.Sel.Name)
+	case *ast.ParenExpr:
+		writeExpr(b, x.X)
+	case *ast.StarExpr:
+		b.WriteByte('*')
+		writeExpr(b, x.X)
+	case *ast.IndexExpr:
+		writeExpr(b, x.X)
+		b.WriteString("[...]")
+	case *ast.CallExpr:
+		writeExpr(b, x.Fun)
+		b.WriteString("(...)")
+	default:
+		b.WriteString("<expr>")
+	}
+}
+
+// terminates reports whether stmt certainly transfers control out of the
+// enclosing statement list: return, branch (break/continue/goto), panic,
+// or a block/if whose every path terminates.
+func terminates(stmt ast.Stmt) bool {
+	switch s := stmt.(type) {
+	case *ast.ReturnStmt, *ast.BranchStmt:
+		return true
+	case *ast.ExprStmt:
+		call, ok := s.X.(*ast.CallExpr)
+		if !ok {
+			return false
+		}
+		if id, ok := call.Fun.(*ast.Ident); ok && id.Name == "panic" {
+			return true
+		}
+		return false
+	case *ast.BlockStmt:
+		return len(s.List) > 0 && terminates(s.List[len(s.List)-1])
+	case *ast.IfStmt:
+		if s.Else == nil {
+			return false
+		}
+		return terminates(s.Body) && terminates(s.Else)
+	}
+	return false
+}
