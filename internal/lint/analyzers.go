@@ -4,5 +4,7 @@ package lint
 // order they landed, which is also the order docs/STATIC_ANALYSIS.md
 // catalogues them in).
 func All() []*Analyzer {
-	return nil
+	return []*Analyzer{
+		Syncerr,
+	}
 }

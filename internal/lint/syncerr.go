@@ -1,0 +1,150 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// Syncerr enforces the durability contract of internal/store: an error
+// from fsync (or from closing a file that was written) can carry the
+// final write failure, and swallowing it turns "fsynced before ack" into
+// a durability hole the crash matrix cannot see. The analyzer flags
+// discarded error results — bare expression statements and defers — from
+// (*os.File).Sync, from Close on files opened for writing (or of unknown
+// provenance; only files provably opened read-only are exempt), and from
+// (*bufio.Writer).Flush. An explicit `_ = f.Close()` is visible intent
+// and is allowed; pair it with a comment saying why the error cannot
+// matter.
+var Syncerr = &Analyzer{
+	Name: "syncerr",
+	Doc: "flag discarded errors from Sync/Close/Flush on write paths in internal/store\n" +
+		"A swallowed fsync or close error breaks the fsync-before-ack durability proof.",
+	Match: func(pkgPath string) bool {
+		return pathMatches(pkgPath, "internal/store") || pathMatches(pkgPath, "store")
+	},
+	Run: runSyncerr,
+}
+
+// fileClass is what we know about how an *os.File variable was opened.
+type fileClass int
+
+const (
+	fileUnknown fileClass = iota // param, field, map value, helper result
+	fileRead                     // os.Open
+	fileWrite                    // os.Create / os.CreateTemp / os.OpenFile with write flags
+)
+
+func runSyncerr(pass *Pass) error {
+	eachFunc(pass.Files, func(_ *ast.FuncType, body *ast.BlockStmt) {
+		classes := classifyFiles(pass, body)
+		inspectShallow(body, func(n ast.Node) {
+			switch s := n.(type) {
+			case *ast.ExprStmt:
+				checkDiscardedCall(pass, classes, s.X, false)
+			case *ast.DeferStmt:
+				checkDiscardedCall(pass, classes, s.Call, true)
+			}
+		})
+	})
+	return nil
+}
+
+// classifyFiles records how each locally opened *os.File variable was
+// opened, by scanning the function body (closures excluded — they are
+// classified as their own functions, where captured files come out
+// fileUnknown, i.e. treated as write handles).
+func classifyFiles(pass *Pass, body *ast.BlockStmt) map[types.Object]fileClass {
+	classes := make(map[types.Object]fileClass)
+	inspectShallow(body, func(n ast.Node) {
+		assign, ok := n.(*ast.AssignStmt)
+		if !ok || len(assign.Rhs) != 1 {
+			return
+		}
+		call, ok := assign.Rhs[0].(*ast.CallExpr)
+		if !ok {
+			return
+		}
+		f := calleeFunc(pass.Info, call)
+		if f == nil || f.Pkg() == nil || f.Pkg().Path() != "os" {
+			return
+		}
+		var class fileClass
+		switch f.Name() {
+		case "Open":
+			class = fileRead
+		case "Create", "CreateTemp":
+			class = fileWrite
+		case "OpenFile":
+			if len(call.Args) >= 2 && mentionsWriteFlag(call.Args[1]) {
+				class = fileWrite
+			} else {
+				class = fileRead
+			}
+		default:
+			return
+		}
+		if obj := objOf(pass.Info, assign.Lhs[0]); obj != nil {
+			classes[obj] = class
+		}
+	})
+	return classes
+}
+
+// mentionsWriteFlag reports whether a flag expression names any of the
+// os write flags (O_WRONLY, O_RDWR, O_APPEND) anywhere in its tree.
+func mentionsWriteFlag(e ast.Expr) bool {
+	found := false
+	ast.Inspect(e, func(n ast.Node) bool {
+		if sel, ok := n.(*ast.SelectorExpr); ok {
+			switch sel.Sel.Name {
+			case "O_WRONLY", "O_RDWR", "O_APPEND":
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+// checkDiscardedCall flags x when it is a Sync/Close/Flush call whose
+// error result the statement discards.
+func checkDiscardedCall(pass *Pass, classes map[types.Object]fileClass, x ast.Expr, deferred bool) {
+	call, ok := ast.Unparen(x).(*ast.CallExpr)
+	if !ok {
+		return
+	}
+	f := calleeFunc(pass.Info, call)
+	if f == nil {
+		return
+	}
+	how := "discarded"
+	if deferred {
+		how = "discarded by defer"
+	}
+	switch {
+	case isMethodOn(f, "os", "File", "Sync"):
+		pass.Reportf(call.Pos(), "error from (*os.File).Sync %s: a lost fsync error voids the fsync-before-ack durability contract", how)
+	case isMethodOn(f, "os", "File", "Close"):
+		if receiverClass(pass, classes, call) == fileRead {
+			return // closing a read-only file cannot lose written data
+		}
+		pass.Reportf(call.Pos(), "error from Close %s on a file opened for writing: close can surface the final write failure", how)
+	case isMethodOn(f, "bufio", "Writer", "Flush"):
+		pass.Reportf(call.Pos(), "error from (*bufio.Writer).Flush %s: unflushed bytes vanish silently", how)
+	}
+}
+
+// receiverClass resolves the method call's receiver variable to its
+// open-mode class; non-identifier receivers (fields, map lookups) stay
+// fileUnknown.
+func receiverClass(pass *Pass, classes map[types.Object]fileClass, call *ast.CallExpr) fileClass {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return fileUnknown
+	}
+	obj := objOf(pass.Info, sel.X)
+	if obj == nil {
+		return fileUnknown
+	}
+	return classes[obj]
+}

@@ -1,0 +1,7 @@
+package lint
+
+import "testing"
+
+func TestSyncerr(t *testing.T) {
+	RunFixture(t, Syncerr, "syncerr")
+}

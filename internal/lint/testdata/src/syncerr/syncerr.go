@@ -1,0 +1,102 @@
+// Fixture for f2vet/syncerr: discarded errors from Sync/Close/Flush on
+// write paths. Lines with `want` must be flagged; lines without must not.
+package syncerr
+
+import (
+	"bufio"
+	"os"
+)
+
+// Write path: both discards are findings.
+func writeBad(path string, data []byte) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close() // want "error from Close discarded by defer on a file opened for writing"
+	if _, err := f.Write(data); err != nil {
+		return err
+	}
+	f.Sync() // want "Sync discarded"
+	return nil
+}
+
+// Checked errors: nothing to flag.
+func writeGood(path string, data []byte) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(data); err != nil {
+		f.Close() // want "error from Close discarded on a file opened for writing"
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		return err
+	}
+	return f.Close()
+}
+
+// Read-only file: Close cannot surface a write failure, not flagged.
+func readGood(path string) ([]byte, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	buf := make([]byte, 16)
+	_, err = f.Read(buf)
+	return buf, err
+}
+
+// OpenFile with write flags classifies as a write handle.
+func appendBad(path string, data []byte) error {
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND|os.O_CREATE, 0o644)
+	if err != nil {
+		return err
+	}
+	_, err = f.Write(data)
+	f.Close() // want "error from Close discarded on a file opened for writing"
+	return err
+}
+
+// An explicit blank assignment is visible intent and is allowed.
+func explicitDiscard(path string) {
+	f, err := os.Create(path)
+	if err != nil {
+		return
+	}
+	_ = f.Close()
+}
+
+// A file of unknown provenance (parameter) is treated as a write handle.
+func unknownProvenance(f *os.File) {
+	f.Close() // want "error from Close discarded on a file opened for writing"
+}
+
+// Buffered writers lose bytes silently when Flush errors are dropped.
+func flushBad(f *os.File, data []byte) {
+	w := bufio.NewWriter(f)
+	_, _ = w.Write(data)
+	w.Flush() // want "Flush discarded"
+}
+
+// The suppression hatch silences a finding — with a mandatory reason.
+func suppressed(path string) {
+	f, err := os.Create(path)
+	if err != nil {
+		return
+	}
+	//lint:ignore f2vet/syncerr best-effort temp cleanup, contents already synced elsewhere
+	f.Close()
+}
+
+// An ignore directive without a reason does not suppress.
+func reasonRequired(path string) {
+	f, err := os.Create(path)
+	if err != nil {
+		return
+	}
+	//lint:ignore f2vet/syncerr
+	f.Close() // want "error from Close discarded on a file opened for writing"
+}

@@ -124,7 +124,9 @@ func writeFileAtomic(path string, data []byte, perm os.FileMode) error {
 	}
 	tmpPath := tmp.Name()
 	cleanup := func() {
-		tmp.Close()
+		// Best-effort teardown of a write that already failed: the close
+		// error cannot carry anything the caller isn't already returning.
+		_ = tmp.Close()
 		os.Remove(tmpPath)
 	}
 	if _, err := tmp.Write(data); err != nil {

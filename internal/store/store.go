@@ -232,7 +232,9 @@ func (s *Store) walFile(id string) (*os.File, error) {
 	// crash could lose the whole journal (file data is fsynced per record,
 	// but a never-synced dir entry means no file at all after reboot).
 	if err := syncDir(dir); err != nil {
-		f.Close()
+		// Nothing has been written through this handle yet; the dir-sync
+		// error being returned is the whole story.
+		_ = f.Close()
 		return nil, fmt.Errorf("store: syncing dataset directory: %w", err)
 	}
 	s.wals[id] = f
@@ -247,7 +249,9 @@ func (s *Store) truncateWAL(id string) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if f, ok := s.wals[id]; ok {
-		f.Close()
+		// Every record was fsynced at append time, so Close cannot
+		// surface a lost write — and the file is truncated next anyway.
+		_ = f.Close()
 		delete(s.wals, id)
 	}
 	err := os.Truncate(filepath.Join(s.datasetDir(id), walName), 0)
@@ -262,7 +266,9 @@ func (s *Store) truncateWAL(id string) error {
 func (s *Store) Delete(id string) error {
 	s.mu.Lock()
 	if f, ok := s.wals[id]; ok {
-		f.Close()
+		// Per-record fsync means Close has nothing left to flush, and the
+		// whole directory is removed below.
+		_ = f.Close()
 		delete(s.wals, id)
 	}
 	s.mu.Unlock()
