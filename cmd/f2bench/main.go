@@ -11,9 +11,12 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
 	"f2/internal/bench"
@@ -52,11 +55,14 @@ func main() {
 		run = []bench.Experiment{e}
 	}
 
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
 	start := time.Now()
 	for _, e := range run {
 		fmt.Printf("### %s — %s\n\n", e.ID, e.Paper)
 		expStart := time.Now()
-		tables, err := e.Run(opts)
+		tables, err := e.Run(ctx, opts)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "f2bench: %s: %v\n", e.ID, err)
 			os.Exit(1)

@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -13,16 +14,16 @@ import (
 // RunAblations runs the design-choice ablations called out in DESIGN.md:
 // split factor ϖ, MAS-discovery algorithm, PRF family, and the effect of
 // disabling Step 3/Step 4.
-func RunAblations(o Options) ([]*Table, error) {
+func RunAblations(ctx context.Context, o Options) ([]*Table, error) {
 	var out []*Table
-	for _, f := range []func(Options) (*Table, error){
+	for _, f := range []func(context.Context, Options) (*Table, error){
 		ablationSplitFactor,
 		ablationSplitPoint,
 		ablationMASAlgorithm,
 		ablationPRF,
 		ablationSteps,
 	} {
-		t, err := f(o)
+		t, err := f(ctx, o)
 		if err != nil {
 			return nil, err
 		}
@@ -35,7 +36,7 @@ func RunAblations(o Options) ([]*Table, error) {
 // equivalence class over more ciphertext instances (better Kerckhoffs
 // margin: success ≤ 1/y with y = ϖk'+k-k') at the cost of more scale
 // copies.
-func ablationSplitFactor(o Options) (*Table, error) {
+func ablationSplitFactor(ctx context.Context, o Options) (*Table, error) {
 	tbl, err := dataset(workload.NameSynthetic, o.scale(33000), o.Seed)
 	if err != nil {
 		return nil, err
@@ -49,7 +50,7 @@ func ablationSplitFactor(o Options) (*Table, error) {
 	for _, w := range []int{2, 3, 4, 6, 8} {
 		cfg := benchConfig(0.25)
 		cfg.SplitFactor = w
-		res, err := encrypt(tbl, cfg)
+		res, err := encrypt(ctx, tbl, cfg)
 		if err != nil {
 			return nil, err
 		}
@@ -63,7 +64,7 @@ func ablationSplitFactor(o Options) (*Table, error) {
 // ablationMASAlgorithm compares the DUCC-style border search against the
 // levelwise Apriori sweep (§3.1 argues DUCC's cost tracks the border, not
 // the attribute count).
-func ablationMASAlgorithm(o Options) (*Table, error) {
+func ablationMASAlgorithm(ctx context.Context, o Options) (*Table, error) {
 	t := &Table{
 		ID:     "ablation-mas",
 		Title:  "MAS discovery: DUCC border search vs levelwise sweep",
@@ -99,7 +100,7 @@ func ablationMASAlgorithm(o Options) (*Table, error) {
 
 // ablationPRF compares the AES-CTR and HMAC-SHA256 pseudorandom functions
 // backing the probabilistic cipher.
-func ablationPRF(o Options) (*Table, error) {
+func ablationPRF(ctx context.Context, o Options) (*Table, error) {
 	tbl, err := dataset(workload.NameOrders, o.scale(10000), o.Seed)
 	if err != nil {
 		return nil, err
@@ -112,7 +113,7 @@ func ablationPRF(o Options) (*Table, error) {
 	for _, prf := range []crypt.PRF{crypt.PRFAESCTR, crypt.PRFHMAC} {
 		cfg := benchConfig(0.2)
 		cfg.PRF = prf
-		res, err := encrypt(tbl, cfg)
+		res, err := encrypt(ctx, tbl, cfg)
 		if err != nil {
 			return nil, err
 		}
@@ -124,7 +125,7 @@ func ablationPRF(o Options) (*Table, error) {
 
 // ablationSteps disables conflict resolution and FP elimination in turn,
 // demonstrating why each step exists (Figure 3(e) and Example 3.1).
-func ablationSteps(o Options) (*Table, error) {
+func ablationSteps(ctx context.Context, o Options) (*Table, error) {
 	tbl, err := dataset(workload.NameSynthetic, o.scale(33000), o.Seed)
 	if err != nil {
 		return nil, err
@@ -146,7 +147,7 @@ func ablationSteps(o Options) (*Table, error) {
 	for _, v := range variants {
 		cfg := benchConfig(0.25)
 		v.mod(&cfg)
-		res, err := encrypt(tbl, cfg)
+		res, err := encrypt(ctx, tbl, cfg)
 		if err != nil {
 			return nil, err
 		}
@@ -160,7 +161,7 @@ func ablationSteps(o Options) (*Table, error) {
 // against naively splitting every equivalence class (j = 1): the optimal
 // point is "close to the ECs of the largest frequency (few split is
 // needed)", which the copy counts confirm.
-func ablationSplitPoint(o Options) (*Table, error) {
+func ablationSplitPoint(ctx context.Context, o Options) (*Table, error) {
 	t := &Table{
 		ID:     "ablation-splitpoint",
 		Title:  "Optimal vs naive split point (α=0.25, ϖ=2)",
@@ -177,13 +178,13 @@ func ablationSplitPoint(o Options) (*Table, error) {
 		if err != nil {
 			return nil, err
 		}
-		opt, err := encrypt(tbl, benchConfig(0.25))
+		opt, err := encrypt(ctx, tbl, benchConfig(0.25))
 		if err != nil {
 			return nil, err
 		}
 		cfg := benchConfig(0.25)
 		cfg.NaiveSplitPoint = true
-		naive, err := encrypt(tbl, cfg)
+		naive, err := encrypt(ctx, tbl, cfg)
 		if err != nil {
 			return nil, err
 		}

@@ -60,12 +60,12 @@ func benchKey() crypt.Key { return perf.Key() }
 func benchConfig(alpha float64) core.Config { return perf.Config(alpha) }
 
 // encrypt runs F² and returns the result, failing loudly on error.
-func encrypt(tbl *relation.Table, cfg core.Config) (*core.Result, error) {
+func encrypt(ctx context.Context, tbl *relation.Table, cfg core.Config) (*core.Result, error) {
 	enc, err := core.NewEncryptor(cfg)
 	if err != nil {
 		return nil, err
 	}
-	return enc.Encrypt(context.Background(), tbl)
+	return enc.Encrypt(ctx, tbl)
 }
 
 // dataset generates (or reuses the process-wide memoized copy of) a

@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"context"
 	"strings"
 	"testing"
 )
@@ -63,7 +64,7 @@ func TestAllExperimentsRunTiny(t *testing.T) {
 	for _, e := range Experiments() {
 		e := e
 		t.Run(e.ID, func(t *testing.T) {
-			tables, err := e.Run(tinyOptions())
+			tables, err := e.Run(context.Background(), tinyOptions())
 			if err != nil {
 				t.Fatalf("%s: %v", e.ID, err)
 			}

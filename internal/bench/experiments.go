@@ -17,7 +17,7 @@ import (
 type Experiment struct {
 	ID    string
 	Paper string // which table/figure of the paper it regenerates
-	Run   func(Options) ([]*Table, error)
+	Run   func(context.Context, Options) ([]*Table, error)
 }
 
 // Experiments lists every experiment in paper order.
@@ -48,7 +48,7 @@ func Lookup(id string) (Experiment, bool) {
 
 // RunTable1 regenerates Table 1: dataset descriptions, extended with the
 // observed MAS counts the paper quotes in §5.1.
-func RunTable1(o Options) ([]*Table, error) {
+func RunTable1(ctx context.Context, o Options) ([]*Table, error) {
 	t := &Table{
 		ID:     "table1",
 		Title:  "Dataset description (paper Table 1, laptop scale)",
@@ -74,7 +74,7 @@ func RunTable1(o Options) ([]*Table, error) {
 		if err != nil {
 			return nil, err
 		}
-		res, err := enc.Encrypt(context.Background(), tbl)
+		res, err := enc.Encrypt(ctx, tbl)
 		if err != nil {
 			return nil, err
 		}
@@ -100,7 +100,7 @@ func RunTable1(o Options) ([]*Table, error) {
 
 // RunFig6 regenerates Figure 6: per-step encryption time for various α on
 // the synthetic (a) and Orders (b) datasets.
-func RunFig6(o Options) ([]*Table, error) {
+func RunFig6(ctx context.Context, o Options) ([]*Table, error) {
 	var out []*Table
 	cases := []struct {
 		id, name string
@@ -124,7 +124,7 @@ func RunFig6(o Options) ([]*Table, error) {
 			Notes:  []string{"paper: time ~flat in α; SSE grows slightly as α shrinks"},
 		}
 		for _, a := range c.alphas {
-			res, err := encrypt(tbl, benchConfig(a))
+			res, err := encrypt(ctx, tbl, benchConfig(a))
 			if err != nil {
 				return nil, err
 			}
@@ -138,7 +138,7 @@ func RunFig6(o Options) ([]*Table, error) {
 
 // RunFig7 regenerates Figure 7: per-step encryption time for various data
 // sizes on the synthetic (a, α=0.25) and Orders (b, α=0.2) datasets.
-func RunFig7(o Options) ([]*Table, error) {
+func RunFig7(ctx context.Context, o Options) ([]*Table, error) {
 	var out []*Table
 	cases := []struct {
 		id, name string
@@ -162,7 +162,7 @@ func RunFig7(o Options) ([]*Table, error) {
 			if err != nil {
 				return nil, err
 			}
-			res, err := encrypt(tbl, benchConfig(c.alpha))
+			res, err := encrypt(ctx, tbl, benchConfig(c.alpha))
 			if err != nil {
 				return nil, err
 			}
@@ -180,7 +180,7 @@ func RunFig7(o Options) ([]*Table, error) {
 // with a 512-bit modulus (the paper's toolbox used 1024) and small sizes —
 // it is orders of magnitude slower either way, which is the figure's
 // point.
-func RunFig8(o Options) ([]*Table, error) {
+func RunFig8(ctx context.Context, o Options) ([]*Table, error) {
 	paillier, err := crypt.GeneratePaillier(512)
 	if err != nil {
 		return nil, err
@@ -213,7 +213,7 @@ func RunFig8(o Options) ([]*Table, error) {
 			if err != nil {
 				return nil, err
 			}
-			res, err := encrypt(tbl, benchConfig(c.alpha))
+			res, err := encrypt(ctx, tbl, benchConfig(c.alpha))
 			if err != nil {
 				return nil, err
 			}
@@ -249,7 +249,7 @@ func timeCellwise(tbl *relation.Table, c crypt.CellCipher) (time.Duration, error
 // RunFig9 regenerates Figure 9: artificial-record overhead by step, vs α
 // on Customer (a) and Orders (b), and vs data size on Customer (c) and
 // Orders (d).
-func RunFig9(o Options) ([]*Table, error) {
+func RunFig9(ctx context.Context, o Options) ([]*Table, error) {
 	var out []*Table
 	alphaCases := []struct {
 		id, name string
@@ -271,7 +271,7 @@ func RunFig9(o Options) ([]*Table, error) {
 			Notes:  []string{"paper: GROUP and FP dominate; overhead grows as α shrinks"},
 		}
 		for _, a := range alphas {
-			res, err := encrypt(tbl, benchConfig(a))
+			res, err := encrypt(ctx, tbl, benchConfig(a))
 			if err != nil {
 				return nil, err
 			}
@@ -305,7 +305,7 @@ func RunFig9(o Options) ([]*Table, error) {
 			if err != nil {
 				return nil, err
 			}
-			res, err := encrypt(tbl, benchConfig(c.alpha))
+			res, err := encrypt(ctx, tbl, benchConfig(c.alpha))
 			if err != nil {
 				return nil, err
 			}
@@ -323,7 +323,7 @@ func RunFig9(o Options) ([]*Table, error) {
 // RunFig10 regenerates Figure 10: the FD-discovery time overhead
 // o = (T' - T)/T of running TANE on the encrypted vs the plaintext table,
 // for various α, on Customer (a) and Orders (b).
-func RunFig10(o Options) ([]*Table, error) {
+func RunFig10(ctx context.Context, o Options) ([]*Table, error) {
 	var out []*Table
 	cases := []struct {
 		id, name string
@@ -348,7 +348,7 @@ func RunFig10(o Options) ([]*Table, error) {
 			Notes:  []string{"paper: overhead ≤ 0.4 (Customer) / 0.35 (Orders), growing as α shrinks"},
 		}
 		for _, a := range alphas {
-			res, err := encrypt(tbl, benchConfig(a))
+			res, err := encrypt(ctx, tbl, benchConfig(a))
 			if err != nil {
 				return nil, err
 			}
@@ -369,7 +369,7 @@ func RunFig10(o Options) ([]*Table, error) {
 
 // RunLocalVsOutsource regenerates the §5.4 comparison: discovering FDs
 // locally (TANE on D) vs preparing for outsourcing (encrypting with F²).
-func RunLocalVsOutsource(o Options) ([]*Table, error) {
+func RunLocalVsOutsource(ctx context.Context, o Options) ([]*Table, error) {
 	t := &Table{
 		ID:     "local",
 		Title:  "Local FD discovery vs F² encryption (§5.4)",
@@ -397,7 +397,7 @@ func RunLocalVsOutsource(o Options) ([]*Table, error) {
 		tStart := time.Now()
 		fd.Discover(tbl)
 		taneTime := time.Since(tStart)
-		res, err := encrypt(tbl, benchConfig(0.25))
+		res, err := encrypt(ctx, tbl, benchConfig(0.25))
 		if err != nil {
 			return nil, err
 		}
@@ -411,7 +411,7 @@ func RunLocalVsOutsource(o Options) ([]*Table, error) {
 // RunSecurity measures the empirical α-security of §4: success rates of
 // the frequency matcher and the 4-step Kerckhoffs adversary against F²,
 // against the deterministic AES baseline, per dataset and α.
-func RunSecurity(o Options) ([]*Table, error) {
+func RunSecurity(ctx context.Context, o Options) ([]*Table, error) {
 	t := &Table{
 		ID:     "security",
 		Title:  "Empirical frequency-analysis success rate (Exp^freq, §2.4/§4)",
@@ -467,7 +467,7 @@ func RunSecurity(o Options) ([]*Table, error) {
 
 		for _, alpha := range []float64{1.0 / 2, 1.0 / 5, 1.0 / 10} {
 			cfg := benchConfig(alpha)
-			res, err := encrypt(tbl, cfg)
+			res, err := encrypt(ctx, tbl, cfg)
 			if err != nil {
 				return nil, err
 			}

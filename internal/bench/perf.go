@@ -30,28 +30,13 @@ func PerfWorkloads() []perf.Workload {
 			Setup: func(ctx context.Context, sc Scale) (*perf.Instance, error) {
 				o := Options{Seed: sc.Seed, Scale: quarter(sc)}
 				return &perf.Instance{
-					// Experiments don't take a context, so the op runs
-					// them in a goroutine and unblocks on cancellation:
-					// Ctrl-C during a multi-minute sweep returns
-					// immediately (the abandoned experiment keeps
-					// computing only until the f2perf process exits,
-					// which happens right after the partial report is
-					// written).
+					// Experiments take a context, so cancellation flows
+					// straight into the encrypt pipeline: Ctrl-C during a
+					// multi-minute sweep stops the experiment itself at
+					// its next cancellation check.
 					Op: func(ctx context.Context) error {
-						if err := ctx.Err(); err != nil {
-							return err
-						}
-						done := make(chan error, 1)
-						go func() {
-							_, err := e.Run(o)
-							done <- err
-						}()
-						select {
-						case err := <-done:
-							return err
-						case <-ctx.Done():
-							return ctx.Err()
-						}
+						_, err := e.Run(ctx, o)
+						return err
 					},
 				}, nil
 			},

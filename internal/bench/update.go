@@ -21,7 +21,7 @@ import (
 // synthesized border-stably (existing MAS projections, fresh values
 // elsewhere), so the incremental path never needs its rebuild fallback
 // and the comparison isolates the engine itself.
-func RunUpdates(o Options) ([]*Table, error) {
+func RunUpdates(ctx context.Context, o Options) ([]*Table, error) {
 	base := o.scale(5000)
 	batches, perBatch := 8, o.scale(400)/8
 	if perBatch < 1 {
@@ -58,7 +58,7 @@ func RunUpdates(o Options) ([]*Table, error) {
 		{"buffered-rebuild", core.UpdateRebuild, false},
 		{"per-row-rebuild", core.UpdateRebuild, true},
 	} {
-		u, _, err := core.NewUpdater(context.Background(), benchConfig(0.25), tbl)
+		u, _, err := core.NewUpdater(ctx, benchConfig(0.25), tbl)
 		if err != nil {
 			return nil, err
 		}
@@ -72,7 +72,7 @@ func RunUpdates(o Options) ([]*Table, error) {
 					if err := u.Buffer([][]string{row}); err != nil {
 						return nil, err
 					}
-					res, err := u.Flush(context.Background())
+					res, err := u.Flush(ctx)
 					if err != nil {
 						return nil, err
 					}
@@ -86,7 +86,7 @@ func RunUpdates(o Options) ([]*Table, error) {
 			if err := u.Buffer(batch); err != nil {
 				return nil, err
 			}
-			res, err := u.Flush(context.Background())
+			res, err := u.Flush(ctx)
 			if err != nil {
 				return nil, err
 			}

@@ -53,7 +53,7 @@ func BenchmarkFlushRebuild(b *testing.B) { benchmarkFlush(b, core.UpdateRebuild)
 // at tiny scale.
 func BenchmarkUpdatesExperiment(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		tables, err := RunUpdates(tinyOptions())
+		tables, err := RunUpdates(context.Background(), tinyOptions())
 		if err != nil {
 			b.Fatal(err)
 		}

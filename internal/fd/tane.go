@@ -38,6 +38,7 @@ type TANE struct {
 // Discover runs TANE on t and returns the set of minimal non-trivial FDs
 // (non-empty LHS).
 func Discover(t *relation.Table) *Set {
+	//lint:ignore f2vet/ctxflow convenience wrapper; cancellable callers use DiscoverCtx
 	s, _ := DiscoverCtx(context.Background(), t)
 	return s
 }
@@ -58,6 +59,7 @@ func DiscoverCtx(ctx context.Context, t *relation.Table) (*Set, error) {
 // sets are downward closed, so the minimal witnessed FDs are exactly the
 // minimal FDs with non-unique LHS.)
 func DiscoverWitnessed(t *relation.Table) *Set {
+	//lint:ignore f2vet/ctxflow convenience wrapper; cancellable callers use DiscoverWitnessedCtx
 	s, _ := DiscoverWitnessedCtx(context.Background(), t)
 	return s
 }

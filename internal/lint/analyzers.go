@@ -6,5 +6,6 @@ package lint
 func All() []*Analyzer {
 	return []*Analyzer{
 		Syncerr,
+		Ctxflow,
 	}
 }

@@ -1,0 +1,121 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// Ctxflow enforces the pipeline's cancellation contract (PR 1): every
+// long-running path takes a context.Context and passes it down, so a
+// cancelled request, a Ctrl-C, or a server drain reaches the innermost
+// loop. A context.Background()/TODO() in library code severs that chain
+// silently — the caller's deadline stops propagating and nothing fails
+// until someone wonders why cancellation "doesn't work".
+//
+// Two rules:
+//
+//  1. Outside package main (and tests, which the driver never loads),
+//     any context.Background() or context.TODO() call is flagged.
+//  2. In every package, calling context.Background()/TODO() while a
+//     context.Context is lexically in scope (a parameter of the function
+//     or of an enclosing closure's function) is flagged — the in-scope
+//     context should be propagated instead.
+//
+// Deliberate detachments — a server's lifecycle context, a public
+// convenience wrapper over a Ctx-taking API — carry a
+// //lint:ignore f2vet/ctxflow directive with the reason.
+var Ctxflow = &Analyzer{
+	Name: "ctxflow",
+	Doc: "flag context.Background()/TODO() outside main and non-propagated in-scope contexts\n" +
+		"A fresh root context in library code severs the pipeline's cancellation chain.",
+	Run: runCtxflow,
+}
+
+func runCtxflow(pass *Pass) error {
+	isMain := pass.Pkg.Name() == "main"
+	for _, file := range pass.Files {
+		var scopeCtx []string // in-scope ctx param name per enclosing func, "" = none
+		var walk func(n ast.Node) bool
+		walk = func(n ast.Node) bool {
+			switch x := n.(type) {
+			case *ast.FuncDecl:
+				if x.Body == nil {
+					return false
+				}
+				scopeCtx = append(scopeCtx, ctxParamName(pass, x.Type))
+				ast.Inspect(x.Body, walk)
+				scopeCtx = scopeCtx[:len(scopeCtx)-1]
+				return false
+			case *ast.FuncLit:
+				scopeCtx = append(scopeCtx, ctxParamName(pass, x.Type))
+				ast.Inspect(x.Body, walk)
+				scopeCtx = scopeCtx[:len(scopeCtx)-1]
+				return false
+			case *ast.CallExpr:
+				name := rootCtxCall(pass, x)
+				if name == "" {
+					return true
+				}
+				if ctx := inScopeCtx(scopeCtx); ctx != "" {
+					pass.Reportf(x.Pos(), "context.%s() while %q is in scope: propagate the caller's context (cancellation contract)", name, ctx)
+				} else if !isMain {
+					pass.Reportf(x.Pos(), "context.%s() outside package main severs cancellation and trace propagation: accept and pass through a ctx", name)
+				}
+			}
+			return true
+		}
+		ast.Inspect(file, walk)
+	}
+	return nil
+}
+
+// rootCtxCall returns "Background" or "TODO" when call is one of the two
+// root-context constructors, else "".
+func rootCtxCall(pass *Pass, call *ast.CallExpr) string {
+	for _, name := range [...]string{"Background", "TODO"} {
+		if isPkgFunc(pass.Info, call, "context", name) {
+			return name
+		}
+	}
+	return ""
+}
+
+// ctxParamName returns the name of ft's first context.Context parameter,
+// or "" (unnamed contexts count as none — they cannot be propagated).
+func ctxParamName(pass *Pass, ft *ast.FuncType) string {
+	if ft.Params == nil {
+		return ""
+	}
+	for _, field := range ft.Params.List {
+		if !isContextType(pass.TypeOf(field.Type)) {
+			continue
+		}
+		for _, name := range field.Names {
+			if name.Name != "_" {
+				return name.Name
+			}
+		}
+	}
+	return ""
+}
+
+func isContextType(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == "Context" && obj.Pkg() != nil && obj.Pkg().Path() == "context"
+}
+
+// inScopeCtx returns the innermost enclosing function's reachable ctx
+// parameter name, walking outward through closures (a closure captures
+// its enclosing function's ctx).
+func inScopeCtx(stack []string) string {
+	for i := len(stack) - 1; i >= 0; i-- {
+		if stack[i] != "" {
+			return stack[i]
+		}
+	}
+	return ""
+}

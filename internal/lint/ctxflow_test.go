@@ -1,0 +1,11 @@
+package lint
+
+import "testing"
+
+func TestCtxflow(t *testing.T) {
+	RunFixture(t, Ctxflow, "ctxflow")
+}
+
+func TestCtxflowMainPackage(t *testing.T) {
+	RunFixture(t, Ctxflow, "ctxflow/mainpkg")
+}

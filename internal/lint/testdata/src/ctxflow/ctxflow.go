@@ -1,0 +1,48 @@
+// Fixture for f2vet/ctxflow: root contexts outside main and
+// non-propagation of an in-scope context.
+package ctxflow
+
+import "context"
+
+// A fresh root context in library code severs the cancellation chain.
+func detached() context.Context {
+	return context.Background() // want "outside package main"
+}
+
+func todoDetached() {
+	ctx := context.TODO() // want "outside package main"
+	_ = ctx
+}
+
+// With a context in scope, the in-scope one must be propagated.
+func shadowing(ctx context.Context) error {
+	return work(context.Background()) // want "propagate the caller's context"
+}
+
+// Propagating the parameter is the contract.
+func propagates(ctx context.Context) error {
+	return work(ctx)
+}
+
+// A closure captures its enclosing function's context.
+func inClosure(ctx context.Context) func() error {
+	return func() error {
+		return work(context.Background()) // want "propagate the caller's context"
+	}
+}
+
+// A closure with its own context parameter shadows the outer one.
+func ownParam() func(context.Context) error {
+	return func(ctx context.Context) error {
+		return work(context.Background()) // want "propagate the caller's context"
+	}
+}
+
+func work(ctx context.Context) error {
+	return ctx.Err()
+}
+
+// Deliberate lifecycle detachment carries a reasoned suppression.
+//
+//lint:ignore f2vet/ctxflow package lifecycle root, intentionally outlives any request
+var lifecycle = context.Background()

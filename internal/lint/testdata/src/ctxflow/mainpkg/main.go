@@ -1,0 +1,21 @@
+// Fixture for f2vet/ctxflow in package main: the process entry point
+// legitimately mints the root context, but an in-scope context still
+// must be propagated.
+package main
+
+import "context"
+
+func main() {
+	ctx := context.Background() // ok: main owns the process lifecycle
+	if err := run(ctx); err != nil {
+		panic(err)
+	}
+}
+
+func run(ctx context.Context) error {
+	return step(context.Background()) // want "propagate the caller's context"
+}
+
+func step(ctx context.Context) error {
+	return ctx.Err()
+}

@@ -45,6 +45,7 @@ type Result struct {
 // completion finds the holes, and the returned positive border is provably
 // the full set of maximal non-unique column combinations.
 func Discover(t *relation.Table) *Result {
+	//lint:ignore f2vet/ctxflow convenience wrapper; cancellable callers use DiscoverCtx
 	r, _ := DiscoverCtx(context.Background(), t)
 	return r
 }
@@ -80,6 +81,7 @@ func DiscoverCtx(ctx context.Context, t *relation.Table) (*Result, error) {
 // non-unique level-ℓ sets all of whose immediate subsets are non-unique.
 // A set is maximal if no generated superset is non-unique.
 func DiscoverLevelwise(t *relation.Table) *Result {
+	//lint:ignore f2vet/ctxflow convenience wrapper; cancellable callers use DiscoverLevelwiseCtx
 	r, _ := DiscoverLevelwiseCtx(context.Background(), t)
 	return r
 }

@@ -114,6 +114,7 @@ func New(opts Options) (*Server, error) {
 		return nil, fmt.Errorf("server: Parallelism must be ≥ 0 (0 = GOMAXPROCS), got %d", opts.Parallelism)
 	}
 	opts.fillDefaults()
+	//lint:ignore f2vet/ctxflow server lifecycle root: it outlives every request and ends at Close
 	lifecycle, stop := context.WithCancel(context.Background())
 	s := &Server{
 		opts:      opts,
