@@ -7,5 +7,6 @@ func All() []*Analyzer {
 	return []*Analyzer{
 		Syncerr,
 		Ctxflow,
+		Spanend,
 	}
 }

@@ -1,0 +1,378 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// Spanend keeps the tracing layer honest: every span opened with
+// obs.Start must be closed with End on every path out of the function,
+// or the trace ring reports a permanently "open" span and the stage
+// histograms silently lose the measurement (docs/OBSERVABILITY.md's
+// instrumentation rule #1).
+//
+// Accepted shapes, mirroring how the pipeline is actually instrumented:
+//
+//	ctx, sp := obs.Start(ctx, "stage")
+//	defer sp.End()                       // defer covers everything
+//
+//	ctx, sp := obs.Start(ctx, "stage")
+//	if err != nil { sp.End(); return }   // explicit End on each exit
+//	sp.End()
+//
+// The analyzer evaluates the function's block structure path by path
+// (if/else, switch/select cases, loops) and reports the first return —
+// or fall-through, loop iteration end, or re-assignment of the span
+// variable by a later obs.Start — that can be reached with the span
+// still open. Ending a span inside a non-deferred closure does not
+// count: the analyzer cannot know the closure runs.
+var Spanend = &Analyzer{
+	Name: "spanend",
+	Doc: "flag obs.Start spans that are not End()ed on every return path\n" +
+		"An un-ended span corrupts the trace ring and drops its stage-histogram sample.",
+	Run: runSpanend,
+}
+
+func runSpanend(pass *Pass) error {
+	eachFunc(pass.Files, func(_ *ast.FuncType, body *ast.BlockStmt) {
+		inspectShallow(body, func(n ast.Node) {
+			assign, ok := n.(*ast.AssignStmt)
+			if !ok {
+				return
+			}
+			call := startCall(pass, assign)
+			if call == nil {
+				return
+			}
+			label := spanLabel(call)
+			if len(assign.Lhs) != 2 {
+				return
+			}
+			id, ok := assign.Lhs[1].(*ast.Ident)
+			if !ok {
+				return
+			}
+			if id.Name == "_" {
+				pass.Reportf(assign.Pos(), "span %s is discarded: obs.Start's span must be ended (assign it and defer End)", label)
+				return
+			}
+			obj := objOf(pass.Info, id)
+			if obj == nil {
+				obj = pass.Info.Defs[id]
+			}
+			if obj == nil {
+				return
+			}
+			ev := &spanEval{pass: pass, obj: obj, label: label}
+			ev.analyzeFrom(body, assign)
+		})
+	})
+	return nil
+}
+
+// startCall returns the obs.Start call when assign is
+// `ctx, sp := obs.Start(...)` (define or plain assign), else nil.
+func startCall(pass *Pass, assign *ast.AssignStmt) *ast.CallExpr {
+	if len(assign.Rhs) != 1 {
+		return nil
+	}
+	call, ok := assign.Rhs[0].(*ast.CallExpr)
+	if !ok || !isPkgFunc(pass.Info, call, "obs", "Start") {
+		return nil
+	}
+	return call
+}
+
+// spanLabel names the span for diagnostics: the string literal passed to
+// Start when there is one.
+func spanLabel(call *ast.CallExpr) string {
+	if len(call.Args) >= 2 {
+		if lit, ok := call.Args[1].(*ast.BasicLit); ok {
+			return lit.Value
+		}
+	}
+	return "(dynamic name)"
+}
+
+// spanState is the evaluator's per-path state.
+type spanState struct {
+	ended    bool // an End() executed on this path
+	deferred bool // a defer guarantees End at function exit
+}
+
+func mergeStates(a, b spanState) spanState {
+	return spanState{ended: a.ended && b.ended, deferred: a.deferred && b.deferred}
+}
+
+func (s spanState) closed() bool { return s.ended || s.deferred }
+
+// spanEval walks the statements after one obs.Start, tracking whether
+// the span is closed on each path.
+type spanEval struct {
+	pass  *Pass
+	obj   types.Object
+	label string
+}
+
+// analyzeFrom locates the Start statement inside the function body and
+// evaluates every path from it to an exit.
+func (ev *spanEval) analyzeFrom(body *ast.BlockStmt, start *ast.AssignStmt) {
+	frames, ok := findStmt(body.List, ast.Stmt(start), nil)
+	if !ok {
+		return // Start buried somewhere exotic (e.g. inside a statement expression)
+	}
+	state := spanState{}
+	// Walk the remainder of each enclosing statement list, innermost out.
+	for i := len(frames) - 1; i >= 0; i-- {
+		fr := frames[i]
+		var term bool
+		state, term = ev.walkSeq(fr.list[fr.idx+1:], state)
+		if term {
+			return
+		}
+		if fr.loop && !state.closed() {
+			ev.pass.Reportf(start.Pos(), "span %s started in a loop body is not ended before the iteration ends", ev.label)
+			return
+		}
+	}
+	if !state.closed() {
+		ev.pass.Reportf(start.Pos(), "span %s is not ended before the function returns (add `defer sp.End()` or End on the fall-through path)", ev.label)
+	}
+}
+
+// frame is one level of the statement-list chain from the function body
+// down to the Start statement.
+type frame struct {
+	list []ast.Stmt
+	idx  int
+	loop bool // the construct owning this list is a for/range body
+}
+
+// findStmt locates target in stmts or any nested statement list (not
+// descending into function literals), returning the chain of frames from
+// outermost to innermost.
+func findStmt(stmts []ast.Stmt, target ast.Stmt, chain []frame) ([]frame, bool) {
+	for i, s := range stmts {
+		if s == target {
+			return append(chain, frame{list: stmts, idx: i}), true
+		}
+		for _, sub := range subLists(s) {
+			if got, ok := findStmt(sub.list, target, append(chain, frame{list: stmts, idx: i, loop: false})); ok {
+				// Mark the innermost-entered construct's loop-ness on the
+				// frame we just pushed for the sub list's parent.
+				got[len(chain)+1].loop = sub.loop
+				return got, true
+			}
+		}
+	}
+	return chain, false
+}
+
+// subList is a nested statement list of a statement plus whether it is a
+// loop body.
+type subList struct {
+	list []ast.Stmt
+	loop bool
+}
+
+func subLists(s ast.Stmt) []subList {
+	switch x := s.(type) {
+	case *ast.BlockStmt:
+		return []subList{{x.List, false}}
+	case *ast.IfStmt:
+		out := []subList{{x.Body.List, false}}
+		if x.Else != nil {
+			out = append(out, subLists(x.Else)...)
+		}
+		return out
+	case *ast.ForStmt:
+		return []subList{{x.Body.List, true}}
+	case *ast.RangeStmt:
+		return []subList{{x.Body.List, true}}
+	case *ast.SwitchStmt:
+		return caseLists(x.Body)
+	case *ast.TypeSwitchStmt:
+		return caseLists(x.Body)
+	case *ast.SelectStmt:
+		return caseLists(x.Body)
+	case *ast.LabeledStmt:
+		return subLists(x.Stmt)
+	}
+	return nil
+}
+
+func caseLists(body *ast.BlockStmt) []subList {
+	var out []subList
+	for _, c := range body.List {
+		switch cc := c.(type) {
+		case *ast.CaseClause:
+			out = append(out, subList{cc.Body, false})
+		case *ast.CommClause:
+			out = append(out, subList{cc.Body, false})
+		}
+	}
+	return out
+}
+
+// findStmt builds frames with loop marks one level late; the chain's
+// innermost frame (the list containing target itself) gets its loop mark
+// from the enclosing construct when the recursion unwinds — see the
+// fix-up in findStmt. The outermost frame is the function body: never a
+// loop at its own level.
+
+// walkSeq evaluates a statement sequence, returning the state after it
+// and whether the sequence certainly transfers control away.
+func (ev *spanEval) walkSeq(stmts []ast.Stmt, state spanState) (spanState, bool) {
+	for _, s := range stmts {
+		var term bool
+		state, term = ev.walkStmt(s, state)
+		if term {
+			return state, true
+		}
+	}
+	return state, false
+}
+
+func (ev *spanEval) walkStmt(s ast.Stmt, state spanState) (spanState, bool) {
+	switch x := s.(type) {
+	case *ast.ExprStmt:
+		if ev.isEndCall(x.X) {
+			state.ended = true
+		}
+		if call, ok := x.X.(*ast.CallExpr); ok {
+			if id, ok := call.Fun.(*ast.Ident); ok && id.Name == "panic" {
+				return state, true
+			}
+		}
+		return state, false
+	case *ast.AssignStmt:
+		// A later obs.Start overwriting the span variable is an exit
+		// point for this span: it must already be closed.
+		if call := startCall(ev.pass, x); call != nil && len(x.Lhs) == 2 {
+			if obj := objOf(ev.pass.Info, x.Lhs[1]); obj == ev.obj && !state.closed() {
+				ev.pass.Reportf(x.Pos(), "span %s is overwritten by a new obs.Start before being ended", ev.label)
+				state.ended = true // the previous span's leak is reported; do not cascade
+			}
+		}
+		return state, false
+	case *ast.DeferStmt:
+		if ev.isEndExpr(x.Call) {
+			state.deferred = true
+			return state, false
+		}
+		if lit, ok := x.Call.Fun.(*ast.FuncLit); ok && ev.containsEnd(lit.Body) {
+			state.deferred = true
+		}
+		return state, false
+	case *ast.ReturnStmt:
+		if !state.closed() {
+			ev.pass.Reportf(x.Pos(), "return with span %s still open (End it on this path or use defer)", ev.label)
+		}
+		return state, true
+	case *ast.BranchStmt:
+		return state, true // break/continue/goto: out of scope for this list
+	case *ast.BlockStmt:
+		return ev.walkSeq(x.List, state)
+	case *ast.IfStmt:
+		bodyState, bodyTerm := ev.walkSeq(x.Body.List, state)
+		elseState, elseTerm := state, false
+		if x.Else != nil {
+			elseState, elseTerm = ev.walkStmt(x.Else, state)
+		}
+		switch {
+		case bodyTerm && elseTerm:
+			return state, true
+		case bodyTerm:
+			return elseState, false
+		case elseTerm:
+			return bodyState, false
+		default:
+			return mergeStates(bodyState, elseState), false
+		}
+	case *ast.ForStmt:
+		ev.walkLoopBody(x.Body, state)
+		return state, false
+	case *ast.RangeStmt:
+		ev.walkLoopBody(x.Body, state)
+		return state, false
+	case *ast.SwitchStmt:
+		return ev.walkCases(x.Body, state, hasDefaultCase(x.Body))
+	case *ast.TypeSwitchStmt:
+		return ev.walkCases(x.Body, state, hasDefaultCase(x.Body))
+	case *ast.SelectStmt:
+		return ev.walkCases(x.Body, state, true) // select always takes a case
+	case *ast.LabeledStmt:
+		return ev.walkStmt(x.Stmt, state)
+	case *ast.GoStmt:
+		return state, false // a goroutine's End is not this path's End
+	}
+	return state, false
+}
+
+// walkLoopBody checks the loop body in isolation: returns inside it are
+// validated against the entry state, and a span opened before the loop
+// is treated as still open after it (the loop may run zero times).
+func (ev *spanEval) walkLoopBody(body *ast.BlockStmt, state spanState) {
+	ev.walkSeq(body.List, state)
+}
+
+func (ev *spanEval) walkCases(body *ast.BlockStmt, state spanState, exhaustive bool) (spanState, bool) {
+	merged := spanState{ended: true, deferred: true}
+	any := false
+	allTerm := true
+	for _, sub := range caseLists(body) {
+		caseState, term := ev.walkSeq(sub.list, state)
+		if !term {
+			merged = mergeStates(merged, caseState)
+			any = true
+			allTerm = false
+		}
+	}
+	if !exhaustive {
+		merged = mergeStates(merged, state)
+		any = true
+		allTerm = false
+	}
+	if !any {
+		return state, allTerm && len(caseLists(body)) > 0
+	}
+	return merged, false
+}
+
+func hasDefaultCase(body *ast.BlockStmt) bool {
+	for _, c := range body.List {
+		if cc, ok := c.(*ast.CaseClause); ok && cc.List == nil {
+			return true
+		}
+	}
+	return false
+}
+
+// isEndCall reports whether e is exactly `sp.End(...)` on the tracked
+// span variable.
+func (ev *spanEval) isEndCall(e ast.Expr) bool {
+	call, ok := ast.Unparen(e).(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	return ev.isEndExpr(call)
+}
+
+func (ev *spanEval) isEndExpr(call *ast.CallExpr) bool {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "End" {
+		return false
+	}
+	return objOf(ev.pass.Info, sel.X) == ev.obj
+}
+
+// containsEnd reports whether a deferred closure body ends the span.
+func (ev *spanEval) containsEnd(body *ast.BlockStmt) bool {
+	found := false
+	inspectShallow(body, func(n ast.Node) {
+		if call, ok := n.(*ast.CallExpr); ok && ev.isEndExpr(call) {
+			found = true
+		}
+	})
+	return found
+}

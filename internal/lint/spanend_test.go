@@ -1,0 +1,7 @@
+package lint
+
+import "testing"
+
+func TestSpanend(t *testing.T) {
+	RunFixture(t, Spanend, "spanend")
+}

@@ -1,0 +1,18 @@
+// Package obs is a fixture stub mirroring the shape of f2/internal/obs:
+// just enough surface (Start, Span.End, Span.SetAttr) for the spanend
+// fixtures to type-check. The real analyzer matches by package-path
+// suffix, so "obs" here and "f2/internal/obs" in the tree both count.
+package obs
+
+import "context"
+
+type Span struct{}
+
+func Start(ctx context.Context, name string) (context.Context, *Span) {
+	_ = name
+	return ctx, &Span{}
+}
+
+func (s *Span) End() {}
+
+func (s *Span) SetAttr(key string, value any) { _, _ = key, value }

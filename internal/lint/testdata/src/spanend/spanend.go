@@ -1,0 +1,128 @@
+// Fixture for f2vet/spanend: every obs.Start span must be End()ed on
+// every path out of the function.
+package spanend
+
+import (
+	"context"
+	"errors"
+
+	"obs"
+)
+
+var errFail = errors.New("fail")
+
+// defer covers every path.
+func deferred(ctx context.Context) error {
+	sctx, sp := obs.Start(ctx, "deferred")
+	defer sp.End()
+	_ = sctx
+	return nil
+}
+
+// Explicit End on each exit path (the encrypt-pipeline idiom).
+func perPath(ctx context.Context, fail bool) error {
+	sctx, sp := obs.Start(ctx, "perPath")
+	_ = sctx
+	if fail {
+		sp.End()
+		return errFail
+	}
+	sp.End()
+	return nil
+}
+
+// An error path that forgets the End.
+func missingOnError(ctx context.Context, fail bool) error {
+	sctx, sp := obs.Start(ctx, "missingOnError")
+	_ = sctx
+	if fail {
+		return errFail // want "still open"
+	}
+	sp.End()
+	return nil
+}
+
+// No End anywhere: flagged at the Start.
+func missingFallThrough(ctx context.Context) {
+	sctx, sp := obs.Start(ctx, "missingFallThrough") // want "not ended before the function returns"
+	_ = sctx
+	_ = sp
+}
+
+// Discarding the span makes it impossible to End.
+func discarded(ctx context.Context) {
+	_, _ = obs.Start(ctx, "discarded") // want "is discarded"
+}
+
+// Reusing the span variable for the next stage requires ending the
+// previous stage first.
+func reuseGood(ctx context.Context, fail bool) error {
+	sctx, sp := obs.Start(ctx, "step1")
+	_ = sctx
+	if fail {
+		sp.End()
+		return errFail
+	}
+	sp.End()
+	sctx, sp = obs.Start(ctx, "step2")
+	_ = sctx
+	defer sp.End()
+	return nil
+}
+
+func reuseBad(ctx context.Context) {
+	sctx, sp := obs.Start(ctx, "step1")
+	_ = sctx
+	sctx, sp = obs.Start(ctx, "step2") // want "overwritten by a new obs.Start"
+	_ = sctx
+	sp.End()
+}
+
+// A span opened inside a loop must close before the iteration ends.
+func loopBad(ctx context.Context, n int) {
+	for i := 0; i < n; i++ {
+		sctx, sp := obs.Start(ctx, "iter") // want "started in a loop body"
+		_ = sctx
+		_ = sp
+	}
+}
+
+func loopGood(ctx context.Context, n int) {
+	for i := 0; i < n; i++ {
+		sctx, sp := obs.Start(ctx, "iter")
+		_ = sctx
+		sp.End()
+	}
+}
+
+// The worker-loop idiom: Start and End inside one select case.
+func worker(ctx context.Context, jobs chan int) {
+	for {
+		select {
+		case <-jobs:
+			sctx, sp := obs.Start(ctx, "job")
+			_ = sctx
+			sp.End()
+		case <-ctx.Done():
+			return
+		}
+	}
+}
+
+// Ending through a deferred closure counts.
+func deferredClosure(ctx context.Context) {
+	sctx, sp := obs.Start(ctx, "closure")
+	_ = sctx
+	defer func() {
+		sp.End()
+	}()
+}
+
+// Handing the span to another component that ends it needs a reasoned
+// suppression.
+func handoff(ctx context.Context) *obs.Span {
+	sctx, sp := obs.Start(ctx, "handoff")
+	_ = sctx
+	//lint:ignore f2vet/spanend span ownership transfers to the caller, which ends it
+	return sp
+}
