@@ -8,5 +8,6 @@ func All() []*Analyzer {
 		Syncerr,
 		Ctxflow,
 		Spanend,
+		Lockheld,
 	}
 }

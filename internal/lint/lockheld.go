@@ -1,0 +1,344 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// Lockheld targets the deadlock class fixed in the tracing PR: code that
+// holds a sync.Mutex/RWMutex and then calls out through a function value
+// it does not control. Metrics.Render used to invoke registered gauge
+// callbacks while holding m.mu; a gauge that read a metric re-entered the
+// same mutex and the server froze. The safe idiom — snapshot the callbacks
+// under the lock, release, then call — passes this analyzer; the deadlock
+// shape fails it.
+//
+// While a lock is held (Lock/RLock on some expression, no matching
+// Unlock/RUnlock yet on the same path), the analyzer flags:
+//
+//   - dynamic calls: calls through function-valued variables, struct
+//     fields, map entries, or call results. Static functions and methods
+//     are assumed lock-aware (they are in this repo); arbitrary function
+//     values are not.
+//   - channel sends: ch <- v can block forever while the lock starves
+//     every other goroutine.
+//   - log/slog calls: handlers take their own locks and do I/O; logging
+//     under a hot mutex serializes the pipeline (and a custom handler
+//     reading metrics re-enters).
+//
+// Defer-based unlocks (`defer mu.Unlock()`) keep the lock held to the end
+// of the function, which is the common and accepted idiom — the analyzer
+// then checks the whole remainder of the body.
+var Lockheld = &Analyzer{
+	Name: "lockheld",
+	Doc: "flag dynamic calls, channel sends, and logging while a sync mutex is held\n" +
+		"Calling out through a function value under a lock is the Metrics.Render deadlock class.",
+	Run: runLockheld,
+}
+
+func runLockheld(pass *Pass) error {
+	eachFunc(pass.Files, func(_ *ast.FuncType, body *ast.BlockStmt) {
+		lw := &lockWalker{pass: pass, held: map[string]bool{}}
+		lw.walkSeq(body.List)
+	})
+	return nil
+}
+
+// lockWalker tracks which mutexes are held at each point of a function
+// body, keyed by the receiver expression's printed form ("m.mu",
+// "s.store.mu"). Expression-string keying is deliberately syntactic: it
+// matches how lock discipline is written and reviewed.
+type lockWalker struct {
+	pass *Pass
+	held map[string]bool
+}
+
+func (lw *lockWalker) anyHeld() (string, bool) {
+	for k, v := range lw.held {
+		if v {
+			return k, true
+		}
+	}
+	return "", false
+}
+
+func (lw *lockWalker) snapshot() map[string]bool {
+	cp := make(map[string]bool, len(lw.held))
+	for k, v := range lw.held {
+		cp[k] = v
+	}
+	return cp
+}
+
+func (lw *lockWalker) walkSeq(stmts []ast.Stmt) {
+	for _, s := range stmts {
+		lw.walkStmt(s)
+	}
+}
+
+func (lw *lockWalker) walkStmt(s ast.Stmt) {
+	switch x := s.(type) {
+	case *ast.ExprStmt:
+		if key, kind, ok := lockOp(lw.pass, x.X); ok {
+			lw.held[key] = kind == opLock
+			return
+		}
+		lw.checkExpr(x.X)
+	case *ast.DeferStmt:
+		if key, kind, ok := lockOp(lw.pass, x.Call); ok && kind == opUnlock {
+			// defer mu.Unlock(): the lock stays held for the rest of the
+			// body; leave it marked and keep checking.
+			_ = key
+			return
+		}
+		// Deferred function values run at return; what they do under
+		// locks held *then* is their own function's business.
+	case *ast.SendStmt:
+		if key, ok := lw.anyHeld(); ok {
+			lw.pass.Reportf(x.Pos(), "channel send while %s is held: a blocked send starves every waiter of the lock", key)
+		}
+		lw.checkExpr(x.Value)
+	case *ast.AssignStmt:
+		for _, rhs := range x.Rhs {
+			lw.checkExpr(rhs)
+		}
+	case *ast.ReturnStmt:
+		for _, r := range x.Results {
+			lw.checkExpr(r)
+		}
+	case *ast.IfStmt:
+		if x.Init != nil {
+			lw.walkStmt(x.Init)
+		}
+		lw.checkExpr(x.Cond)
+		entry := lw.snapshot()
+		lw.walkSeq(x.Body.List)
+		bodyState := lw.snapshot()
+		lw.held = entry
+		var elseState map[string]bool
+		elseTerm := false
+		if x.Else != nil {
+			lw.walkStmt(x.Else)
+			elseState = lw.snapshot()
+			elseTerm = terminates(x.Else)
+		} else {
+			elseState = entry
+		}
+		// Merge: a branch that certainly leaves the function contributes
+		// nothing to the fall-through state.
+		bodyTerm := terminates(x.Body)
+		switch {
+		case bodyTerm && elseTerm:
+			lw.held = entry
+		case bodyTerm:
+			lw.held = elseState
+		case elseTerm:
+			lw.held = bodyState
+		default:
+			lw.held = mergeHeld(bodyState, elseState)
+		}
+	case *ast.BlockStmt:
+		lw.walkSeq(x.List)
+	case *ast.ForStmt:
+		if x.Init != nil {
+			lw.walkStmt(x.Init)
+		}
+		if x.Cond != nil {
+			lw.checkExpr(x.Cond)
+		}
+		lw.walkSeq(x.Body.List)
+	case *ast.RangeStmt:
+		lw.checkExpr(x.X)
+		lw.walkSeq(x.Body.List)
+	case *ast.SwitchStmt:
+		if x.Init != nil {
+			lw.walkStmt(x.Init)
+		}
+		if x.Tag != nil {
+			lw.checkExpr(x.Tag)
+		}
+		lw.walkClauses(x.Body)
+	case *ast.TypeSwitchStmt:
+		lw.walkClauses(x.Body)
+	case *ast.SelectStmt:
+		lw.walkClauses(x.Body)
+	case *ast.LabeledStmt:
+		lw.walkStmt(x.Stmt)
+	case *ast.GoStmt:
+		// The spawned goroutine does not hold this goroutine's locks.
+	case *ast.DeclStmt:
+		if gd, ok := x.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				if vs, ok := spec.(*ast.ValueSpec); ok {
+					for _, v := range vs.Values {
+						lw.checkExpr(v)
+					}
+				}
+			}
+		}
+	}
+}
+
+func (lw *lockWalker) walkClauses(body *ast.BlockStmt) {
+	entry := lw.snapshot()
+	for _, c := range body.List {
+		lw.held = entry
+		switch cc := c.(type) {
+		case *ast.CaseClause:
+			lw.walkSeq(cc.Body)
+		case *ast.CommClause:
+			if cc.Comm != nil {
+				lw.walkStmt(cc.Comm)
+			}
+			lw.walkSeq(cc.Body)
+		}
+	}
+	lw.held = entry
+}
+
+func mergeHeld(a, b map[string]bool) map[string]bool {
+	out := make(map[string]bool, len(a))
+	for k, v := range a {
+		out[k] = v || b[k] // held on either branch counts as held after
+	}
+	for k, v := range b {
+		if v {
+			out[k] = true
+		}
+	}
+	return out
+}
+
+// checkExpr scans an expression for calls made while a lock is held,
+// without descending into function literals (their bodies run later).
+func (lw *lockWalker) checkExpr(e ast.Expr) {
+	if e == nil {
+		return
+	}
+	key, heldNow := lw.anyHeld()
+	if !heldNow {
+		return
+	}
+	ast.Inspect(e, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if _, _, isLock := lockOp(lw.pass, call); isLock {
+			return true
+		}
+		switch classifyCall(lw.pass, call) {
+		case callDynamic:
+			lw.pass.Reportf(call.Pos(), "call through function value %s while %s is held: snapshot under the lock, release, then call (Metrics.Render deadlock class)",
+				exprString(call.Fun), key)
+		case callLogging:
+			lw.pass.Reportf(call.Pos(), "logging while %s is held: handlers lock and do I/O; log after releasing", key)
+		}
+		return true
+	})
+}
+
+type callKind int
+
+const (
+	callStatic callKind = iota
+	callDynamic
+	callLogging
+)
+
+// classifyCall decides whether a call is safe under a lock. Static
+// functions, methods, conversions, and builtins are; function values
+// (variables, fields, map entries, results of other calls) and log/slog
+// package calls are not.
+func classifyCall(pass *Pass, call *ast.CallExpr) callKind {
+	fun := ast.Unparen(call.Fun)
+
+	if f := calleeFunc(pass.Info, call); f != nil {
+		if pkg := f.Pkg(); pkg != nil && (pkg.Path() == "log/slog" || pkg.Path() == "log") {
+			return callLogging
+		}
+		if recv := recvNamed(f); recv != nil {
+			if pkg := recv.Obj().Pkg(); pkg != nil && pkg.Path() == "log/slog" && recv.Obj().Name() == "Logger" {
+				return callLogging
+			}
+		}
+		return callStatic
+	}
+
+	// Type conversion or builtin?
+	if tv, ok := pass.Info.Types[call.Fun]; ok && (tv.IsType() || tv.IsBuiltin()) {
+		return callStatic
+	}
+
+	// Function literal invoked in place: its body was already checked.
+	if _, ok := fun.(*ast.FuncLit); ok {
+		return callStatic
+	}
+
+	// A call whose callee is not a *types.Func: identifier bound to a
+	// func-valued var, a struct field, a map entry, or another call's
+	// result. All dynamic.
+	switch x := fun.(type) {
+	case *ast.Ident:
+		if _, isVar := pass.Info.Uses[x].(*types.Var); isVar {
+			return callDynamic
+		}
+		return callStatic
+	case *ast.SelectorExpr:
+		if sel, ok := pass.Info.Selections[x]; ok && sel.Kind() == types.FieldVal {
+			return callDynamic
+		}
+		return callStatic
+	case *ast.IndexExpr, *ast.CallExpr:
+		return callDynamic
+	}
+	return callStatic
+}
+
+type lockOpKind int
+
+const (
+	opLock lockOpKind = iota
+	opUnlock
+)
+
+// lockOp reports whether e is a Lock/RLock/Unlock/RUnlock call on a
+// sync.Mutex or sync.RWMutex (directly or promoted through embedding),
+// returning the receiver expression's printed form as the tracking key.
+func lockOp(pass *Pass, e ast.Expr) (key string, kind lockOpKind, ok bool) {
+	call, isCall := ast.Unparen(e).(*ast.CallExpr)
+	if !isCall {
+		return "", 0, false
+	}
+	sel, isSel := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !isSel {
+		return "", 0, false
+	}
+	switch sel.Sel.Name {
+	case "Lock", "RLock":
+		kind = opLock
+	case "Unlock", "RUnlock":
+		kind = opUnlock
+	default:
+		return "", 0, false
+	}
+	f := calleeFunc(pass.Info, call)
+	if f == nil {
+		return "", 0, false
+	}
+	recv := recvNamed(f)
+	if recv == nil {
+		return "", 0, false
+	}
+	obj := recv.Obj()
+	if obj.Pkg() == nil || obj.Pkg().Path() != "sync" {
+		return "", 0, false
+	}
+	if obj.Name() != "Mutex" && obj.Name() != "RWMutex" {
+		return "", 0, false
+	}
+	return exprString(sel.X), kind, true
+}

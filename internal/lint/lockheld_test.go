@@ -1,0 +1,7 @@
+package lint
+
+import "testing"
+
+func TestLockheld(t *testing.T) {
+	RunFixture(t, Lockheld, "lockheld")
+}

@@ -1,0 +1,127 @@
+// Fixture for f2vet/lockheld: no dynamic calls, channel sends, or
+// logging while a sync.Mutex/RWMutex is held.
+package lockheld
+
+import (
+	"log/slog"
+	"sync"
+)
+
+type metrics struct {
+	mu     sync.Mutex
+	gauges map[string]func() int
+	sink   chan int
+	total  int
+}
+
+// The Metrics.Render deadlock class: invoking registered callbacks with
+// the mutex held. A callback that reads a metric re-enters mu.
+func (m *metrics) renderBad() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	sum := 0
+	for _, fn := range m.gauges {
+		sum += fn() // want "call through function value"
+	}
+	return sum
+}
+
+// The safe idiom: snapshot under the lock, release, then call.
+func (m *metrics) renderGood() int {
+	m.mu.Lock()
+	fns := make([]func() int, 0, len(m.gauges))
+	for _, fn := range m.gauges {
+		fns = append(fns, fn)
+	}
+	m.mu.Unlock()
+	sum := 0
+	for _, fn := range fns {
+		sum += fn()
+	}
+	return sum
+}
+
+// A blocked send starves every waiter of the lock.
+func (m *metrics) publishBad(v int) {
+	m.mu.Lock()
+	m.sink <- v // want "channel send while m.mu is held"
+	m.mu.Unlock()
+}
+
+func (m *metrics) publishGood(v int) {
+	m.mu.Lock()
+	m.total += v
+	m.mu.Unlock()
+	m.sink <- v
+}
+
+// Log handlers take their own locks and do I/O.
+func (m *metrics) logBad() {
+	m.mu.Lock()
+	slog.Info("rendering") // want "logging while m.mu is held"
+	m.mu.Unlock()
+}
+
+func (m *metrics) logGood() {
+	m.mu.Lock()
+	n := m.total
+	m.mu.Unlock()
+	slog.Info("rendered", "count", n)
+}
+
+// Static methods are assumed lock-aware; calling them under mu is fine.
+func (m *metrics) staticOK() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.bump()
+}
+
+func (m *metrics) bump() { m.total++ }
+
+// Early-return unlock: the fall-through path is still under the lock
+// until the second Unlock, and the call after it is fine.
+func (m *metrics) earlyReturn(cb func()) {
+	m.mu.Lock()
+	if m.total == 0 {
+		m.mu.Unlock()
+		return
+	}
+	m.mu.Unlock()
+	cb()
+}
+
+// A function-valued struct field is a dynamic call.
+type table struct {
+	mu   sync.RWMutex
+	rows map[string]int
+	emit func(string)
+}
+
+func (t *table) readBad(k string) {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	t.emit(k) // want "call through function value"
+}
+
+func (t *table) readGood(k string) int {
+	t.mu.RLock()
+	n := t.rows[k]
+	t.mu.RUnlock()
+	t.emit(k)
+	return n
+}
+
+// A goroutine does not hold the spawner's locks.
+func (m *metrics) spawnOK(cb func()) {
+	m.mu.Lock()
+	go cb()
+	m.mu.Unlock()
+}
+
+// A documented-safe callback can be suppressed with a reason.
+func (m *metrics) suppressed(cb func()) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	//lint:ignore f2vet/lockheld callback is documented lock-free and non-blocking
+	cb()
+}
