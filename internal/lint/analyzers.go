@@ -9,5 +9,6 @@ func All() []*Analyzer {
 		Ctxflow,
 		Spanend,
 		Lockheld,
+		Determinism,
 	}
 }

@@ -1,0 +1,296 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// Determinism guards the parallel-engine contract (docs/PARALLELISM.md):
+// for a fixed key and plaintext, the ciphertext byte stream must be
+// identical regardless of worker count or scheduling. Two things break
+// that silently in Go:
+//
+//   - iterating a map and accumulating the results in iteration order —
+//     Go randomizes map iteration per run, so any slice appended to, any
+//     emit-sink written, and any fresh value minted inside a
+//     range-over-map is run-order dependent unless the result is sorted
+//     afterwards;
+//   - ambient nondeterminism on the encrypt path: time.Now used as data
+//     (salts, IDs) and the global math/rand source.
+//
+// The analyzer runs only on ciphertext-emitting packages (core,
+// partition, mas). Recognized-deterministic shapes are exempt:
+//
+//   - range-over-map append followed by a sort.*/slices.* call that
+//     mentions the accumulated variable ("collect keys, then sort");
+//   - time.Now assigned to a variable used only in time.Since — the
+//     stopwatch idiom measures, it does not emit.
+//
+// math/rand via an explicit seeded source (rand.New(rand.NewSource(s)))
+// is allowed: the engine's salts come from keyed PRFs, and test helpers
+// seed deterministically.
+var Determinism = &Analyzer{
+	Name: "determinism",
+	Doc: "flag map-iteration-order and ambient-nondeterminism on ciphertext-emitting paths\n" +
+		"Ciphertext must be byte-identical across runs and worker counts (docs/PARALLELISM.md).",
+	Match: func(pkgPath string) bool {
+		for _, p := range [...]string{"internal/core", "internal/partition", "internal/mas"} {
+			if pathMatches(pkgPath, p) {
+				return true
+			}
+		}
+		return false
+	},
+	Run: runDeterminism,
+}
+
+// globalRandFuncs are the math/rand(/v2) functions that draw from the
+// shared, randomly-seeded global source.
+var globalRandFuncs = map[string]bool{
+	"Int": true, "Intn": true, "Int31": true, "Int31n": true,
+	"Int63": true, "Int63n": true, "Uint32": true, "Uint64": true,
+	"Float32": true, "Float64": true, "Perm": true, "Shuffle": true,
+	"ExpFloat64": true, "NormFloat64": true, "Read": true,
+	"N": true, "IntN": true, "Int32N": true, "Int64N": true,
+	"Uint32N": true, "Uint64N": true, "UintN": true,
+}
+
+func runDeterminism(pass *Pass) error {
+	eachFunc(pass.Files, func(_ *ast.FuncType, body *ast.BlockStmt) {
+		stopwatch := stopwatchVars(pass, body)
+		inspectShallow(body, func(n ast.Node) {
+			switch x := n.(type) {
+			case *ast.CallExpr:
+				checkAmbient(pass, x, stopwatch)
+			}
+		})
+		checkMapOrder(pass, body)
+	})
+	return nil
+}
+
+// --- ambient nondeterminism ------------------------------------------
+
+func checkAmbient(pass *Pass, call *ast.CallExpr, stopwatch map[ast.Node]bool) {
+	if isPkgFunc(pass.Info, call, "time", "Now") {
+		if stopwatch[call] {
+			return // start := time.Now(); ... time.Since(start)
+		}
+		pass.Reportf(call.Pos(), "time.Now() on a ciphertext-emitting path: wall-clock values in output break run-to-run determinism (stopwatch use pairs with time.Since)")
+		return
+	}
+	f := calleeFunc(pass.Info, call)
+	if f == nil || f.Pkg() == nil {
+		return
+	}
+	pkgPath := f.Pkg().Path()
+	if pkgPath != "math/rand" && pkgPath != "math/rand/v2" {
+		return
+	}
+	if recvNamed(f) != nil {
+		return // method on an explicit *rand.Rand — caller controls the seed
+	}
+	if globalRandFuncs[f.Name()] {
+		pass.Reportf(call.Pos(), "math/rand global source (%s.%s) on a ciphertext-emitting path: use a seeded rand.New(rand.NewSource(...)) or a keyed PRF", pkgPath, f.Name())
+	}
+}
+
+// stopwatchVars returns the time.Now() call nodes that implement the
+// stopwatch idiom: the result is assigned to a variable whose every other
+// use is as the argument of time.Since (or subtrahend of t.Sub).
+func stopwatchVars(pass *Pass, body *ast.BlockStmt) map[ast.Node]bool {
+	// Collect stopwatch assignments: `start := time.Now()` and later
+	// re-arms `start = time.Now()`. The LHS identifiers of those
+	// assignments are part of the idiom, not data uses.
+	calls := make(map[types.Object][]ast.Node)
+	armed := make(map[*ast.Ident]bool)
+	inspectShallow(body, func(n ast.Node) {
+		assign, ok := n.(*ast.AssignStmt)
+		if !ok || len(assign.Lhs) != 1 || len(assign.Rhs) != 1 {
+			return
+		}
+		call, ok := assign.Rhs[0].(*ast.CallExpr)
+		if !ok || !isPkgFunc(pass.Info, call, "time", "Now") {
+			return
+		}
+		id, ok := ast.Unparen(assign.Lhs[0]).(*ast.Ident)
+		if !ok {
+			return
+		}
+		obj := objOf(pass.Info, id)
+		if obj == nil {
+			return
+		}
+		calls[obj] = append(calls[obj], call)
+		armed[id] = true
+	})
+	exempt := make(map[ast.Node]bool)
+	for obj, nowCalls := range calls {
+		onlyTiming := true
+		ast.Inspect(body, func(m ast.Node) bool {
+			id, ok := m.(*ast.Ident)
+			if !ok || armed[id] {
+				return true
+			}
+			if pass.Info.Uses[id] != obj && pass.Info.Defs[id] != obj {
+				return true
+			}
+			if !isTimingUse(pass, body, id) {
+				onlyTiming = false
+			}
+			return true
+		})
+		if onlyTiming {
+			for _, c := range nowCalls {
+				exempt[c] = true
+			}
+		}
+	}
+	return exempt
+}
+
+// isTimingUse reports whether the identifier use at id is inside a
+// time.Since(id) call or a .Sub(...) selector — the measurement shapes.
+func isTimingUse(pass *Pass, body *ast.BlockStmt, id *ast.Ident) bool {
+	ok := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.CallExpr:
+			if isPkgFunc(pass.Info, x, "time", "Since") {
+				for _, arg := range x.Args {
+					if arg == ast.Expr(id) {
+						ok = true
+						return false
+					}
+				}
+			}
+		case *ast.SelectorExpr:
+			// t2.Sub(start): either side of a Sub chain is measurement.
+			if x.Sel.Name == "Sub" {
+				if x.X == ast.Expr(id) {
+					ok = true
+					return false
+				}
+			}
+		}
+		return true
+	})
+	return ok
+}
+
+// --- map iteration order ---------------------------------------------
+
+// checkMapOrder flags range-over-map loops whose body accumulates
+// order-dependent results, unless a sort over the accumulated variable
+// follows the loop in the same statement list.
+func checkMapOrder(pass *Pass, body *ast.BlockStmt) {
+	var walkList func(stmts []ast.Stmt)
+	walkList = func(stmts []ast.Stmt) {
+		for i, s := range stmts {
+			rng, ok := s.(*ast.RangeStmt)
+			if ok && isMapRange(pass, rng) {
+				if acc := orderDependentAccum(pass, rng); acc != "" {
+					if !sortedAfter(pass, stmts[i+1:], acc) {
+						pass.Reportf(rng.Pos(), "range over map accumulates %q in iteration order: map order is randomized per run — sort the result or iterate sorted keys", acc)
+					}
+				}
+			}
+			for _, sub := range subLists(s) {
+				walkList(sub.list)
+			}
+		}
+	}
+	walkList(body.List)
+}
+
+func isMapRange(pass *Pass, rng *ast.RangeStmt) bool {
+	t := pass.TypeOf(rng.X)
+	if t == nil {
+		return false
+	}
+	_, ok := t.Underlying().(*types.Map)
+	return ok
+}
+
+// orderDependentAccum returns the name of a variable the loop body
+// appends to (append(acc, ...) assigned back to acc) — the signature of
+// order-dependent accumulation. Counters, sums, and map writes are
+// order-independent and ignored.
+func orderDependentAccum(pass *Pass, rng *ast.RangeStmt) string {
+	name := ""
+	inspectShallow(rng.Body, func(n ast.Node) {
+		assign, ok := n.(*ast.AssignStmt)
+		if !ok || name != "" {
+			return
+		}
+		for i, rhs := range assign.Rhs {
+			call, ok := ast.Unparen(rhs).(*ast.CallExpr)
+			if !ok {
+				continue
+			}
+			id, ok := call.Fun.(*ast.Ident)
+			if !ok || id.Name != "append" {
+				continue
+			}
+			if _, builtin := pass.Info.Uses[id].(*types.Builtin); !builtin {
+				continue
+			}
+			lhs := assign.Lhs[0]
+			if len(assign.Lhs) == len(assign.Rhs) && i < len(assign.Lhs) {
+				lhs = assign.Lhs[i]
+			}
+			name = exprString(lhs)
+		}
+	})
+	return name
+}
+
+// sortedAfter reports whether any statement after the loop calls a
+// sorting function — sort.*, slices.*, or a project helper whose name
+// contains "Sort" (relation.SortAttrSets) — with the accumulated
+// variable mentioned in its arguments.
+func sortedAfter(pass *Pass, stmts []ast.Stmt, acc string) bool {
+	for _, s := range stmts {
+		found := false
+		ast.Inspect(s, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			f := calleeFunc(pass.Info, call)
+			if f == nil || f.Pkg() == nil {
+				return true
+			}
+			switch {
+			case f.Pkg().Path() == "sort", f.Pkg().Path() == "slices":
+			case strings.Contains(f.Name(), "Sort"):
+			default:
+				return true
+			}
+			for _, arg := range call.Args {
+				if mentionsExpr(arg, acc) {
+					found = true
+					return false
+				}
+			}
+			return true
+		})
+		if found {
+			return true
+		}
+	}
+	return false
+}
+
+func mentionsExpr(e ast.Expr, name string) bool {
+	found := false
+	ast.Inspect(e, func(n ast.Node) bool {
+		if x, ok := n.(ast.Expr); ok && exprString(x) == name {
+			found = true
+			return false
+		}
+		return true
+	})
+	return found
+}

@@ -1,0 +1,7 @@
+package lint
+
+import "testing"
+
+func TestDeterminism(t *testing.T) {
+	RunFixture(t, Determinism, "determinism")
+}

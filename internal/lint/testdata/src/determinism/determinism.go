@@ -1,0 +1,83 @@
+// Fixture for f2vet/determinism: ciphertext-emitting code must be
+// byte-identical across runs — no map-iteration-order results, no
+// wall-clock data, no global math/rand.
+package determinism
+
+import (
+	"math/rand"
+	"sort"
+	"time"
+)
+
+// Accumulating in map iteration order is run-order dependent.
+func keysUnsorted(m map[string]int) []string {
+	var out []string
+	for k := range m { // want "range over map accumulates"
+		out = append(out, k)
+	}
+	return out
+}
+
+// The collect-then-sort idiom is deterministic.
+func keysSorted(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Order-independent reductions over a map are fine.
+func total(m map[string]int) int {
+	n := 0
+	for _, v := range m {
+		n += v
+	}
+	return n
+}
+
+// Wall-clock values as data break run-to-run determinism.
+func saltFromClock() int64 {
+	return time.Now().UnixNano() // want "wall-clock"
+}
+
+// The stopwatch idiom measures without emitting.
+func timedWork() time.Duration {
+	start := time.Now()
+	work()
+	return time.Since(start)
+}
+
+// Re-arming the same stopwatch variable is still the stopwatch idiom.
+func timedPhases() (time.Duration, time.Duration) {
+	start := time.Now()
+	work()
+	d1 := time.Since(start)
+	start = time.Now()
+	work()
+	return d1, time.Since(start)
+}
+
+// The global math/rand source is seeded randomly per process.
+func randomSalt() int {
+	return rand.Intn(1 << 16) // want "math/rand global source"
+}
+
+// An explicitly seeded source is caller-controlled and deterministic.
+func seededSalt(seed int64) int {
+	r := rand.New(rand.NewSource(seed))
+	return r.Intn(1 << 16)
+}
+
+// Debug output that never reaches ciphertext can be suppressed.
+func debugDump(m map[string]int) []string {
+	var out []string
+	//lint:ignore f2vet/determinism debug dump, order is irrelevant and never emitted
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}
+
+func work() {}

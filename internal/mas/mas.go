@@ -188,6 +188,10 @@ func BruteForce(t *relation.Table) []relation.AttrSet {
 	for a := range seen {
 		agree = append(agree, a)
 	}
+	// The map drops duplicates in whatever order iteration visits them;
+	// sort so the returned MAS list is identical run to run (the oracle
+	// is diffed against engine output in tests).
+	relation.SortAttrSets(agree)
 	var out []relation.AttrSet
 	for _, x := range agree {
 		maximal := true
