@@ -16,6 +16,8 @@ WORK="$(mktemp -d)"
 DATA="$WORK/data"
 BIN="$WORK/f2served"
 PID=""
+RUN=0
+SERVER_LOG=""
 
 cleanup() {
   [ -n "$PID" ] && kill "$PID" 2>/dev/null || true
@@ -23,7 +25,14 @@ cleanup() {
 }
 trap cleanup EXIT
 
-die() { echo "restart_smoke: FAIL: $*" >&2; exit 1; }
+die() {
+  echo "restart_smoke: FAIL: $*" >&2
+  if [ -n "$SERVER_LOG" ] && [ -f "$SERVER_LOG" ]; then
+    echo "--- last server log lines ($SERVER_LOG):" >&2
+    tail -20 "$SERVER_LOG" >&2 || true
+  fi
+  exit 1
+}
 
 wait_healthy() {
   for _ in $(seq 1 100); do
@@ -34,7 +43,9 @@ wait_healthy() {
 }
 
 start_server() {
-  "$BIN" -addr "$ADDR" -data-dir "$DATA" &
+  RUN=$((RUN + 1))
+  SERVER_LOG="$WORK/server-run$RUN.log"
+  "$BIN" -addr "$ADDR" -data-dir "$DATA" >"$SERVER_LOG" 2>&1 &
   PID=$!
   wait_healthy
 }
@@ -43,6 +54,15 @@ stop_server() {
   kill -TERM "$PID"
   wait "$PID" 2>/dev/null || true
   PID=""
+}
+
+# Recovery and request handling must be ERROR-free: every HTTP check can
+# pass while the server quietly logs a recovery failure it papered over.
+# Any ERROR-level slog record (JSON or text handler) fails the run.
+check_logs() {
+  if grep -En '"level":"ERROR"|level=ERROR' "$WORK"/server-run*.log >&2; then
+    die "unexpected ERROR-level log records (lines above)"
+  fi
 }
 
 echo "== build"
@@ -97,5 +117,9 @@ stop_server
 start_server
 STATUS="$(curl -s -o /dev/null -w '%{http_code}' "$BASE/v1/datasets/$ID")"
 [ "$STATUS" = "404" ] || die "deleted dataset resurrected after restart (status $STATUS)"
+
+echo "== scan server logs"
+stop_server
+check_logs
 
 echo "restart_smoke: PASS"
