@@ -49,6 +49,7 @@ func main() {
 		workers     = flag.Int("workers", 0, "pipeline worker pool size (default: GOMAXPROCS)")
 		parallelism = flag.Int("parallelism", 0, "workers per pipeline run (0: GOMAXPROCS, 1: serial); output is identical at every setting")
 		maxBody     = flag.Int64("max-body", 32<<20, "maximum request body bytes")
+		maxPending  = flag.Int64("max-pending", 0, "per-dataset ingest queue bound in bytes before appends get 429 (0: 64 MiB default, negative: unlimited)")
 		trials      = flag.Int("trials", 1000, "default attack-game trials for /report")
 		dataDir     = flag.String("data-dir", "", "durable dataset store directory (empty: in-memory only)")
 		pprofAddr   = flag.String("pprof-addr", "", "OPT-IN net/http/pprof listener (e.g. 127.0.0.1:6060); unsafe to expose publicly, keep it off or loopback-bound")
@@ -65,11 +66,12 @@ func main() {
 	}
 	logger := slog.New(handler)
 	opts := server.Options{
-		Workers:      *workers,
-		Parallelism:  *parallelism,
-		MaxBodyBytes: *maxBody,
-		AttackTrials: *trials,
-		Logger:       logger,
+		Workers:         *workers,
+		Parallelism:     *parallelism,
+		MaxBodyBytes:    *maxBody,
+		MaxPendingBytes: *maxPending,
+		AttackTrials:    *trials,
+		Logger:          logger,
 	}
 	if *quiet {
 		opts.Logger = nil

@@ -62,25 +62,27 @@ func main() {
 	fmt.Printf("created %s: %d rows -> %d encrypted (overhead %.1f%%, %d MASs)\n",
 		ds.ID, ds.Rows, ds.EncryptedRows, 100*ds.Overhead, ds.MASCount)
 
-	// 2. Incremental appends: the updater buffers and auto-flushes when
-	// the buffer crosses FlushFraction of the table.
+	// 2. Incremental appends: the updater buffers, and when the buffer
+	// crosses FlushFraction of the table the append schedules a background
+	// flush and keeps going — the response says so instead of blocking.
 	for i := 0; i < len(appends); i += 50 {
 		end := min(i+50, len(appends))
 		var resp struct {
-			Flushed bool           `json:"flushed"`
-			Dataset server.Summary `json:"dataset"`
+			FlushScheduled bool           `json:"flushScheduled"`
+			Dataset        server.Summary `json:"dataset"`
 		}
 		post(fmt.Sprintf("%s/v1/datasets/%s/rows", base, ds.ID),
 			map[string]any{"rows": appends[i:end]}, &resp)
-		fmt.Printf("appended %3d rows: pending=%3d flushed=%v encryptedRows=%d\n",
-			end-i, resp.Dataset.PendingRows, resp.Flushed, resp.Dataset.EncryptedRows)
+		fmt.Printf("appended %3d rows: pending=%3d flushScheduled=%v encryptedRows=%d\n",
+			end-i, resp.Dataset.PendingRows, resp.FlushScheduled, resp.Dataset.EncryptedRows)
 	}
 
-	// 3. Force the tail of the buffer out.
+	// 3. Force the tail of the buffer out; ?wait=1 blocks until every
+	// pending row (including any background flush in flight) is encrypted.
 	var flushed struct {
 		Dataset server.Summary `json:"dataset"`
 	}
-	post(fmt.Sprintf("%s/v1/datasets/%s/flush", base, ds.ID), map[string]any{}, &flushed)
+	post(fmt.Sprintf("%s/v1/datasets/%s/flush?wait=1", base, ds.ID), map[string]any{}, &flushed)
 	fmt.Printf("flushed: %d plaintext rows covered, %d encrypted\n\n",
 		flushed.Dataset.Rows, flushed.Dataset.EncryptedRows)
 

@@ -115,6 +115,10 @@ type masPlan struct {
 	// row's equivalence class is a singleton.
 	rowInst []*ecInstance
 	stats   groupStats
+	// memberOf indexes real members by representative key. Built lazily by
+	// the first extendPlan of a rebuild generation and shared down the
+	// plan lineage; nil until then (membership is fixed between rebuilds).
+	memberOf map[string]memberAt
 }
 
 // Encrypt runs the full 4-step pipeline on t. The context is checked at
@@ -401,7 +405,7 @@ func (e *Encryptor) emitOneOriginalRow(t *relation.Table, plans []*masPlan, r in
 				row[a] = e.freshCipherM(mint, a)
 			}
 		}
-		s.rows = append(s.rows, append([]string(nil), row...))
+		s.rows = append(s.rows, s.copyRow(row))
 		kind := RowOriginal
 		if len(parts) > 1 {
 			kind = RowConflictPart

@@ -145,8 +145,14 @@ func (e *Encryptor) EncryptIncremental(ctx context.Context, prev *Result, t *rel
 	res.Report.NumFakeECs = prev.Report.NumFakeECs
 	res.Report.NumInstances = prev.Report.NumInstances
 
-	out := prev.Encrypted.Clone()
-	res.Origins = append(make([]RowOrigin, 0, len(prev.Origins)+4*(t.NumRows()-oldRows)), prev.Origins...)
+	// Structural sharing: the clone aliases prev's column arrays and
+	// appends into their spare capacity. The updater's single-flight flush
+	// guarantees one append lineage at a time, and prev's own rows stay
+	// immutable, so concurrent readers of the last good result are safe.
+	out := prev.Encrypted.CloneShared()
+	// Same structural sharing for provenance: appends extend prev.Origins'
+	// spare capacity, which prev itself (len-bounded) can never observe.
+	res.Origins = prev.Origins
 	if err := e.emitOriginalRows(sctx, t, plans, out, res, oldRows, t.NumRows()); err != nil {
 		sp.End()
 		return nil, false, fmt.Errorf("core: incremental: %w", err)
@@ -205,6 +211,11 @@ func (e *Encryptor) EncryptIncremental(ctx context.Context, prev *Result, t *rel
 // rebuilds. Otherwise it returns a fresh plan sharing every untouched ECG
 // with old (copy-on-write: old is never modified) plus one patch per
 // grown ECG.
+// memberAt addresses one real ECG member: ecgs[gi].members[mi].
+type memberAt struct {
+	gi, mi int
+}
+
 func extendPlan(old *masPlan, part *partition.Partition, d partition.Delta, t *relation.Table, oldRows int) (*masPlan, []*ecgPatch, bool) {
 	for _, ci := range d.Born {
 		if part.Classes[ci].Size() > 1 {
@@ -212,7 +223,7 @@ func extendPlan(old *masPlan, part *partition.Partition, d partition.Delta, t *r
 		}
 	}
 
-	np := &masPlan{attrs: old.attrs, cols: old.cols, part: part, stats: old.stats}
+	np := &masPlan{attrs: old.attrs, cols: old.cols, part: part, stats: old.stats, memberOf: old.memberOf}
 	np.ecgs = append(make([]*ecg, 0, len(old.ecgs)), old.ecgs...)
 
 	if len(d.Grown) == 0 {
@@ -222,18 +233,23 @@ func extendPlan(old *masPlan, part *partition.Partition, d partition.Delta, t *r
 
 	// Locate each grown class's member by representative. Grouping sorted
 	// the members by size, so positions do not correspond; representatives
-	// are unique within one MAS partition.
-	type memberAt struct {
-		gi, mi int
-	}
-	memberOf := make(map[string]memberAt)
-	for gi, g := range old.ecgs {
-		for mi, m := range g.members {
-			if !m.fake {
-				memberOf[relation.KeyOfValues(m.rep)] = memberAt{gi, mi}
+	// are unique within one MAS partition. ECG membership only changes on
+	// a rebuild, and cloneECG keeps member order, so the index is built
+	// once per rebuild generation and carried down the plan lineage (the
+	// flush that builds it is the lineage's only writer).
+	memberOf := old.memberOf
+	if memberOf == nil {
+		memberOf = make(map[string]memberAt)
+		for gi, g := range old.ecgs {
+			for mi, m := range g.members {
+				if !m.fake {
+					memberOf[relation.KeyOfValues(m.rep)] = memberAt{gi, mi}
+				}
 			}
 		}
+		old.memberOf = memberOf
 	}
+	np.memberOf = memberOf
 
 	// Gather the appended rows per (ECG, member).
 	gained := make(map[memberAt][]int)
@@ -318,16 +334,35 @@ func appendedSuffix(rows []int, oldRows int) []int {
 	return rows[i:]
 }
 
-// extendRowInst grows a row→instance map to nRows and repoints every row
-// owned by a cloned ECG at the clone's instances (appended rows included).
+// extendRowInst grows a row→instance map to nRows and points each
+// appended row owned by a cloned ECG at its instance. Rows below the old
+// length keep their existing pointers even when their ECG was cloned:
+// clones share their originals' cipher maps, and emission reads an
+// instance only through its nil-ness and cipher — identical through
+// either pointer. Growth appends into the old slice's spare capacity
+// (single flush lineage; old readers are len-bounded), so a flush costs
+// O(Δ) here instead of an O(n) pointer-slice copy the GC would rescan.
 func extendRowInst(old []*ecInstance, nRows int, cloned []*ecg) []*ecInstance {
-	out := make([]*ecInstance, nRows)
-	copy(out, old)
+	out := old
+	if cap(out) < nRows {
+		out = make([]*ecInstance, nRows, nRows+nRows/2+16)
+		copy(out, old)
+	} else {
+		out = out[:nRows]
+	}
+	// An aborted plan may have left assignments in the reused capacity;
+	// appended rows in singleton classes must read nil.
+	for r := len(old); r < nRows; r++ {
+		out[r] = nil
+	}
 	for _, g := range cloned {
 		for _, mem := range g.members {
 			for _, inst := range mem.instances {
-				for _, r := range inst.assignedRows {
-					out[r] = inst
+				// Appended rows are the suffix: extendPlan pushes them in
+				// order onto the committed assignment.
+				rows := inst.assignedRows
+				for k := len(rows) - 1; k >= 0 && rows[k] >= len(old); k-- {
+					out[rows[k]] = inst
 				}
 			}
 		}
@@ -335,16 +370,20 @@ func extendRowInst(old []*ecInstance, nRows int, cloned []*ecg) []*ecInstance {
 	return out
 }
 
-// cloneECG deep-copies the mutable plan state of one ECG (member row
-// lists, instance assignments); the filled cipher maps are immutable after
-// Step 2 and are shared.
+// cloneECG copies the mutable ECG structure but shares the row-list
+// backing arrays: the clone only ever appends, so its writes land in
+// spare capacity the original (len-bounded) can never observe. Flushes
+// are single-flight and a committed plan becomes the next flush's base,
+// so each backing array has exactly one live append lineage; an aborted
+// plan's writes sit in capacity that is dead until the retry overwrites
+// it. This keeps extendPlan O(Δ) instead of O(class size) per flush.
 func cloneECG(g *ecg) *ecg {
 	ng := &ecg{id: g.id, splitPoint: g.splitPoint, target: g.target}
 	ng.members = make([]*ecMember, len(g.members))
 	for i, m := range g.members {
 		nm := &ecMember{
 			rep:   m.rep,
-			rows:  append([]int(nil), m.rows...),
+			rows:  m.rows,
 			size:  m.size,
 			fake:  m.fake,
 			split: m.split,
@@ -355,7 +394,7 @@ func cloneECG(g *ecg) *ecg {
 				member:       nm,
 				idx:          inst.idx,
 				cipher:       inst.cipher,
-				assignedRows: append([]int(nil), inst.assignedRows...),
+				assignedRows: inst.assignedRows,
 				copies:       inst.copies,
 			}
 		}

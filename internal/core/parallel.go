@@ -36,12 +36,28 @@ import (
 type emitSink struct {
 	rows    [][]string
 	origins []RowOrigin
+	// block is the bump allocator the emitted row cells are carved from:
+	// one backing allocation per few hundred rows instead of one small
+	// pointer-dense object per row, which is what GC marking pays for.
+	block []string
 
 	conflictRows   int
 	conflictTuples int
 	groupRows      int
 	scaleRows      int
 	fpRows         int
+}
+
+// copyRow returns a sink-owned copy of row, carved from the block.
+func (s *emitSink) copyRow(row []string) []string {
+	m := len(row)
+	if len(s.block) < m {
+		s.block = make([]string, 512*m)
+	}
+	dst := s.block[:m:m]
+	s.block = s.block[m:]
+	copy(dst, row)
+	return dst
 }
 
 // mergeInto appends the sink's buffered output to the result in emission
@@ -240,7 +256,7 @@ func (e *Encryptor) emitPaddingJobs(ctx context.Context, jobs []padJob, out *rel
 						row[a] = e.freshCipherM(mint, a)
 					}
 				}
-				s.rows = append(s.rows, append([]string(nil), row...))
+				s.rows = append(s.rows, s.copyRow(row))
 				if j.fake {
 					s.origins = append(s.origins, RowOrigin{Kind: RowFakeEC, SourceRow: -1, Carried: 0})
 					s.groupRows++

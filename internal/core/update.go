@@ -2,6 +2,7 @@ package core
 
 import (
 	"context"
+	"errors"
 	"fmt"
 
 	"f2/internal/obs"
@@ -84,10 +85,11 @@ const DefaultMinFlushRows = 2
 // buffered rows. Rebuilds, IncrementalFlushes and LastFlush record which
 // path ran, so services and benchmarks can report the amortization.
 type Updater struct {
-	enc     *Encryptor
-	current *relation.Table // all rows encrypted so far
-	buffer  *relation.Table // rows appended but not yet flushed
-	last    *Result
+	enc      *Encryptor
+	current  *relation.Table // all rows encrypted so far
+	buffer   *relation.Table // rows appended but not yet flushed
+	last     *Result
+	flushing bool // a FlushPlan is in flight (BeginFlush .. Complete/Abort)
 
 	// Strategy selects the flush path (default UpdateIncremental).
 	Strategy UpdateStrategy
@@ -190,54 +192,179 @@ func (u *Updater) Append(ctx context.Context, rows [][]string) (*Result, error) 
 	return nil, nil
 }
 
-// Flush applies the buffered rows to the outsourced ciphertext — via the
-// incremental engine when the strategy allows and the append is
-// structurally compatible, via a full rebuild otherwise — and resets the
-// buffer. A failed (e.g. cancelled) flush leaves the updater unchanged:
-// the buffered rows stay pending and a later Flush retries them.
-func (u *Updater) Flush(ctx context.Context) (*Result, error) {
-	if u.buffer.NumRows() == 0 {
-		return u.last, nil
+// ErrFlushInFlight is returned by BeginFlush while another plan is
+// between BeginFlush and CompleteFlush/AbortFlush. Flushes are
+// single-flight: the plan pins the previous Result as its incremental
+// base, and two concurrent plans would race to commit over each other.
+var ErrFlushInFlight = errors.New("core: a flush is already in flight")
+
+// FlushPlan is one flush's copy-on-write snapshot: the buffered rows
+// (delta), the encrypted table and Result they extend, and — after Run —
+// the combined table and fresh Result awaiting CompleteFlush.
+//
+// The plan decouples the expensive encryption from the updater's mutable
+// state: BeginFlush captures the snapshot and installs a fresh buffer
+// generation under the caller's lock, Run encrypts against the snapshot
+// with no lock held (new appends keep buffering meanwhile), and
+// CompleteFlush/AbortFlush reconcile under the lock again. Snapshots of
+// the updater taken mid-plan (State, for persistence) must be deferred
+// until the plan resolves: between Begin and Complete the delta rows live
+// only in the plan, so a state capture would omit them while the WAL
+// watermark says they are included.
+type FlushPlan struct {
+	u        *Updater
+	enc      *Encryptor
+	strategy UpdateStrategy
+	delta    *relation.Table // buffered rows captured at BeginFlush
+	base     *relation.Table // encrypted plaintext copy at BeginFlush
+	baseRows int
+	prev     *Result
+
+	combined *relation.Table // set by Run
+	res      *Result         // set by Run
+	mode     FlushMode       // set by Run
+}
+
+// Pending returns the number of buffered rows the plan will flush.
+func (p *FlushPlan) Pending() int { return p.delta.NumRows() }
+
+// Mode returns which engine served the flush; valid after Run succeeds.
+func (p *FlushPlan) Mode() FlushMode { return p.mode }
+
+// Result returns the fresh encryption; valid after Run succeeds.
+func (p *FlushPlan) Result() *Result { return p.res }
+
+// BeginFlush snapshots the buffered rows into a FlushPlan and installs a
+// fresh buffer generation, so appends keep accumulating while the plan
+// runs. Returns (nil, nil) when nothing is pending. The caller must
+// eventually resolve a non-nil plan with CompleteFlush or AbortFlush;
+// until then further BeginFlush calls fail with ErrFlushInFlight.
+// Callers serialize Begin/Complete/Abort and all other updater access
+// (f2served uses the dataset's state mutex); only Run is lock-free.
+func (u *Updater) BeginFlush() (*FlushPlan, error) {
+	if u.flushing {
+		return nil, ErrFlushInFlight
 	}
+	if u.buffer.NumRows() == 0 {
+		return nil, nil
+	}
+	p := &FlushPlan{
+		u:        u,
+		enc:      u.enc,
+		strategy: u.Strategy,
+		delta:    u.buffer,
+		base:     u.current,
+		baseRows: u.current.NumRows(),
+		prev:     u.last,
+	}
+	// The next generation tends to accumulate about as many rows as the
+	// one being flushed; reserving that up front keeps the append path off
+	// the slice-growth treadmill.
+	u.buffer = relation.NewTableCap(u.current.Schema().Clone(), p.delta.NumRows()+16)
+	u.flushing = true
+	return p, nil
+}
+
+// Run encrypts the plan's snapshot — via the incremental engine when the
+// strategy allows and the append is structurally compatible, via a full
+// rebuild otherwise. It touches no updater state, so it needs no lock and
+// runs concurrently with new appends. A failed Run must be resolved with
+// AbortFlush, which re-queues the delta rows.
+func (p *FlushPlan) Run(ctx context.Context) error {
 	ctx, sp := obs.Start(ctx, "update.flush")
-	sp.SetAttr("pending", u.buffer.NumRows())
+	sp.SetAttr("pending", p.delta.NumRows())
 	defer sp.End()
-	combined := u.current.Clone()
-	for i := 0; i < u.buffer.NumRows(); i++ {
-		if err := combined.AppendRow(u.buffer.Row(i)); err != nil {
-			return nil, err
+	// Structural sharing, not a deep copy: the combined table aliases the
+	// base's backing arrays and appends into their spare capacity, which
+	// the base (len-bounded) can never observe. Flushes are single-flight
+	// and a committed plan's combined becomes the next base, so there is
+	// exactly one append lineage per backing array; an aborted plan's
+	// writes land in capacity that is dead until the retry overwrites it.
+	combined := p.base.CloneShared()
+	for i := 0; i < p.delta.NumRows(); i++ {
+		if err := combined.AppendRow(p.delta.Row(i)); err != nil {
+			return err
 		}
 	}
-	if u.Strategy == UpdateIncremental {
+	if p.strategy == UpdateIncremental {
 		// EncryptIncremental prefixes its own errors; no extra wrap.
-		res, ok, err := u.enc.EncryptIncremental(ctx, u.last, combined, u.current.NumRows())
+		res, ok, err := p.enc.EncryptIncremental(ctx, p.prev, combined, p.baseRows)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		if ok {
-			u.commit(combined, res)
-			u.IncrementalFlushes++
-			u.LastFlush = FlushModeIncremental
+			p.combined, p.res, p.mode = combined, res, FlushModeIncremental
 			sp.SetAttr("mode", string(FlushModeIncremental))
-			return res, nil
+			return nil
 		}
 		// Structural change (border moved, class promoted, ...): fall back.
 	}
-	res, err := u.enc.Encrypt(ctx, combined)
+	res, err := p.enc.Encrypt(ctx, combined)
 	if err != nil {
-		return nil, fmt.Errorf("core: update rebuild: %w", err)
+		return fmt.Errorf("core: update rebuild: %w", err)
 	}
-	u.commit(combined, res)
-	u.Rebuilds++
-	u.LastFlush = FlushModeRebuild
+	p.combined, p.res, p.mode = combined, res, FlushModeRebuild
 	sp.SetAttr("mode", string(FlushModeRebuild))
-	return res, nil
+	return nil
 }
 
-// commit installs a successful flush: the combined table becomes the
-// outsourced plaintext copy and the buffer resets.
-func (u *Updater) commit(combined *relation.Table, res *Result) {
-	u.current = combined
-	u.buffer = relation.NewTable(u.current.Schema().Clone())
-	u.last = res
+// CompleteFlush commits a successfully Run plan: the combined table
+// becomes the outsourced plaintext copy, the fresh Result replaces the
+// last one, and the flush counters record which engine ran. The buffer —
+// the generation that accumulated while the plan ran — is untouched.
+func (u *Updater) CompleteFlush(p *FlushPlan) (*Result, error) {
+	if p.u != u {
+		return nil, errors.New("core: flush plan belongs to a different updater")
+	}
+	if p.res == nil {
+		return nil, errors.New("core: flush plan was not run")
+	}
+	u.current = p.combined
+	u.last = p.res
+	switch p.mode {
+	case FlushModeIncremental:
+		u.IncrementalFlushes++
+	case FlushModeRebuild:
+		u.Rebuilds++
+	}
+	u.LastFlush = p.mode
+	u.flushing = false
+	return p.res, nil
+}
+
+// AbortFlush abandons a plan whose Run failed (or never ran): the delta
+// rows return to the front of the buffer, ahead of anything appended
+// since BeginFlush, restoring the exact pre-Begin pending order. The
+// updater is left as if BeginFlush had never been called.
+func (u *Updater) AbortFlush(p *FlushPlan) {
+	if p.u != u {
+		return
+	}
+	newer := u.buffer
+	u.buffer = p.delta
+	for i := 0; i < newer.NumRows(); i++ {
+		// Same schema on both generations: AppendRow cannot reject a row
+		// the newer buffer already accepted.
+		_ = u.buffer.AppendRow(newer.Row(i))
+	}
+	u.flushing = false
+}
+
+// Flush applies the buffered rows to the outsourced ciphertext and resets
+// the buffer, running the whole plan synchronously. A failed (e.g.
+// cancelled) flush leaves the updater unchanged: the buffered rows stay
+// pending and a later Flush retries them.
+func (u *Updater) Flush(ctx context.Context) (*Result, error) {
+	plan, err := u.BeginFlush()
+	if err != nil {
+		return nil, err
+	}
+	if plan == nil {
+		return u.last, nil
+	}
+	if err := plan.Run(ctx); err != nil {
+		u.AbortFlush(plan)
+		return nil, err
+	}
+	return u.CompleteFlush(plan)
 }

@@ -2,6 +2,8 @@ package core
 
 import (
 	"context"
+	"errors"
+	"reflect"
 	"testing"
 
 	"f2/internal/fd"
@@ -168,6 +170,111 @@ func TestUpdaterFlushEmptyIsNoop(t *testing.T) {
 	if res2 != res || u.Rebuilds != 1 {
 		t.Fatal("empty flush rebuilt")
 	}
+}
+
+// TestFlushPlanMatchesSynchronousFlush drives the copy-on-write plan API
+// directly — with an append landing in the fresh buffer generation while
+// the plan is in flight — and checks it commits the exact ciphertext the
+// synchronous Flush produces over the same rows.
+func TestFlushPlanMatchesSynchronousFlush(t *testing.T) {
+	ctx := context.Background()
+	delta := [][]string{{"a2", "b2", "c9"}, {"a5", "b5", "c5"}}
+	mk := func() *Updater {
+		u, _, err := NewUpdater(ctx, testConfig(0.5), figure1Table())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := u.Buffer(delta); err != nil {
+			t.Fatal(err)
+		}
+		return u
+	}
+
+	uSync := mk()
+	resSync, err := uSync.Flush(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	uPlan := mk()
+	plan, err := uPlan.BeginFlush()
+	if err != nil || plan == nil {
+		t.Fatalf("BeginFlush: plan=%v err=%v", plan, err)
+	}
+	if plan.Pending() != len(delta) {
+		t.Fatalf("plan pending=%d, want %d", plan.Pending(), len(delta))
+	}
+	// The delta moved into the plan; new appends buffer into the fresh
+	// generation and a second flush cannot start.
+	if err := uPlan.Buffer([][]string{{"a9", "b9", "c1"}}); err != nil {
+		t.Fatal(err)
+	}
+	if uPlan.Pending() != 1 {
+		t.Fatalf("fresh generation pending=%d, want 1", uPlan.Pending())
+	}
+	if _, err := uPlan.BeginFlush(); !errors.Is(err, ErrFlushInFlight) {
+		t.Fatalf("second BeginFlush: %v, want ErrFlushInFlight", err)
+	}
+	if err := plan.Run(ctx); err != nil {
+		t.Fatal(err)
+	}
+	resPlan, err := uPlan.CompleteFlush(plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if uSync.LastFlush != uPlan.LastFlush {
+		t.Fatalf("modes differ: sync=%q plan=%q", uSync.LastFlush, uPlan.LastFlush)
+	}
+	if !reflect.DeepEqual(tableRows(resSync.Encrypted), tableRows(resPlan.Encrypted)) {
+		t.Fatal("plan flush and synchronous flush disagree on ciphertext")
+	}
+	if uPlan.Rows() != 6 || uPlan.Pending() != 1 {
+		t.Fatalf("after complete: rows=%d pending=%d", uPlan.Rows(), uPlan.Pending())
+	}
+}
+
+// TestAbortFlushRestoresPendingOrder checks the failure path: an aborted
+// plan returns its delta to the front of the buffer, ahead of rows
+// appended while it was in flight, and a retry flushes everything.
+func TestAbortFlushRestoresPendingOrder(t *testing.T) {
+	ctx := context.Background()
+	u, _, err := NewUpdater(ctx, testConfig(0.5), figure1Table())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := u.Buffer([][]string{{"a2", "b2", "c8"}, {"a5", "b5", "c5"}}); err != nil {
+		t.Fatal(err)
+	}
+	plan, err := u.BeginFlush()
+	if err != nil || plan == nil {
+		t.Fatalf("BeginFlush: plan=%v err=%v", plan, err)
+	}
+	if err := u.Buffer([][]string{{"a9", "b9", "c1"}}); err != nil {
+		t.Fatal(err)
+	}
+	u.AbortFlush(plan)
+	if u.Pending() != 3 {
+		t.Fatalf("pending=%d after abort, want 3", u.Pending())
+	}
+	want := [][]string{{"a2", "b2", "c8"}, {"a5", "b5", "c5"}, {"a9", "b9", "c1"}}
+	if !reflect.DeepEqual(tableRows(u.buffer), want) {
+		t.Fatalf("buffer order after abort: %v, want %v", tableRows(u.buffer), want)
+	}
+	if _, err := u.Flush(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if u.Rows() != 7 || u.Pending() != 0 {
+		t.Fatalf("after retry flush: rows=%d pending=%d", u.Rows(), u.Pending())
+	}
+}
+
+func tableRows(tbl *relation.Table) [][]string {
+	out := make([][]string, 0, tbl.NumRows())
+	for i := 0; i < tbl.NumRows(); i++ {
+		out = append(out, tbl.Row(i))
+	}
+	return out
 }
 
 func TestUpdaterRejectsBadRows(t *testing.T) {

@@ -25,14 +25,20 @@ import (
 //   - log/slog calls: handlers take their own locks and do I/O; logging
 //     under a hot mutex serializes the pipeline (and a custom handler
 //     reading metrics re-enters).
+//   - syscall-latency os calls: (*os.File).Sync/Truncate and the os
+//     package's path operations (Rename, WriteFile, Open, ...) are disk
+//     round-trips; an fsync held under a hot mutex stalls every waiter
+//     for device latency. The group-commit WAL moves fsync off ds.mu for
+//     exactly this reason, and the analyzer keeps it that way.
 //
 // Defer-based unlocks (`defer mu.Unlock()`) keep the lock held to the end
 // of the function, which is the common and accepted idiom — the analyzer
 // then checks the whole remainder of the body.
 var Lockheld = &Analyzer{
 	Name: "lockheld",
-	Doc: "flag dynamic calls, channel sends, and logging while a sync mutex is held\n" +
-		"Calling out through a function value under a lock is the Metrics.Render deadlock class.",
+	Doc: "flag dynamic calls, channel sends, logging, and syscall-latency os calls while a sync mutex is held\n" +
+		"Calling out through a function value under a lock is the Metrics.Render deadlock class;\n" +
+		"holding a mutex across fsync is the ingest-stall class the group-commit WAL removed.",
 	Run: runLockheld,
 }
 
@@ -236,6 +242,9 @@ func (lw *lockWalker) checkExpr(e ast.Expr) {
 				exprString(call.Fun), key)
 		case callLogging:
 			lw.pass.Reportf(call.Pos(), "logging while %s is held: handlers lock and do I/O; log after releasing", key)
+		case callSyscall:
+			lw.pass.Reportf(call.Pos(), "os call %s while %s is held: a disk round-trip under a mutex stalls every waiter; stage under the lock, release, then touch the filesystem",
+				exprString(call.Fun), key)
 		}
 		return true
 	})
@@ -247,12 +256,31 @@ const (
 	callStatic callKind = iota
 	callDynamic
 	callLogging
+	callSyscall
 )
+
+// osSlowFuncs are package-level os functions whose latency is a disk (or
+// worse, network-filesystem) round-trip. Holding a mutex across one turns
+// a single slow device into a stall for every waiter of the lock — the
+// group-commit WAL exists precisely so fsync happens outside ds.mu.
+var osSlowFuncs = map[string]bool{
+	"Rename": true, "Truncate": true, "Remove": true, "RemoveAll": true,
+	"ReadFile": true, "WriteFile": true, "Open": true, "OpenFile": true,
+	"Create": true, "Mkdir": true, "MkdirAll": true, "ReadDir": true,
+}
+
+// osSlowFileMethods are *os.File methods with syscall latency far beyond a
+// buffered read/write: Sync is an fsync (milliseconds on a busy disk),
+// Truncate an inode update. Plain Read/Write are deliberately not listed —
+// flagging them would drown the signal in ordinary buffered I/O.
+var osSlowFileMethods = map[string]bool{
+	"Sync": true, "Truncate": true,
+}
 
 // classifyCall decides whether a call is safe under a lock. Static
 // functions, methods, conversions, and builtins are; function values
-// (variables, fields, map entries, results of other calls) and log/slog
-// package calls are not.
+// (variables, fields, map entries, results of other calls), log/slog
+// package calls, and syscall-latency os calls are not.
 func classifyCall(pass *Pass, call *ast.CallExpr) callKind {
 	fun := ast.Unparen(call.Fun)
 
@@ -260,9 +288,15 @@ func classifyCall(pass *Pass, call *ast.CallExpr) callKind {
 		if pkg := f.Pkg(); pkg != nil && (pkg.Path() == "log/slog" || pkg.Path() == "log") {
 			return callLogging
 		}
+		if pkg := f.Pkg(); pkg != nil && pkg.Path() == "os" && f.Type().(*types.Signature).Recv() == nil && osSlowFuncs[f.Name()] {
+			return callSyscall
+		}
 		if recv := recvNamed(f); recv != nil {
 			if pkg := recv.Obj().Pkg(); pkg != nil && pkg.Path() == "log/slog" && recv.Obj().Name() == "Logger" {
 				return callLogging
+			}
+			if pkg := recv.Obj().Pkg(); pkg != nil && pkg.Path() == "os" && recv.Obj().Name() == "File" && osSlowFileMethods[f.Name()] {
+				return callSyscall
 			}
 		}
 		return callStatic

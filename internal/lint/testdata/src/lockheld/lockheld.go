@@ -1,9 +1,10 @@
-// Fixture for f2vet/lockheld: no dynamic calls, channel sends, or
-// logging while a sync.Mutex/RWMutex is held.
+// Fixture for f2vet/lockheld: no dynamic calls, channel sends, logging,
+// or syscall-latency os calls while a sync.Mutex/RWMutex is held.
 package lockheld
 
 import (
 	"log/slog"
+	"os"
 	"sync"
 )
 
@@ -124,4 +125,59 @@ func (m *metrics) suppressed(cb func()) {
 	defer m.mu.Unlock()
 	//lint:ignore f2vet/lockheld callback is documented lock-free and non-blocking
 	cb()
+}
+
+// Holding a mutex across fsync stalls every waiter for a disk round-trip:
+// the ingest-stall class the group-commit WAL removed.
+type wal struct {
+	mu  sync.Mutex
+	f   *os.File
+	buf []byte
+	dir string
+}
+
+func (w *wal) fsyncBad() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.f.Sync() // want "os call w.f.Sync while w.mu is held"
+}
+
+// The group-commit idiom: stage under the lock, release, then fsync.
+func (w *wal) fsyncGood(rec []byte) error {
+	w.mu.Lock()
+	w.buf = append(w.buf, rec...)
+	w.mu.Unlock()
+	return w.f.Sync()
+}
+
+func (w *wal) renameBad(from, to string) error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return os.Rename(from, to) // want "os call os.Rename while w.mu is held"
+}
+
+func (w *wal) writeFileBad(p string) {
+	w.mu.Lock()
+	if err := os.WriteFile(p, w.buf, 0o600); err != nil { // want "os call os.WriteFile while w.mu is held"
+		w.mu.Unlock()
+		return
+	}
+	w.mu.Unlock()
+}
+
+// Buffered writes are deliberately not flagged: only fsync-class latency
+// warrants restructuring, and flagging every Write would drown the signal.
+func (w *wal) bufferedWriteOK(rec []byte) error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	_, err := w.f.Write(rec)
+	return err
+}
+
+// os calls after releasing are fine.
+func (w *wal) syncAfterUnlockOK() error {
+	w.mu.Lock()
+	w.buf = w.buf[:0]
+	w.mu.Unlock()
+	return os.MkdirAll(w.dir, 0o755)
 }

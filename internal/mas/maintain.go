@@ -26,6 +26,11 @@ type Refreshed struct {
 	Agreements map[relation.AttrSet][2]int
 }
 
+// setStampMaxAttrs bounds the schemas served by the O(1) stamped
+// agreement-set table: 1<<m array entries must stay small. Wider schemas
+// fall back to a linear scan over the row's few distinct sets.
+const setStampMaxAttrs = 16
+
 // MaintainBorder incrementally maintains a MAS border after the rows
 // t[oldRows:] were appended: prev must be the discovery result for the
 // first oldRows rows of t. Non-uniqueness is monotone under appends, so
@@ -40,8 +45,12 @@ type Refreshed struct {
 //
 // On success it returns the refreshed border (ok=true); ok=false with a
 // nil error means the border changed and the caller must fall back to
-// full discovery. The scan costs O(Δ·n) pair probes of O(m) cell
-// comparisons each — no lattice walk, no full-table uniqueness checks.
+// full discovery. The scan is logically O(Δ·n) pair probes — Checked
+// still counts them, so reports stay comparable — but is executed
+// through per-column value postings, so only pairs that agree on at
+// least one cell cost anything: worst case O(Δ·n) integer bit-sets on a
+// constant column, and on high-cardinality data orders of magnitude
+// fewer than the pairwise cell-comparison scan this replaces.
 func MaintainBorder(ctx context.Context, prev *Result, t *relation.Table, oldRows int) (*Refreshed, bool, error) {
 	n := t.NumRows()
 	if oldRows > n {
@@ -52,22 +61,213 @@ func MaintainBorder(ctx context.Context, prev *Result, t *relation.Table, oldRow
 		Deltas:     make(map[relation.AttrSet]partition.Delta, len(prev.Sets)),
 		Agreements: make(map[relation.AttrSet][2]int),
 	}
+	m := t.NumAttrs()
+	// The value index is cached on the Result lineage; it is reusable only
+	// when it covers exactly the already-encrypted prefix (an aborted
+	// attempt leaves rows != oldRows behind, which must rebuild — the
+	// stale entries reference dead data).
+	idx := prev.postings
+	if idx == nil || idx.rows != oldRows || len(idx.syms) != m {
+		idx = &postingsIndex{
+			rows: oldRows,
+			syms: make([]map[string]int32, m),
+			post: make([][][]int32, m),
+			colv: make([][]int32, m),
+		}
+		for a := 0; a < m; a++ {
+			col := t.Column(a)
+			sym := make(map[string]int32, 64)
+			colv := make([]int32, oldRows, n+n/4+16)
+			for i := 0; i < oldRows; i++ {
+				id, ok := sym[col[i]]
+				if !ok {
+					id = int32(len(idx.post[a]))
+					sym[col[i]] = id
+					idx.post[a] = append(idx.post[a], nil)
+				}
+				colv[i] = id
+				idx.post[a][id] = append(idx.post[a][id], int32(i))
+			}
+			idx.syms[a] = sym
+			idx.colv[a] = colv
+		}
+		idx.twins = make(map[string][2]int32, oldRows+16)
+		idx.keyBuf = make([]byte, 4*m)
+		for i := 0; i < oldRows; i++ {
+			k := packRowKey(idx.keyBuf, idx.colv, i)
+			if tw, ok := idx.twins[k]; ok {
+				tw[1] = int32(i)
+				idx.twins[k] = tw
+			} else {
+				idx.twins[k] = [2]int32{int32(i), int32(i)}
+			}
+		}
+	}
+	if len(idx.acc) < n {
+		idx.acc = make([]relation.AttrSet, n+n/4)
+	}
+	acc := idx.acc
+	touched := make([]int32, 0, 64)
+	symID := make([]int32, m)
+
+	// Per-row distinct agreement sets with their smallest witnessing j.
+	// The pairwise scan recorded the first (ascending-j) witness of each
+	// globally new set, and the ciphertext the encryptor derives from
+	// Agreements depends on that exact pair — min-j per set reproduces it
+	// without sorting the whole touched list. For m small enough, the set
+	// value itself indexes a generation-stamped array, making each record
+	// O(1); wider schemas scan the row's few distinct sets linearly.
+	rowSets := make([]relation.AttrSet, 0, 16)
+	var rowMinJ []int32 // linear-scan fallback only
+	stamped := m <= setStampMaxAttrs
+	if stamped {
+		if len(idx.setMinJ) < 1<<m {
+			idx.setMinJ = make([]int32, 1<<m)
+			idx.setGen = make([]uint32, 1<<m)
+			idx.gen = 0
+		}
+	} else {
+		rowMinJ = make([]int32, 0, 16)
+	}
+	record := func(a relation.AttrSet, j int32) {
+		if stamped {
+			if idx.setGen[a] != idx.gen {
+				idx.setGen[a] = idx.gen
+				idx.setMinJ[a] = j
+				rowSets = append(rowSets, a)
+			} else if j < idx.setMinJ[a] {
+				idx.setMinJ[a] = j
+			}
+			return
+		}
+		for k, s := range rowSets {
+			if s == a {
+				if j < rowMinJ[k] {
+					rowMinJ[k] = j
+				}
+				return
+			}
+		}
+		rowSets = append(rowSets, a)
+		rowMinJ = append(rowMinJ, j)
+	}
+	minJOf := func(k int, a relation.AttrSet) int32 {
+		if stamped {
+			return idx.setMinJ[a]
+		}
+		return rowMinJ[k]
+	}
+
+	// A value whose posting reaches heavyCut rows (think a 3-valued status
+	// column at scale) makes the accumulation degenerate to O(n) per
+	// appended row. The single longest such posting is excluded from
+	// accumulation: touched rows get its bit back by one symbol
+	// comparison, and rows that agree ONLY on the heavy value — the one
+	// pattern accumulation now misses — are recovered by walking the heavy
+	// posting ascending and stopping at the first row with no other
+	// agreement, which by ascending order is that pattern's min witness.
+	const heavyCut = 64
+	fullSet := relation.FullAttrSet(m)
 	for i := oldRows; i < n; i++ {
 		if err := ctx.Err(); err != nil {
 			return nil, false, fmt.Errorf("mas: maintain: %w", err)
 		}
-		for j := 0; j < i; j++ {
-			ref.Result.Checked++
-			a := t.AgreementSet(i, j)
-			if a.IsEmpty() {
-				continue
+		ref.Result.Checked += i // logical probes: row i against every predecessor
+		heavy, heavyLen := -1, heavyCut
+		for a := 0; a < m; a++ {
+			v := t.Column(a)[i]
+			id, ok := idx.syms[a][v]
+			if !ok {
+				id = int32(len(idx.post[a]))
+				idx.syms[a][v] = id
+				idx.post[a] = append(idx.post[a], nil)
 			}
+			symID[a] = id
+			if lst := idx.post[a][id]; len(lst) >= heavyLen {
+				heavy, heavyLen = a, len(lst)
+			}
+		}
+		if stamped {
+			idx.gen++
+			if idx.gen == 0 { // generation wrapped: stale stamps could collide
+				clear(idx.setGen)
+				idx.gen = 1
+			}
+		}
+		// Exact-duplicate shortcut. If row i's full symbol vector already
+		// appeared at a row scanned in THIS call, then every agreement set
+		// row i realizes equals one an earlier pair of this call realized
+		// (agree(j,i) = agree(j,twin) for all j), so they are all in
+		// ref.Agreements already — except the full set R from the twin pair
+		// itself, which gets recorded here with the pairwise scan's exact
+		// witness (the globally first twin). Duplicate-heavy append streams
+		// are the steady state of this workload, so most rows skip the
+		// posting accumulation entirely.
+		twinShortcut := false
+		var firstTwin int32
+		if m > 0 {
+			key := packSymKey(idx.keyBuf, symID)
+			if tw, ok := idx.twins[key]; ok {
+				firstTwin = tw[0]
+				twinShortcut = tw[1] >= int32(oldRows)
+				tw[1] = int32(i)
+				idx.twins[key] = tw
+			} else {
+				idx.twins[key] = [2]int32{int32(i), int32(i)}
+			}
+		}
+		if twinShortcut {
+			if _, seen := ref.Agreements[fullSet]; !seen {
+				record(fullSet, firstTwin)
+			}
+		} else {
+			for a := 0; a < m; a++ {
+				if a == heavy {
+					continue
+				}
+				for _, j := range idx.post[a][symID[a]] {
+					if acc[j].IsEmpty() {
+						touched = append(touched, j)
+					}
+					acc[j] = acc[j].Add(a)
+				}
+			}
+			if heavy >= 0 {
+				hv := idx.colv[heavy]
+				hid := symID[heavy]
+				for _, j := range touched {
+					a := acc[j]
+					if hv[j] == hid {
+						a = a.Add(heavy)
+						acc[j] = a // keep nonzero: the walk below skips touched rows
+					}
+					record(a, j)
+				}
+				// The heavy-only pattern {heavy}: its min witness is the first
+				// posting entry that agrees with row i on nothing else.
+				for _, j := range idx.post[heavy][hid] {
+					if acc[j].IsEmpty() {
+						record(relation.AttrSet(0).Add(heavy), j)
+						break
+					}
+				}
+			} else {
+				for _, j := range touched {
+					record(acc[j], j)
+				}
+			}
+			for _, j := range touched {
+				acc[j] = 0
+			}
+			touched = touched[:0]
+		}
+		for k, a := range rowSets {
 			if _, seen := ref.Agreements[a]; seen {
 				continue
 			}
 			covered := false
-			for _, m := range prev.Sets {
-				if a.SubsetOf(m) {
+			for _, mas := range prev.Sets {
+				if a.SubsetOf(mas) {
 					covered = true
 					break
 				}
@@ -77,20 +277,57 @@ func MaintainBorder(ctx context.Context, prev *Result, t *relation.Table, oldRow
 				// known MAS: the positive border moved.
 				return nil, false, nil
 			}
-			ref.Agreements[a] = [2]int{j, i}
+			ref.Agreements[a] = [2]int{int(minJOf(k, a)), i}
 		}
+		rowSets = rowSets[:0]
+		if !stamped {
+			rowMinJ = rowMinJ[:0]
+		}
+		for a := 0; a < m; a++ {
+			idx.colv[a] = append(idx.colv[a], symID[a])
+			idx.post[a][symID[a]] = append(idx.post[a][symID[a]], int32(i))
+		}
+		// Track insertions eagerly: if we bail out mid-scan (border moved,
+		// cancellation), the cache honestly reports how far it got and the
+		// next call's rows guard forces a rebuild.
+		idx.rows = i + 1
 	}
-	for _, m := range prev.Sets {
-		p, ok := prev.Partitions[m]
+	ref.Result.postings = idx
+	for _, mas := range prev.Sets {
+		p, ok := prev.Partitions[mas]
 		if !ok {
-			return nil, false, fmt.Errorf("mas: maintain: no cached partition for %v", m)
+			return nil, false, fmt.Errorf("mas: maintain: no cached partition for %v", mas)
 		}
 		np, d, err := p.Refine(t, oldRows)
 		if err != nil {
 			return nil, false, fmt.Errorf("mas: maintain: %w", err)
 		}
-		ref.Result.Partitions[m] = np
-		ref.Deltas[m] = d
+		ref.Result.Partitions[mas] = np
+		ref.Deltas[mas] = d
 	}
 	return ref, true, nil
+}
+
+// packRowKey packs row i's full symbol vector (column-major colv) into buf
+// as little-endian int32s and returns it as a map key.
+func packRowKey(buf []byte, colv [][]int32, i int) string {
+	for a, c := range colv {
+		id := c[i]
+		buf[4*a] = byte(id)
+		buf[4*a+1] = byte(id >> 8)
+		buf[4*a+2] = byte(id >> 16)
+		buf[4*a+3] = byte(id >> 24)
+	}
+	return string(buf)
+}
+
+// packSymKey is packRowKey for an already-gathered symbol vector.
+func packSymKey(buf []byte, ids []int32) string {
+	for a, id := range ids {
+		buf[4*a] = byte(id)
+		buf[4*a+1] = byte(id >> 8)
+		buf[4*a+2] = byte(id >> 16)
+		buf[4*a+3] = byte(id >> 24)
+	}
+	return string(buf)
 }

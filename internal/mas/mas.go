@@ -38,6 +38,44 @@ type Result struct {
 	// Checked counts uniqueness checks performed (work measure for the
 	// DUCC-vs-levelwise ablation).
 	Checked int
+	// postings caches MaintainBorder's per-column value index so
+	// back-to-back incremental maintains skip the O(n·m) rebuild. Shared
+	// across a Result lineage; the rows guard makes a stale copy (an
+	// aborted flush attempt left extra rows behind) rebuild instead of
+	// corrupting the scan.
+	postings *postingsIndex
+}
+
+// postingsIndex is a per-column value index covering rows 0..rows-1.
+// Values are interned to dense int32 symbol ids (syms), so the scan's
+// inner loops compare and index integers, never strings: post[a][id] is
+// the ascending list of rows whose column-a cell has symbol id, and
+// colv[a][j] is row j's symbol in column a.
+//
+// acc is the scan's scratch accumulator, kept here so successive
+// maintains don't allocate and zero O(n) words each; it is all-zero
+// between uses by construction. setMinJ/setGen/gen implement the O(1)
+// per-row agreement-set table: an AttrSet over m attributes is an index
+// below 1<<m, so for small m a generation-stamped array replaces a
+// linear scan over the row's distinct sets.
+type postingsIndex struct {
+	rows int
+	syms []map[string]int32
+	post [][][]int32
+	colv [][]int32
+	acc  []relation.AttrSet
+
+	setMinJ []int32
+	setGen  []uint32
+	gen     uint32
+
+	// twins maps a row's full symbol vector (packed little-endian int32s)
+	// to {first, last} row id holding it. An appended row whose vector
+	// already appeared in the same maintain call realizes exactly the
+	// agreement sets its twin did plus the full attribute set — the scan
+	// shortcuts those rows to an O(1) check.
+	twins  map[string][2]int32
+	keyBuf []byte
 }
 
 // Discover finds all MASs of t with the DUCC-style border search of

@@ -44,6 +44,14 @@ type Partition struct {
 	Attrs   relation.AttrSet
 	Classes []*EC
 	numRows int
+
+	// index maps each class's canonical representative key to its position
+	// in Classes. Built by the first Refine and shared down the refinement
+	// lineage so successive flushes skip the O(|classes|) rebuild; it is
+	// trusted only while len(index) == len(Classes) — an aborted refine
+	// leaves extra entries behind, which the next Refine detects and
+	// rebuilds from scratch.
+	index map[string]int
 }
 
 // Of computes π_X for table t by hashing projected row keys.

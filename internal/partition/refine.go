@@ -2,6 +2,7 @@ package partition
 
 import (
 	"fmt"
+	"strconv"
 
 	"f2/internal/relation"
 )
@@ -39,18 +40,38 @@ func (p *Partition) Refine(t *relation.Table, oldRows int) (*Partition, Delta, e
 	}
 	out := &Partition{Attrs: p.Attrs, numRows: t.NumRows()}
 	out.Classes = append(make([]*EC, 0, len(p.Classes)), p.Classes...)
-	index := make(map[string]int, len(p.Classes))
-	for i, c := range p.Classes {
-		index[relation.KeyOfValues(c.Representative)] = i
+	index := p.index
+	if index == nil || len(index) != len(p.Classes) {
+		index = make(map[string]int, len(p.Classes)+16)
+		for i, c := range p.Classes {
+			index[relation.KeyOfValues(c.Representative)] = i
+		}
+		p.index = index
 	}
+	// Project keys are composed in a reused byte buffer: the map lookup on
+	// string(kb) does not allocate, so in the steady state (appended rows
+	// landing in existing classes) the whole loop is allocation-free. The
+	// key format must match relation.KeyOfValues exactly.
+	attrs := p.Attrs.Attrs()
+	cols := make([][]string, len(attrs))
+	for k, a := range attrs {
+		cols[k] = t.Column(a)
+	}
+	kb := make([]byte, 0, 64)
 	var d Delta
 	cloned := make(map[int]bool)
 	for r := oldRows; r < t.NumRows(); r++ {
-		k := t.ProjectKey(r, p.Attrs)
-		ci, ok := index[k]
+		kb = kb[:0]
+		for _, col := range cols {
+			v := col[r]
+			kb = strconv.AppendInt(kb, int64(len(v)), 10)
+			kb = append(kb, ':')
+			kb = append(kb, v...)
+		}
+		ci, ok := index[string(kb)]
 		if !ok {
 			ci = len(out.Classes)
-			index[k] = ci
+			index[string(kb)] = ci
 			out.Classes = append(out.Classes, &EC{Rows: []int{r}, Representative: t.Project(r, p.Attrs)})
 			d.Born = append(d.Born, ci)
 			continue
@@ -67,6 +88,7 @@ func (p *Partition) Refine(t *relation.Table, oldRows int) (*Partition, Delta, e
 		}
 		out.Classes[ci].Rows = append(out.Classes[ci].Rows, r)
 	}
+	out.index = index
 	return out, d, nil
 }
 

@@ -115,6 +115,17 @@ func NewTable(schema *Schema) *Table {
 	return &Table{schema: schema, cols: cols}
 }
 
+// NewTableCap creates an empty table with row capacity reserved in every
+// column, for callers that know roughly how many rows are coming (e.g. a
+// flush buffer sized like the previous flush's delta).
+func NewTableCap(schema *Schema, capacity int) *Table {
+	t := NewTable(schema)
+	for a := range t.cols {
+		t.cols[a] = make([]string, 0, capacity)
+	}
+	return t
+}
+
 // FromRows builds a table from row-major data.
 func FromRows(schema *Schema, rows [][]string) (*Table, error) {
 	t := NewTable(schema)
@@ -194,11 +205,37 @@ func (t *Table) AppendRows(rows [][]string) error {
 
 // Clone returns a deep copy of the table.
 func (t *Table) Clone() *Table {
+	return t.CloneGrow(0)
+}
+
+// CloneGrow returns a deep copy whose columns have room for extra more
+// rows before reallocating. Callers that clone and then append a known
+// batch (the incremental encryptor tops up every flush) avoid regrowing
+// each column several times over.
+func (t *Table) CloneGrow(extra int) *Table {
 	out := NewTable(t.schema.Clone())
 	out.n = t.n
 	for c := range t.cols {
-		out.cols[c] = append([]string(nil), t.cols[c]...)
+		col := make([]string, t.n, t.n+extra)
+		copy(col, t.cols[c])
+		out.cols[c] = col
 	}
+	return out
+}
+
+// CloneShared returns a table that shares t's column storage instead of
+// copying it. The clone sees exactly t's rows, and t can never observe
+// rows appended to the clone (its own row count is fixed), so reads of t
+// stay safe while the clone grows. What sharing does forbid is two
+// live clones of the same table both being appended to — the second
+// would overwrite spare capacity the first already used. Callers must
+// guarantee a single append lineage; the incremental encryptor's
+// single-flight flush does exactly that, extending a retired ciphertext
+// table without re-copying every column on every flush.
+func (t *Table) CloneShared() *Table {
+	out := NewTable(t.schema.Clone())
+	out.n = t.n
+	copy(out.cols, t.cols)
 	return out
 }
 

@@ -35,10 +35,20 @@ func (s *Server) handleTraceByID(w http.ResponseWriter, r *http.Request) {
 // finished at serialization time (the response itself is part of it), so
 // the snapshot marks the still-open request span with "open": true.
 func inlineTrace(r *http.Request, resp map[string]any) {
+	if snap := traceSnapshot(r); snap != nil {
+		resp["trace"] = snap
+	}
+}
+
+// traceSnapshot returns the request's trace when ?trace=1 asked for it,
+// for handlers with typed response structs (the hot paths avoid
+// map[string]any: reflection-based map encoding shows up in profiles).
+func traceSnapshot(r *http.Request) *obs.TraceSnapshot {
 	if r.URL.Query().Get("trace") != "1" {
-		return
+		return nil
 	}
 	if tr := obs.FromContext(r.Context()); tr != nil {
-		resp["trace"] = tr.Snapshot()
+		return tr.Snapshot()
 	}
+	return nil
 }

@@ -1,0 +1,184 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"io"
+	"net/http"
+)
+
+// decodeAppendRows decodes the body of POST /v1/datasets/{id}/rows. The
+// shape is fixed — {"rows":[["cell",...],...]} — and this is the hottest
+// request on the ingest path, so a strict hand-rolled scanner handles the
+// common case and anything it does not recognize byte-for-byte (escape
+// sequences, unknown fields, malformed JSON) falls back to the standard
+// decoder, which reproduces decodeBody's exact acceptance and error
+// behavior. The fast path only ever accepts; it never rejects a body the
+// full decoder would take.
+func (s *Server) decodeAppendRows(w http.ResponseWriter, r *http.Request, req *appendRowsRequest) bool {
+	if r.ContentLength > s.opts.MaxBodyBytes {
+		writeError(w, http.StatusRequestEntityTooLarge, "body exceeds %d bytes", s.opts.MaxBodyBytes)
+		return false
+	}
+	lr := http.MaxBytesReader(w, r.Body, s.opts.MaxBodyBytes)
+	var data []byte
+	var err error
+	if n := r.ContentLength; n >= 0 {
+		data = make([]byte, n)
+		_, err = io.ReadFull(lr, data)
+	} else {
+		data, err = io.ReadAll(lr)
+	}
+	if err != nil {
+		var tooLarge *http.MaxBytesError
+		if errors.As(err, &tooLarge) {
+			writeError(w, http.StatusRequestEntityTooLarge, "body exceeds %d bytes", tooLarge.Limit)
+		} else {
+			writeError(w, http.StatusBadRequest, "invalid JSON body: %v", err)
+		}
+		return false
+	}
+	if rows, ok := parseAppendRows(data); ok {
+		req.Rows = rows
+		return true
+	}
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(req); err != nil {
+		writeError(w, http.StatusBadRequest, "invalid JSON body: %v", err)
+		return false
+	}
+	if err := dec.Decode(&struct{}{}); err != io.EOF {
+		writeError(w, http.StatusBadRequest, "trailing data after JSON body")
+		return false
+	}
+	return true
+}
+
+// parseAppendRows scans exactly {"rows":[[<string>...],...]} with optional
+// JSON whitespace. ok=false means "not handled here", not "invalid".
+func parseAppendRows(data []byte) (rows [][]string, ok bool) {
+	p := rowsParser{b: data}
+	p.ws()
+	if !p.eat('{') {
+		return nil, false
+	}
+	p.ws()
+	if !p.lit(`"rows"`) {
+		return nil, false
+	}
+	p.ws()
+	if !p.eat(':') {
+		return nil, false
+	}
+	p.ws()
+	if !p.eat('[') {
+		return nil, false
+	}
+	p.ws()
+	if !p.eat(']') {
+		cellCap := 8
+		for {
+			p.ws()
+			if !p.eat('[') {
+				return nil, false
+			}
+			row := make([]string, 0, cellCap)
+			p.ws()
+			if !p.eat(']') {
+				for {
+					p.ws()
+					s, ok := p.str()
+					if !ok {
+						return nil, false
+					}
+					row = append(row, s)
+					p.ws()
+					if p.eat(',') {
+						continue
+					}
+					if p.eat(']') {
+						break
+					}
+					return nil, false
+				}
+			}
+			if len(row) > cellCap {
+				cellCap = len(row)
+			}
+			rows = append(rows, row)
+			p.ws()
+			if p.eat(',') {
+				continue
+			}
+			if p.eat(']') {
+				break
+			}
+			return nil, false
+		}
+	}
+	p.ws()
+	if !p.eat('}') {
+		return nil, false
+	}
+	p.ws()
+	if p.i != len(p.b) {
+		return nil, false
+	}
+	if rows == nil {
+		rows = [][]string{}
+	}
+	return rows, true
+}
+
+type rowsParser struct {
+	b []byte
+	i int
+}
+
+func (p *rowsParser) ws() {
+	for p.i < len(p.b) {
+		switch p.b[p.i] {
+		case ' ', '\t', '\n', '\r':
+			p.i++
+		default:
+			return
+		}
+	}
+}
+
+func (p *rowsParser) eat(c byte) bool {
+	if p.i < len(p.b) && p.b[p.i] == c {
+		p.i++
+		return true
+	}
+	return false
+}
+
+func (p *rowsParser) lit(s string) bool {
+	if len(p.b)-p.i >= len(s) && string(p.b[p.i:p.i+len(s)]) == s {
+		p.i += len(s)
+		return true
+	}
+	return false
+}
+
+// str scans a JSON string containing no escapes and no control bytes;
+// anything else defers to the full decoder.
+func (p *rowsParser) str() (string, bool) {
+	if p.i >= len(p.b) || p.b[p.i] != '"' {
+		return "", false
+	}
+	start := p.i + 1
+	for j := start; j < len(p.b); j++ {
+		switch c := p.b[j]; {
+		case c == '"':
+			p.i = j + 1
+			return string(p.b[start:j]), true
+		case c == '\\' || c < 0x20:
+			return "", false
+		}
+	}
+	return "", false
+}

@@ -1,0 +1,63 @@
+package server
+
+import (
+	"encoding/json"
+	"reflect"
+	"testing"
+)
+
+// TestParseAppendRowsEquivalence checks the fast scanner against
+// encoding/json: whenever it accepts, the result must match the standard
+// decoder exactly, and it must decline (ok=false) anything it cannot
+// reproduce byte-for-byte — escapes, unknown fields, malformed JSON.
+func TestParseAppendRowsEquivalence(t *testing.T) {
+	accept := []string{
+		`{"rows":[["a","b"],["c","d"]]}`,
+		`{"rows":[[]]}`,
+		`{"rows":[]}`,
+		` { "rows" : [ [ "x" ] ] } `,
+		"{\n\t\"rows\": [[\"a\"],\n [\"b\"]]\r\n}",
+		`{"rows":[["üñïçödé","line"]]}`,
+		`{"rows":[["a"],["b","c","d"]]}`,
+		`{"rows":[["", ""]]}`,
+	}
+	for _, body := range accept {
+		got, ok := parseAppendRows([]byte(body))
+		if !ok {
+			t.Errorf("parseAppendRows(%q) declined; want accept", body)
+			continue
+		}
+		var want appendRowsRequest
+		if err := json.Unmarshal([]byte(body), &want); err != nil {
+			t.Fatalf("stdlib rejects %q: %v", body, err)
+		}
+		w := want.Rows
+		if w == nil {
+			w = [][]string{}
+		}
+		if !reflect.DeepEqual(got, w) {
+			t.Errorf("parseAppendRows(%q) = %v, stdlib = %v", body, got, w)
+		}
+	}
+
+	decline := []string{
+		``,
+		`{}`,
+		`{"rows":[["a\"b"]]}`,        // escape: defer to full decoder
+		`{"rows":[["a\u0041"]]}`,     // unicode escape
+		`{"rows":[["a"]],"extra":1}`, // unknown field → decoder 400s it
+		`{"Rows":[["a"]]}`,           // case-insensitive key match is stdlib-only
+		`{"rows":[["a"]]} trailing`,  // trailing data
+		`{"rows":[["a"],null]}`,      // non-array row
+		`{"rows":[[1]]}`,             // non-string cell
+		`{"rows":[["a"]`,             // truncated
+		`{"rows":[["a",]]}`,          // trailing comma
+		"{\"rows\":[[\"a\x01b\"]]}",  // control byte: let decoder judge
+		`[{"rows":[]}]`,              // wrong top level
+	}
+	for _, body := range decline {
+		if got, ok := parseAppendRows([]byte(body)); ok {
+			t.Errorf("parseAppendRows(%q) accepted %v; want decline", body, got)
+		}
+	}
+}

@@ -1,0 +1,383 @@
+package server
+
+import (
+	"crypto/rand"
+	"encoding/hex"
+	"fmt"
+	"net/http"
+
+	"f2/internal/core"
+	"f2/internal/obs"
+	"f2/internal/store"
+)
+
+// Flushes are decoupled from the per-dataset lock: BeginFlush snapshots
+// the pending rows under ds.mu, the encrypt runs in the worker pool with
+// no dataset lock held, and Complete/Abort reconcile under ds.mu again —
+// so appends (and reads) proceed while a multi-second encrypt is in
+// flight. Flushes are single-flight per dataset (ds.curFlush); callers
+// that find one running join it instead of queueing a second.
+//
+// POST /v1/datasets/{id}/flush is asynchronous by default: it starts (or
+// joins) the background job and answers 202 with a job id the client
+// polls via GET /v1/datasets/{id}/flush/{jobID}. ?wait=1 preserves the
+// old synchronous contract — block until the dataset has no pending
+// rows, running the flush inline under the request's trace.
+
+// flushJob is one flush's lifecycle handle. All result fields are set
+// before done is closed and never written after, so any goroutine that
+// observed <-done may read them without ds.mu.
+type flushJob struct {
+	ID   string
+	done chan struct{}
+
+	err     error
+	mode    core.FlushMode
+	summary Summary
+	report  reportJSON
+}
+
+// maxFlushJobHistory bounds the per-dataset finished-job map; the oldest
+// jobs are evicted first. Polling a job evicted before its client came
+// back yields a 404, which the client should treat as "done long ago".
+const maxFlushJobHistory = 64
+
+// newFlushJobID draws a random 8-hex-digit job id.
+func newFlushJobID() string {
+	var b [4]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		// Job ids only need uniqueness within one dataset's history.
+		return fmt.Sprintf("fl_%08x", len(b))
+	}
+	return "fl_" + hex.EncodeToString(b[:])
+}
+
+// registerFlushJobLocked adds job to the dataset's poll map, evicting the
+// oldest finished entries past the history bound. Caller holds ds.mu.
+func registerFlushJobLocked(ds *Dataset, job *flushJob) {
+	if ds.flushJobs == nil {
+		ds.flushJobs = make(map[string]*flushJob)
+	}
+	ds.flushJobs[job.ID] = job
+	ds.jobOrder = append(ds.jobOrder, job.ID)
+	for len(ds.jobOrder) > maxFlushJobHistory {
+		delete(ds.flushJobs, ds.jobOrder[0])
+		ds.jobOrder = ds.jobOrder[1:]
+	}
+}
+
+// finishFlushLocked publishes a job's outcome and releases the
+// single-flight slot. Caller holds ds.mu.
+func finishFlushLocked(ds *Dataset, job *flushJob, err error, summary Summary, rep reportJSON, mode core.FlushMode) {
+	job.err = err
+	job.summary = summary
+	job.report = rep
+	job.mode = mode
+	close(job.done)
+	if ds.curFlush == job {
+		ds.curFlush = nil
+	}
+}
+
+// startBackgroundFlushLocked starts (or joins) the dataset's
+// single-flight background flush. Caller holds ds.mu. Returns nil when
+// there is nothing to flush, the dataset is deleted, or the server is
+// draining — new flush work must not start once shutdown began, or Close
+// could never finish waiting.
+func (s *Server) startBackgroundFlushLocked(ds *Dataset) *flushJob {
+	if ds.curFlush != nil {
+		return ds.curFlush
+	}
+	if ds.deleted || s.draining.Load() {
+		return nil
+	}
+	plan, err := ds.upd.BeginFlush()
+	if err != nil || plan == nil {
+		// ErrFlushInFlight cannot happen — curFlush is nil and every plan
+		// holder also holds the curFlush slot — so this is "no pending rows".
+		return nil
+	}
+	job := &flushJob{ID: newFlushJobID(), done: make(chan struct{})}
+	ds.curFlush = job
+	registerFlushJobLocked(ds, job)
+	s.flushWG.Add(1)
+	go s.runBackgroundFlush(ds, plan, job)
+	return job
+}
+
+// runBackgroundFlush drives one background flush job to completion. It
+// owns its own trace (op "flush_background") since no request is
+// attached; the trace lands in the debug ring and stage histograms like
+// any request trace.
+func (s *Server) runBackgroundFlush(ds *Dataset, plan *core.FlushPlan, job *flushJob) {
+	defer s.flushWG.Done()
+	ctx, tr := obs.NewTrace(s.lifecycle, "", "flush_background")
+	defer func() {
+		tr.Finish()
+		snap := tr.Snapshot()
+		s.traces.Add(snap)
+		snap.EachSpan(s.metrics.ObserveStage)
+	}()
+
+	runErr := s.pool.Run(ctx, plan.Run)
+	if runErr != nil {
+		ds.Lock()
+		ds.upd.AbortFlush(plan)
+		summary := ds.refreshSummaryLocked()
+		finishFlushLocked(ds, job, runErr, summary, reportJSON{}, "")
+		ds.Unlock()
+		// Not an Error-level event: the rows stay durably pending (WAL +
+		// buffer) and the next flush retries them.
+		s.logf("dataset %s: background flush failed, rows stay pending: %v", ds.ID, runErr)
+		return
+	}
+
+	ds.Lock()
+	res, err := ds.upd.CompleteFlush(plan)
+	if err != nil {
+		summary := ds.refreshSummaryLocked()
+		finishFlushLocked(ds, job, err, summary, reportJSON{}, "")
+		ds.Unlock()
+		s.logf("dataset %s: committing background flush: %v", ds.ID, err)
+		return
+	}
+	mode := ds.upd.LastFlush
+	rec := s.captureRecordLocked(ds)
+	ds.Unlock()
+
+	s.recordFlush(mode)
+	if rec != nil {
+		// Outside ds.mu: SaveSnapshot compacts the WAL through the
+		// committer goroutine, whose commit callbacks need ds.mu. A failed
+		// snapshot does not lose the flush — the WAL still holds every
+		// batch, so recovery replays them as pending rows.
+		if err := s.st.SaveSnapshot(ctx, rec); err != nil {
+			s.logf("dataset %s: persisting post-flush snapshot: %v", ds.ID, err)
+		}
+	}
+
+	ds.Lock()
+	summary := ds.refreshSummaryLocked()
+	rep := reportToJSON(ds.upd.Current().Schema(), &res.Report)
+	finishFlushLocked(ds, job, nil, summary, rep, mode)
+	// Appends that landed during the encrypt may already justify the next
+	// flush; chain it instead of waiting for the next append to notice.
+	if ds.upd.ShouldFlush() {
+		s.startBackgroundFlushLocked(ds)
+	}
+	ds.Unlock()
+}
+
+func (s *Server) handleFlush(w http.ResponseWriter, r *http.Request) {
+	ds, ok := s.dataset(w, r)
+	if !ok {
+		return
+	}
+	if r.URL.Query().Get("wait") == "1" {
+		s.handleFlushWait(w, r, ds)
+		return
+	}
+	ds.Lock()
+	if ds.deleted {
+		ds.Unlock()
+		writeError(w, http.StatusNotFound, "no dataset %q", ds.ID)
+		return
+	}
+	job := ds.curFlush
+	if job == nil && ds.upd.Pending() == 0 {
+		// Nothing to do: answer synchronously like the old no-op flush.
+		summary := ds.refreshSummaryLocked()
+		res := ds.upd.Result()
+		rep := reportToJSON(ds.upd.Current().Schema(), &res.Report)
+		ds.Unlock()
+		resp := map[string]any{"dataset": summary, "report": rep}
+		inlineTrace(r, resp)
+		writeJSON(w, http.StatusOK, resp)
+		return
+	}
+	if job == nil {
+		job = s.startBackgroundFlushLocked(ds)
+	}
+	ds.Unlock()
+	if job == nil {
+		writeError(w, http.StatusServiceUnavailable, "server is shutting down")
+		return
+	}
+	w.Header().Set("Location", fmt.Sprintf("/v1/datasets/%s/flush/%s", ds.ID, job.ID))
+	resp := map[string]any{
+		"flushJobId": job.ID,
+		"status":     "running",
+		"dataset":    ds.Summary(),
+	}
+	inlineTrace(r, resp)
+	writeJSON(w, http.StatusAccepted, resp)
+}
+
+// handleFlushWait is POST /flush?wait=1: block until the dataset has no
+// pending rows (joining any background job first), running the flush
+// inline in the worker pool under the request's own trace. This is the
+// pre-async contract, kept for tests, scripts, and clients that want
+// flush-then-read without polling.
+func (s *Server) handleFlushWait(w http.ResponseWriter, r *http.Request, ds *Dataset) {
+	var lastMode core.FlushMode
+	flushed := false
+	for {
+		ds.Lock()
+		if ds.deleted {
+			ds.Unlock()
+			writeError(w, http.StatusNotFound, "no dataset %q", ds.ID)
+			return
+		}
+		if job := ds.curFlush; job != nil {
+			ds.Unlock()
+			select {
+			case <-job.done:
+				if job.err == nil {
+					lastMode, flushed = job.mode, true
+				}
+				continue // re-check: more rows may be pending by now
+			case <-r.Context().Done():
+				writeError(w, s.errStatus(r, r.Context().Err()), "waiting for flush: %v", r.Context().Err())
+				return
+			}
+		}
+		if ds.upd.Pending() == 0 {
+			summary := ds.refreshSummaryLocked()
+			res := ds.upd.Result()
+			rep := reportToJSON(ds.upd.Current().Schema(), &res.Report)
+			ds.Unlock()
+			resp := map[string]any{"dataset": summary, "report": rep}
+			if flushed {
+				// Only a flush that actually ran reports its mode; a no-op
+				// flush would otherwise echo the previous flush's mode.
+				resp["flushMode"] = string(lastMode)
+			}
+			inlineTrace(r, resp)
+			writeJSON(w, http.StatusOK, resp)
+			return
+		}
+
+		// Pending rows and no job running: flush inline, holding the
+		// single-flight slot so background triggers join us.
+		plan, err := ds.upd.BeginFlush()
+		if err != nil || plan == nil {
+			ds.Unlock()
+			continue // raced with a commit; re-evaluate
+		}
+		job := &flushJob{ID: newFlushJobID(), done: make(chan struct{})}
+		ds.curFlush = job
+		registerFlushJobLocked(ds, job)
+		ds.Unlock()
+
+		jobCtx, cancel := s.jobContext(r.Context())
+		runErr := s.pool.Run(jobCtx, plan.Run)
+		cancel()
+		if runErr != nil {
+			ds.Lock()
+			ds.upd.AbortFlush(plan)
+			summary := ds.refreshSummaryLocked()
+			finishFlushLocked(ds, job, runErr, summary, reportJSON{}, "")
+			ds.Unlock()
+			writeError(w, s.errStatus(r, runErr), "flushing: %v", runErr)
+			return
+		}
+		ds.Lock()
+		res, err := ds.upd.CompleteFlush(plan)
+		if err != nil {
+			summary := ds.refreshSummaryLocked()
+			finishFlushLocked(ds, job, err, summary, reportJSON{}, "")
+			ds.Unlock()
+			writeError(w, http.StatusInternalServerError, "committing flush: %v", err)
+			return
+		}
+		mode := ds.upd.LastFlush
+		rec := s.captureRecordLocked(ds)
+		ds.Unlock()
+
+		s.recordFlush(mode)
+		if rec != nil {
+			// Outside ds.mu (see runBackgroundFlush); under the request's
+			// context so the snapshot spans land in this trace.
+			if err := s.st.SaveSnapshot(r.Context(), rec); err != nil {
+				s.logf("dataset %s: persisting post-flush snapshot: %v", ds.ID, err)
+			}
+		}
+
+		ds.Lock()
+		summary := ds.refreshSummaryLocked()
+		rep := reportToJSON(ds.upd.Current().Schema(), &res.Report)
+		finishFlushLocked(ds, job, nil, summary, rep, mode)
+		ds.Unlock()
+		resp := map[string]any{
+			"dataset":   summary,
+			"report":    rep,
+			"flushMode": string(mode),
+		}
+		inlineTrace(r, resp)
+		writeJSON(w, http.StatusOK, resp)
+		return
+	}
+}
+
+// handleFlushJob is GET /v1/datasets/{id}/flush/{jobID}: poll an async
+// flush. Running jobs answer {"status":"running"}; finished jobs carry
+// the same dataset/report/flushMode payload the synchronous flush would
+// have returned, or the error that failed them.
+func (s *Server) handleFlushJob(w http.ResponseWriter, r *http.Request) {
+	ds, ok := s.dataset(w, r)
+	if !ok {
+		return
+	}
+	jobID := r.PathValue("jobID")
+	ds.Lock()
+	job := ds.flushJobs[jobID]
+	ds.Unlock()
+	if job == nil {
+		writeError(w, http.StatusNotFound, "no flush job %q for dataset %s", jobID, ds.ID)
+		return
+	}
+	select {
+	case <-job.done:
+		if job.err != nil {
+			writeJSON(w, http.StatusOK, map[string]any{
+				"flushJobId": job.ID,
+				"status":     "failed",
+				"error":      job.err.Error(),
+				"dataset":    job.summary,
+			})
+			return
+		}
+		writeJSON(w, http.StatusOK, map[string]any{
+			"flushJobId": job.ID,
+			"status":     "done",
+			"flushMode":  string(job.mode),
+			"dataset":    job.summary,
+			"report":     job.report,
+		})
+	default:
+		writeJSON(w, http.StatusOK, map[string]any{
+			"flushJobId": job.ID,
+			"status":     "running",
+			"dataset":    ds.Summary(),
+		})
+	}
+}
+
+// captureRecordLocked snapshots the dataset's durable state for
+// SaveSnapshot. Caller holds ds.mu (or owns the dataset exclusively);
+// the WALSeq watermark is bufSeq — exactly the batches whose rows the
+// captured updater state includes. Returns nil without a store or for a
+// deleted dataset (its directory is being torn down).
+func (s *Server) captureRecordLocked(ds *Dataset) *store.Record {
+	if s.st == nil || ds.deleted {
+		return nil
+	}
+	return &store.Record{
+		ID:      ds.ID,
+		Name:    ds.Name,
+		Created: ds.Created,
+		Config:  ds.cfg,
+		Updater: ds.upd.State(),
+		WALSeq:  ds.bufSeq,
+	}
+}

@@ -1,0 +1,182 @@
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+
+	"f2/internal/store"
+)
+
+// TestIngestHammerAndRecover races appends, flushes (sync and async),
+// reads, and dataset create/delete against a durable server, then shuts
+// it down mid-state (pending rows unflushed) and recovers from disk: no
+// acknowledged batch may be lost, none duplicated, and the decrypted
+// plaintext must equal exactly the acknowledged uploads. Run with -race.
+func TestIngestHammerAndRecover(t *testing.T) {
+	dir := t.TempDir()
+	st, err := store.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := New(Options{Workers: 4, Store: st})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+
+	base := [][]string{
+		{"g1", "base1"}, {"g1", "base2"}, {"g2", "base3"}, {"g2", "base4"},
+	}
+	id := createDataset(t, ts.URL, []string{"G", "ID"}, base)
+
+	const appenders = 4
+	const batches = 10
+	var wg sync.WaitGroup
+	errs := make(chan error, appenders+3)
+
+	// Appenders: unique rows, two per batch, every batch must be acked.
+	for a := 0; a < appenders; a++ {
+		wg.Add(1)
+		go func(a int) {
+			defer wg.Done()
+			for b := 0; b < batches; b++ {
+				rows := [][]string{
+					{fmt.Sprintf("g%d", a%3+1), fmt.Sprintf("h-%d-%d-x", a, b)},
+					{fmt.Sprintf("g%d", b%3+1), fmt.Sprintf("h-%d-%d-y", a, b)},
+				}
+				resp, body := doJSON(t, http.MethodPost, ts.URL+"/v1/datasets/"+id+"/rows",
+					map[string]any{"rows": rows})
+				if resp.StatusCode != http.StatusOK {
+					errs <- fmt.Errorf("append %d/%d: status %d, body %s", a, b, resp.StatusCode, body)
+					return
+				}
+			}
+		}(a)
+	}
+	// Flusher: alternate async flushes (202/200) and synchronous ones.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 6; i++ {
+			path := "/v1/datasets/" + id + "/flush"
+			if i%2 == 0 {
+				path += "?wait=1"
+			}
+			resp, body := doJSON(t, http.MethodPost, ts.URL+path, map[string]any{})
+			if resp.StatusCode != http.StatusOK && resp.StatusCode != http.StatusAccepted {
+				errs <- fmt.Errorf("flush %d: status %d, body %s", i, resp.StatusCode, body)
+				return
+			}
+		}
+	}()
+	// Reader: summaries and decrypts must stay coherent mid-hammer.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 10; i++ {
+			if resp, body := doJSON(t, http.MethodGet, ts.URL+"/v1/datasets/"+id, nil); resp.StatusCode != http.StatusOK {
+				errs <- fmt.Errorf("get %d: status %d, body %s", i, resp.StatusCode, body)
+				return
+			}
+			if resp, body := doJSON(t, http.MethodPost, ts.URL+"/v1/datasets/"+id+"/decrypt", map[string]any{}); resp.StatusCode != http.StatusOK {
+				errs <- fmt.Errorf("decrypt %d: status %d, body %s", i, resp.StatusCode, body)
+				return
+			}
+		}
+	}()
+	// Deleter: churn ephemeral datasets so create/delete runs concurrently
+	// with the hammered one's WAL traffic.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 3; i++ {
+			vid := createDataset(t, ts.URL, []string{"A", "B"}, [][]string{
+				{"a", "1"}, {"a", "2"}, {"b", "3"},
+			})
+			resp, body := doJSON(t, http.MethodPost, ts.URL+"/v1/datasets/"+vid+"/rows",
+				map[string]any{"rows": [][]string{{"c", "4"}}})
+			if resp.StatusCode != http.StatusOK {
+				errs <- fmt.Errorf("victim append %d: status %d, body %s", i, resp.StatusCode, body)
+				return
+			}
+			resp, body = doJSON(t, http.MethodDelete, ts.URL+"/v1/datasets/"+vid, nil)
+			if resp.StatusCode != http.StatusOK {
+				errs <- fmt.Errorf("victim delete %d: status %d, body %s", i, resp.StatusCode, body)
+				return
+			}
+		}
+	}()
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+
+	// Shut down with whatever is pending still in the WAL — recovery must
+	// replay it. (Close drains in-flight background flushes first.)
+	ts.Close()
+	srv.Close()
+	if err := st.Close(); err != nil {
+		t.Fatalf("store close: %v", err)
+	}
+
+	_, ts2 := newDurableServer(t, dir, 4)
+	resp, body := doJSON(t, http.MethodPost, ts2.URL+"/v1/datasets/"+id+"/flush?wait=1", map[string]any{})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("flush after recovery: status %d, body %s", resp.StatusCode, body)
+	}
+	columns, rows, pending := decryptRows(t, ts2.URL, id)
+	if pending != 0 {
+		t.Fatalf("pending = %d after recovery flush", pending)
+	}
+	want := len(base) + appenders*batches*2
+	if len(rows) != want {
+		t.Fatalf("recovered %d rows, want %d", len(rows), want)
+	}
+	seen := make(map[string]int)
+	idCol := -1
+	for i, c := range columns {
+		if c == "ID" {
+			idCol = i
+		}
+	}
+	if idCol == -1 {
+		t.Fatalf("no ID column in %v", columns)
+	}
+	for _, r := range rows {
+		seen[r[idCol]]++
+	}
+	for a := 0; a < appenders; a++ {
+		for b := 0; b < batches; b++ {
+			for _, suffix := range []string{"x", "y"} {
+				key := fmt.Sprintf("h-%d-%d-%s", a, b, suffix)
+				if seen[key] != 1 {
+					t.Fatalf("acked row %s appears %d times after recovery", key, seen[key])
+				}
+			}
+		}
+	}
+	// The deleted victims stayed deleted.
+	var listing struct {
+		Datasets []Summary `json:"datasets"`
+	}
+	resp, body = doJSON(t, http.MethodGet, ts2.URL+"/v1/datasets", nil)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("list: status %d", resp.StatusCode)
+	}
+	if err := json.Unmarshal(body, &listing); err != nil {
+		t.Fatal(err)
+	}
+	if len(listing.Datasets) != 1 || listing.Datasets[0].ID != id {
+		names := make([]string, 0, len(listing.Datasets))
+		for _, d := range listing.Datasets {
+			names = append(names, d.ID)
+		}
+		t.Fatalf("recovered datasets %v, want only %s", strings.Join(names, ","), id)
+	}
+}

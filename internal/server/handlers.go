@@ -4,7 +4,6 @@ import (
 	"context"
 	"encoding/json"
 	"errors"
-	"fmt"
 	"io"
 	"net/http"
 	"strconv"
@@ -14,6 +13,7 @@ import (
 	"f2/internal/core"
 	"f2/internal/crypt"
 	"f2/internal/fd"
+	"f2/internal/obs"
 	"f2/internal/relation"
 	"f2/internal/store"
 	"f2/internal/verify"
@@ -188,30 +188,28 @@ func (s *Server) handleCreateDataset(w http.ResponseWriter, r *http.Request) {
 	if req.FlushFraction > 0 {
 		upd.FlushFraction = req.FlushFraction
 	}
-	ds, err := s.reg.Add(req.Name, cfg, upd)
+	// Reserve the id, persist, then publish: the dataset must be durable
+	// before the client can learn (or address) its id, so a create lost
+	// to a restart is a 500 the client retries, never an acknowledged
+	// orphan — and no append can race the initial persist, because an
+	// unpublished id 404s.
+	id, release, err := s.reg.Reserve()
 	if err != nil {
 		writeError(w, http.StatusInternalServerError, "%v", err)
 		return
 	}
-	// The dataset must be durable before the client learns its id: a
-	// create acknowledged and then lost to a restart is worse than a 500
-	// the client can retry. The lock orders us against any request that
-	// grabbed the freshly published dataset first.
-	ds.Lock()
-	persistErr := s.persistSnapshotLocked(r.Context(), ds)
-	if persistErr != nil {
-		// Tombstone before unlocking: a request that grabbed the freshly
-		// published dataset and queued on the lock must see the rollback,
-		// not acknowledge appends into a snapshot-less orphan directory
-		// that recovery would skip.
-		ds.deleted = true
+	ds := newDataset(id, req.Name, cfg, upd)
+	if rec := s.captureRecordLocked(ds); rec != nil {
+		if err := s.st.SaveSnapshot(r.Context(), rec); err != nil {
+			release()
+			// Best-effort teardown of whatever the failed persist left on
+			// disk; recovery skips snapshot-less directories regardless.
+			_ = s.st.Delete(ds.ID)
+			writeError(w, http.StatusInternalServerError, "persisting dataset: %v", err)
+			return
+		}
 	}
-	ds.Unlock()
-	if persistErr != nil {
-		s.reg.Remove(ds.ID)
-		writeError(w, http.StatusInternalServerError, "persisting dataset: %v", persistErr)
-		return
-	}
+	s.reg.Publish(ds)
 	s.logf("dataset %s (%q): %d rows -> %d encrypted", ds.ID, ds.Name, tbl.NumRows(), res.Encrypted.NumRows())
 	w.Header().Set("Location", "/v1/datasets/"+ds.ID)
 	resp := map[string]any{
@@ -236,7 +234,9 @@ func (s *Server) handleGetDataset(w http.ResponseWriter, r *http.Request) {
 	if !ok {
 		return
 	}
-	writeJSON(w, http.StatusOK, map[string]any{"dataset": ds.Summary()})
+	writeJSON(w, http.StatusOK, struct {
+		Dataset Summary `json:"dataset"`
+	}{ds.Summary()})
 }
 
 // appendRowsRequest is the body of POST /v1/datasets/{id}/rows.
@@ -244,99 +244,157 @@ type appendRowsRequest struct {
 	Rows [][]string `json:"rows"`
 }
 
+// batchBytes approximates the wire size of an append batch for the
+// ingest backpressure account.
+func batchBytes(rows [][]string) int64 {
+	n := int64(0)
+	for _, row := range rows {
+		n += 16
+		for _, cell := range row {
+			n += int64(len(cell)) + 8
+		}
+	}
+	return n
+}
+
+// handleAppendRows stages the batch for group commit and waits for its
+// fsync — holding ds.mu only for the staging, never across any I/O — so
+// concurrent appends to one dataset coalesce into shared fsyncs and
+// proceed while a flush encrypts in the background. The rows enter the
+// updater buffer in the commit callback, on the committer goroutine, in
+// sequence order. Auto-flush triggers the background job instead of
+// encrypting inline; the response reports the job id.
 func (s *Server) handleAppendRows(w http.ResponseWriter, r *http.Request) {
 	ds, ok := s.dataset(w, r)
 	if !ok {
 		return
 	}
 	var req appendRowsRequest
-	if !s.decodeBody(w, r, &req) {
+	if !s.decodeAppendRows(w, r, &req) {
 		return
 	}
 	if len(req.Rows) == 0 {
 		writeError(w, http.StatusBadRequest, "no rows to append")
 		return
 	}
+	if s.draining.Load() {
+		writeError(w, http.StatusServiceUnavailable, "server is shutting down")
+		return
+	}
 
-	var flushed bool
-	var flushErr error
-	var summary Summary
-	// The dataset lock is taken on the request goroutine, not inside the
-	// pooled job: a request waiting its turn on a hot dataset must not
-	// occupy a worker that a runnable job for another dataset could use.
+	size := batchBytes(req.Rows)
 	ds.Lock()
-	defer ds.Unlock()
 	if ds.deleted {
+		ds.Unlock()
 		writeError(w, http.StatusNotFound, "no dataset %q", ds.ID)
 		return
 	}
-	jobCtx, cancel := s.jobContext(r.Context())
-	defer cancel()
-	err := s.pool.Run(jobCtx, func(ctx context.Context) error {
-		// Validate the batch shape before journaling it, so the WAL only
-		// ever holds batches that replay cleanly. (Width is the only way
-		// Buffer can fail; checking it here keeps journal-then-buffer
-		// infallible in between.)
-		width := ds.upd.Current().NumAttrs()
-		for i, row := range req.Rows {
-			if len(row) != width {
-				return &badRequestError{fmt.Sprintf("row %d has %d cells, schema has %d", i, len(row), width)}
-			}
+	// Validate the batch shape before journaling it, so the WAL only ever
+	// holds batches that replay cleanly. (Width is the only way Buffer
+	// can fail; checking it here keeps journal-then-buffer infallible in
+	// between.)
+	width := ds.upd.Current().NumAttrs()
+	for i, row := range req.Rows {
+		if len(row) != width {
+			ds.Unlock()
+			writeError(w, http.StatusBadRequest, "row %d has %d cells, schema has %d", i, len(row), width)
+			return
 		}
-		// Journal before buffering: an append is acknowledged only once
-		// it is durable, so a crash at any later point recovers it. A
-		// failed journal write rejects the whole append before any state
-		// changed — the client's retry is safe.
-		if s.st != nil {
-			if err := s.st.AppendBatch(ctx, ds.ID, store.Batch{Seq: ds.walSeq + 1, Rows: req.Rows}); err != nil {
-				return fmt.Errorf("journaling append: %w", err)
-			}
-			ds.walSeq++
-		}
-		// Buffer is atomic: a ragged batch is rejected whole. A failed
-		// rebuild after a successful buffer is NOT a failed append — the
-		// rows are durably pending and the next flush retries them — so
-		// it must not surface as an error (a client retry would append
-		// duplicates).
-		if err := ds.upd.Buffer(req.Rows); err != nil {
-			return &badRequestError{err.Error()}
-		}
-		if ds.upd.ShouldFlush() {
-			if _, err := ds.upd.Flush(ctx); err != nil {
-				flushErr = err
-			} else {
-				flushed = true
-				s.recordFlush(ds.upd.LastFlush)
-				// A failed snapshot does not lose the flush: the WAL
-				// still holds every batch, so recovery replays them as
-				// pending rows and the next flush re-applies them.
-				if err := s.persistSnapshotLocked(ctx, ds); err != nil {
-					s.logf("dataset %s: persisting post-flush snapshot: %v", ds.ID, err)
-				}
-			}
-		}
-		summary = ds.refreshSummaryLocked()
-		return nil
-	})
-	if err != nil {
-		var bad *badRequestError
-		if errors.As(err, &bad) {
-			writeError(w, http.StatusBadRequest, "%s", bad.msg)
-		} else {
-			writeError(w, httpStatusOf(err), "appending rows: %v", err)
-		}
+	}
+	// Backpressure: bound the bytes staged-but-uncommitted per dataset.
+	// 429 + Retry-After tells well-behaved clients to back off rather
+	// than letting the staging queue grow without limit.
+	if limit := s.opts.MaxPendingBytes; limit > 0 && ds.pendingBytes+size > limit {
+		pending := ds.pendingBytes
+		ds.Unlock()
+		w.Header().Set("Retry-After", "1")
+		writeError(w, http.StatusTooManyRequests,
+			"dataset %s ingest queue is full (%d bytes staged, limit %d)", ds.ID, pending, limit)
 		return
 	}
-	resp := map[string]any{"flushed": flushed, "dataset": summary}
-	if flushed {
-		resp["flushMode"] = string(ds.upd.LastFlush)
+
+	seq := ds.walSeq + 1
+	var ack *store.WALAck
+	if s.st != nil {
+		// Journal before buffering: an append is acknowledged only once it
+		// is durable, so a crash at any later point recovers it. Staging
+		// under ds.mu makes staging order the sequence order; the commit
+		// callback below runs on the committer goroutine after the group
+		// fsync, before any waiter of the group is released.
+		rows := req.Rows
+		var err error
+		ack, err = s.st.StageAppend(ds.ID, store.Batch{Seq: seq, Rows: rows}, func() {
+			ds.Lock()
+			if !ds.deleted {
+				if err := ds.upd.Buffer(rows); err != nil {
+					// Unreachable: the width was validated above and the
+					// schema of a dataset never changes.
+					s.logf("dataset %s: buffering journaled batch %d: %v", ds.ID, seq, err)
+				} else if seq > ds.bufSeq {
+					ds.bufSeq = seq
+				}
+			}
+			ds.pendingBytes -= size
+			ds.Unlock()
+			s.ingestBytes.Add(-size)
+		})
+		if err != nil {
+			// Nothing was staged and walSeq did not advance: the client's
+			// retry is safe.
+			ds.Unlock()
+			writeError(w, s.errStatus(r, err), "journaling append: %v", err)
+			return
+		}
+		ds.walSeq = seq
+		ds.pendingBytes += size
+		s.ingestBytes.Add(size)
+		ds.Unlock()
+		if err := ack.Wait(r.Context()); err != nil {
+			// The batch is not durable (its whole group failed); its
+			// reservation was not released by a commit callback, so settle
+			// it here.
+			ds.Lock()
+			ds.pendingBytes -= size
+			ds.Unlock()
+			s.ingestBytes.Add(-size)
+			writeError(w, s.errStatus(r, err), "journaling append: %v", err)
+			return
+		}
+	} else {
+		// In-memory mode: no journal, apply directly.
+		if err := ds.upd.Buffer(req.Rows); err != nil {
+			ds.Unlock()
+			writeError(w, http.StatusBadRequest, "%v", err)
+			return
+		}
+		ds.walSeq = seq
+		ds.bufSeq = seq
+		ds.Unlock()
 	}
-	if flushErr != nil {
-		resp["flushDeferred"] = true
-		resp["flushError"] = flushErr.Error()
+
+	var job *flushJob
+	ds.Lock()
+	if ds.upd.ShouldFlush() {
+		job = s.startBackgroundFlushLocked(ds)
 	}
-	inlineTrace(r, resp)
+	summary := ds.refreshSummaryLocked()
+	ds.Unlock()
+
+	resp := appendRowsResponse{Dataset: summary, FlushScheduled: job != nil, Trace: traceSnapshot(r)}
+	if job != nil {
+		resp.FlushJobID = job.ID
+	}
 	writeJSON(w, http.StatusOK, resp)
+}
+
+// appendRowsResponse is the body of POST /v1/datasets/{id}/rows. Typed
+// (not map[string]any): appends are the hot path and reflection map
+// encoding is measurably slower than struct encoding.
+type appendRowsResponse struct {
+	Dataset        Summary            `json:"dataset"`
+	FlushScheduled bool               `json:"flushScheduled"`
+	FlushJobID     string             `json:"flushJobId,omitempty"`
+	Trace          *obs.TraceSnapshot `json:"trace,omitempty"`
 }
 
 // recordFlush counts one committed flush under its engine label, so
@@ -348,65 +406,12 @@ func (s *Server) recordFlush(mode core.FlushMode) {
 	s.metrics.IncCounter("f2_flushes_total", "mode", string(mode))
 }
 
-// badRequestError marks a pooled-job failure as the client's fault.
-type badRequestError struct{ msg string }
-
-func (e *badRequestError) Error() string { return e.msg }
-
-func (s *Server) handleFlush(w http.ResponseWriter, r *http.Request) {
-	ds, ok := s.dataset(w, r)
-	if !ok {
-		return
-	}
-	var summary Summary
-	var rep reportJSON
-	ds.Lock()
-	defer ds.Unlock()
-	if ds.deleted {
-		writeError(w, http.StatusNotFound, "no dataset %q", ds.ID)
-		return
-	}
-	jobCtx, cancel := s.jobContext(r.Context())
-	defer cancel()
-	hadPending := false
-	err := s.pool.Run(jobCtx, func(ctx context.Context) error {
-		hadPending = ds.upd.Pending() > 0
-		res, err := ds.upd.Flush(ctx)
-		if err != nil {
-			return err
-		}
-		if hadPending {
-			s.recordFlush(ds.upd.LastFlush)
-			if err := s.persistSnapshotLocked(ctx, ds); err != nil {
-				// Not fatal: the journaled batches still recover the
-				// flushed rows as pending (see handleAppendRows).
-				s.logf("dataset %s: persisting post-flush snapshot: %v", ds.ID, err)
-			}
-		}
-		summary = ds.refreshSummaryLocked()
-		rep = reportToJSON(ds.upd.Current().Schema(), &res.Report)
-		return nil
-	})
-	if err != nil {
-		writeError(w, httpStatusOf(err), "flushing: %v", err)
-		return
-	}
-	resp := map[string]any{"dataset": summary, "report": rep}
-	if hadPending {
-		// Only a flush that actually ran reports its mode; a no-op flush
-		// would otherwise echo the previous flush's mode.
-		resp["flushMode"] = string(ds.upd.LastFlush)
-	}
-	inlineTrace(r, resp)
-	writeJSON(w, http.StatusOK, resp)
-}
-
 // handleDeleteDataset removes a dataset from the registry and from the
-// durable store. The lock waits out any in-flight pipeline operation on
-// the dataset; once deleted is set, a request that was queued on the
-// same lock sees the tombstone instead of journaling into a directory
-// being torn down. The f2_datasets gauge reads the live registry, so the
-// count drops on the next scrape without explicit bookkeeping.
+// durable store. Once deleted is set, appends refuse to journal into a
+// directory being torn down and no new flush can start; an in-flight
+// background flush is waited out, because its snapshot persist must not
+// race the file removal. The f2_datasets gauge reads the live registry,
+// so the count drops on the next scrape without explicit bookkeeping.
 func (s *Server) handleDeleteDataset(w http.ResponseWriter, r *http.Request) {
 	ds, ok := s.dataset(w, r)
 	if !ok {
@@ -415,10 +420,14 @@ func (s *Server) handleDeleteDataset(w http.ResponseWriter, r *http.Request) {
 	ds.Lock()
 	already := ds.deleted
 	ds.deleted = true
+	job := ds.curFlush
 	ds.Unlock()
 	if already {
 		writeError(w, http.StatusNotFound, "no dataset %q", ds.ID)
 		return
+	}
+	if job != nil {
+		<-job.done
 	}
 	// Remove the files before the registry entry: if the store delete
 	// fails, lifting the tombstone puts the dataset back in service and

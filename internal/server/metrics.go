@@ -96,22 +96,24 @@ func (s *opStats) quantile(q float64) time.Duration {
 // dataset count) are registered as callbacks so the render reflects live
 // state without Metrics knowing about its producers.
 type Metrics struct {
-	mu       sync.Mutex
-	ops      map[string]*opStats
-	stages   map[string]*stageStats
-	gauges   map[string]func() float64
-	counters map[string]map[string]uint64 // name -> rendered label list -> count
-	start    time.Time
+	mu         sync.Mutex
+	ops        map[string]*opStats
+	stages     map[string]*stageStats
+	gauges     map[string]func() float64
+	counters   map[string]map[string]uint64 // name -> rendered label list -> count
+	counterFns map[string]func() float64    // counters owned by other subsystems
+	start      time.Time
 }
 
 // NewMetrics returns an empty metrics registry.
 func NewMetrics() *Metrics {
 	return &Metrics{
-		ops:      make(map[string]*opStats),
-		stages:   make(map[string]*stageStats),
-		gauges:   make(map[string]func() float64),
-		counters: make(map[string]map[string]uint64),
-		start:    time.Now(),
+		ops:        make(map[string]*opStats),
+		stages:     make(map[string]*stageStats),
+		gauges:     make(map[string]func() float64),
+		counters:   make(map[string]map[string]uint64),
+		counterFns: make(map[string]func() float64),
+		start:      time.Now(),
 	}
 }
 
@@ -213,6 +215,16 @@ func (m *Metrics) RegisterGauge(name string, fn func() float64) {
 	m.gauges[name] = fn
 }
 
+// RegisterCounterFunc exposes a monotonically increasing value owned by
+// another subsystem (e.g. the store's WAL fsync count) as a counter. The
+// callback contract matches RegisterGauge: called during Render with no
+// Metrics lock held.
+func (m *Metrics) RegisterCounterFunc(name string, fn func() float64) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.counterFns[name] = fn
+}
+
 // Observe records one completed request for op with its HTTP status and
 // latency.
 func (m *Metrics) Observe(op string, status int, d time.Duration) {
@@ -265,6 +277,10 @@ func (m *Metrics) Render(w io.Writer) {
 	for n, fn := range m.gauges {
 		gaugeFns[n] = fn
 	}
+	counterFns := make(map[string]func() float64, len(m.counterFns))
+	for n, fn := range m.counterFns {
+		counterFns[n] = fn
+	}
 	m.mu.Unlock()
 	gaugeVals := make(map[string]float64, len(gaugeFns))
 	names := make([]string, 0, len(gaugeFns))
@@ -273,6 +289,13 @@ func (m *Metrics) Render(w io.Writer) {
 		names = append(names, n)
 	}
 	sort.Strings(names)
+	counterFnVals := make(map[string]float64, len(counterFns))
+	counterFnNames := make([]string, 0, len(counterFns))
+	for n, fn := range counterFns {
+		counterFnVals[n] = fn()
+		counterFnNames = append(counterFnNames, n)
+	}
+	sort.Strings(counterFnNames)
 
 	m.mu.Lock()
 	defer m.mu.Unlock()
@@ -282,6 +305,10 @@ func (m *Metrics) Render(w io.Writer) {
 
 	for _, n := range names {
 		fmt.Fprintf(w, "# TYPE %s gauge\n%s %g\n", n, n, gaugeVals[n])
+	}
+
+	for _, n := range counterFnNames {
+		fmt.Fprintf(w, "# TYPE %s counter\n%s %g\n", n, n, counterFnVals[n])
 	}
 
 	counterNames := make([]string, 0, len(m.counters))

@@ -1,6 +1,7 @@
 package server
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
 	"errors"
@@ -8,6 +9,8 @@ import (
 	"log/slog"
 	"net/http"
 	"runtime/debug"
+	"strconv"
+	"sync"
 	"time"
 
 	"f2/internal/obs"
@@ -109,7 +112,17 @@ func (s *Server) logRequest(r *http.Request, op string, status int, d time.Durat
 		}
 		attrs = append(attrs, slog.Group("stages", stages...))
 	}
-	s.opts.Logger.LogAttrs(r.Context(), slog.LevelInfo, "request", attrs...)
+	// Level follows the outcome: 5xx is a server failure worth an alert,
+	// 4xx (including 499 client-gone) is the client's doing and only
+	// warrants a warning, everything else is routine.
+	level := slog.LevelInfo
+	switch {
+	case status >= 500:
+		level = slog.LevelError
+	case status >= 400:
+		level = slog.LevelWarn
+	}
+	s.opts.Logger.LogAttrs(r.Context(), level, "request", attrs...)
 }
 
 // apiError is the JSON error envelope of every non-2xx response.
@@ -119,12 +132,32 @@ type apiError struct {
 
 // writeJSON writes v with the given status; encoding failures surface in
 // the log, not the (already committed) response.
+// jsonBufs recycles encode buffers across responses: writeJSON is on
+// every request path, and per-response buffer churn shows up as GC
+// assist time under load.
+var jsonBufs = sync.Pool{New: func() any { return new(bytes.Buffer) }}
+
 func writeJSON(w http.ResponseWriter, status int, v any) {
-	w.Header().Set("Content-Type", "application/json")
-	w.WriteHeader(status)
-	enc := json.NewEncoder(w)
+	buf := jsonBufs.Get().(*bytes.Buffer)
+	buf.Reset()
+	enc := json.NewEncoder(buf)
 	enc.SetEscapeHTML(false)
-	_ = enc.Encode(v)
+	if err := enc.Encode(v); err != nil {
+		// Responses are built from marshalable structs; an encode failure
+		// is a programming error, surfaced as a 500 with no body rather
+		// than a half-written 200.
+		jsonBufs.Put(buf)
+		w.WriteHeader(http.StatusInternalServerError)
+		return
+	}
+	// An explicit Content-Length keeps bodies larger than the server's
+	// internal write buffer out of chunked encoding: one framing, fewer
+	// syscalls per response.
+	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("Content-Length", strconv.Itoa(buf.Len()))
+	w.WriteHeader(status)
+	_, _ = w.Write(buf.Bytes())
+	jsonBufs.Put(buf)
 }
 
 // writeError writes the JSON error envelope.
@@ -132,9 +165,34 @@ func writeError(w http.ResponseWriter, status int, format string, args ...any) {
 	writeJSON(w, status, apiError{Error: fmt.Sprintf(format, args...)})
 }
 
-// httpStatusOf maps pipeline errors to status codes: client cancellation
-// is 499-style (we use 408 Request Timeout, the closest standard code),
-// a closing server is 503 (retryable), everything else is a 500.
+// StatusClientClosedRequest is nginx's non-standard 499 "client closed
+// request": the client disconnected before the response was written.
+// Reported as a 4xx because the aborted work is the client's doing, not
+// a server failure — the distinction keeps ERROR-level logs (and the 5xx
+// metrics class) meaning "the server is broken".
+const StatusClientClosedRequest = 499
+
+// errStatus maps a pipeline error to a status code in the context of
+// request r: a context.Canceled that traces back to the client's own
+// disconnect is 499, cancellation from server shutdown is a retryable
+// 503, a deadline is 408, a closed pool 503, everything else 500.
+func (s *Server) errStatus(r *http.Request, err error) int {
+	switch {
+	case errors.Is(err, context.Canceled):
+		if r != nil && r.Context().Err() != nil {
+			return StatusClientClosedRequest
+		}
+		return http.StatusServiceUnavailable
+	case errors.Is(err, context.DeadlineExceeded):
+		return http.StatusRequestTimeout
+	case errors.Is(err, ErrPoolClosed):
+		return http.StatusServiceUnavailable
+	}
+	return http.StatusInternalServerError
+}
+
+// httpStatusOf is errStatus without a request: cancellation cannot be
+// attributed to a client disconnect, so it stays 408.
 func httpStatusOf(err error) int {
 	switch {
 	case errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded):

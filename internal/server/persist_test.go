@@ -62,14 +62,18 @@ func TestPersistenceAcrossRestart(t *testing.T) {
 		t.Fatalf("append: status %d, body %s", resp.StatusCode, body)
 	}
 	var appended struct {
-		Flushed bool `json:"flushed"`
+		FlushScheduled bool   `json:"flushScheduled"`
+		FlushJobID     string `json:"flushJobId"`
 	}
 	if err := json.Unmarshal(body, &appended); err != nil {
 		t.Fatal(err)
 	}
-	if !appended.Flushed {
-		t.Fatalf("batch of 2 did not auto-flush: %s", body)
+	if !appended.FlushScheduled {
+		t.Fatalf("batch of 2 did not schedule an auto-flush: %s", body)
 	}
+	// The background job closes only after its snapshot persisted, so the
+	// flushed batch is durable before the "restart" below.
+	pollFlushJob(t, ts.URL, id, appended.FlushJobID)
 	// One more row, left pending across the restart.
 	pendingRow := [][]string{{"g1", "id8"}}
 	resp, body = doJSON(t, http.MethodPost, ts.URL+"/v1/datasets/"+id+"/rows",
@@ -97,7 +101,7 @@ func TestPersistenceAcrossRestart(t *testing.T) {
 
 	// The dataset is fully usable: flush the pending row, decrypt, and
 	// compare against everything ever uploaded.
-	resp, body = doJSON(t, http.MethodPost, ts2.URL+"/v1/datasets/"+id+"/flush", map[string]any{})
+	resp, body = doJSON(t, http.MethodPost, ts2.URL+"/v1/datasets/"+id+"/flush?wait=1", map[string]any{})
 	if resp.StatusCode != http.StatusOK {
 		t.Fatalf("flush after restart: status %d, body %s", resp.StatusCode, body)
 	}

@@ -26,13 +26,31 @@ type Dataset struct {
 	cfg core.Config
 	upd *core.Updater
 
-	// walSeq is the sequence number of the last batch journaled for this
-	// dataset (0 before the first append); deleted marks a dataset whose
-	// removal has begun, so a request that was already waiting on mu when
-	// the delete ran must not journal to a store directory that is being
-	// torn down. Both are guarded by mu.
+	// walSeq is the sequence number of the last batch staged for
+	// journaling (0 before the first append); bufSeq is the sequence of
+	// the last batch whose group commit completed and whose rows entered
+	// the updater — the snapshot watermark: every batch at or below it is
+	// inside the updater state a snapshot captures, every batch above it
+	// must survive WAL compaction. deleted marks a dataset whose removal
+	// has begun, so a request that was already waiting on mu when the
+	// delete ran must not journal to a store directory that is being torn
+	// down. All guarded by mu.
 	walSeq  uint64
+	bufSeq  uint64
 	deleted bool
+
+	// pendingBytes is the ingest backpressure account: approximate bytes
+	// of appends staged for group commit but not yet committed into the
+	// updater. Guarded by mu; mirrored into the server-wide
+	// f2_ingest_queue_depth gauge.
+	pendingBytes int64
+
+	// curFlush is the single-flight flush job in progress (nil when
+	// idle); flushJobs keeps recently finished jobs addressable for
+	// polling, evicted FIFO via jobOrder. Guarded by mu.
+	curFlush  *flushJob
+	flushJobs map[string]*flushJob
+	jobOrder  []string
 
 	// statMu guards the cached summary so metadata reads (list, get)
 	// never wait on d.mu while a multi-second rebuild holds it.
@@ -107,8 +125,9 @@ func (d *Dataset) Summary() Summary {
 
 // Registry maps dataset ids to datasets under a read-write lock.
 type Registry struct {
-	mu   sync.RWMutex
-	data map[string]*Dataset
+	mu       sync.RWMutex
+	data     map[string]*Dataset
+	reserved map[string]bool // ids drawn by Reserve, not yet published
 
 	// idGen draws candidate dataset ids; overridable in tests to force
 	// collisions.
@@ -117,7 +136,18 @@ type Registry struct {
 
 // NewRegistry returns an empty registry.
 func NewRegistry() *Registry {
-	return &Registry{data: make(map[string]*Dataset), idGen: newDatasetID}
+	return &Registry{
+		data:     make(map[string]*Dataset),
+		reserved: make(map[string]bool),
+		idGen:    newDatasetID,
+	}
+}
+
+// newDataset builds an unpublished dataset and primes its summary cache.
+func newDataset(id, name string, cfg core.Config, upd *core.Updater) *Dataset {
+	ds := &Dataset{ID: id, Name: name, Created: time.Now().UTC(), cfg: cfg, upd: upd}
+	ds.refreshSummaryLocked() // no concurrency yet: ds is not published
+	return ds
 }
 
 // maxIDAttempts bounds the collision-retry loop of Add. With 48-bit
@@ -125,28 +155,57 @@ func NewRegistry() *Registry {
 // the bound means the id source is broken, not unlucky.
 const maxIDAttempts = 8
 
-// Add registers a freshly encrypted dataset under a new unique id. An id
-// collision — however unlikely — is retried with a fresh id rather than
-// silently overwriting (and leaking) the dataset already registered
-// under it.
-func (r *Registry) Add(name string, cfg core.Config, upd *core.Updater) (*Dataset, error) {
+// Reserve draws a fresh unique dataset id and holds it against
+// concurrent creates without publishing anything under it, so the caller
+// can finish expensive setup (persisting the snapshot) before clients
+// can address the id. release returns the id to the pool; calling it
+// after Publish is a harmless no-op. An id collision — however unlikely
+// — is retried with a fresh id rather than silently double-assigning.
+func (r *Registry) Reserve() (id string, release func(), err error) {
 	for attempt := 0; attempt < maxIDAttempts; attempt++ {
+		// Draw outside the lock: idGen is a function value (tests override
+		// it), and calling out through it under r.mu is the lockheld class.
+		// It is only written at construction or before serving starts.
 		id, err := r.idGen()
 		if err != nil {
-			return nil, err
+			return "", nil, err
 		}
-		ds := &Dataset{ID: id, Name: name, Created: time.Now().UTC(), cfg: cfg, upd: upd}
-		ds.refreshSummaryLocked() // no concurrency yet: ds is not published
 		r.mu.Lock()
-		if _, taken := r.data[id]; taken {
+		if _, taken := r.data[id]; taken || r.reserved[id] {
 			r.mu.Unlock()
 			continue
 		}
-		r.data[id] = ds
+		r.reserved[id] = true
 		r.mu.Unlock()
-		return ds, nil
+		release := func() {
+			r.mu.Lock()
+			delete(r.reserved, id)
+			r.mu.Unlock()
+		}
+		return id, release, nil
 	}
-	return nil, fmt.Errorf("server: %d random dataset ids collided in a row", maxIDAttempts)
+	return "", nil, fmt.Errorf("server: %d random dataset ids collided in a row", maxIDAttempts)
+}
+
+// Publish registers a dataset built under a Reserve'd id, making it
+// addressable by clients.
+func (r *Registry) Publish(ds *Dataset) {
+	r.mu.Lock()
+	delete(r.reserved, ds.ID)
+	r.data[ds.ID] = ds
+	r.mu.Unlock()
+}
+
+// Add registers a freshly encrypted dataset under a new unique id:
+// Reserve + Publish for callers with no setup between the two.
+func (r *Registry) Add(name string, cfg core.Config, upd *core.Updater) (*Dataset, error) {
+	id, _, err := r.Reserve()
+	if err != nil {
+		return nil, err
+	}
+	ds := newDataset(id, name, cfg, upd)
+	r.Publish(ds)
+	return ds, nil
 }
 
 // Restore registers a dataset recovered from the durable store under its

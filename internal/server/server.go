@@ -21,6 +21,8 @@ import (
 	"log/slog"
 	"net/http"
 	"runtime"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"f2/internal/core"
@@ -57,6 +59,11 @@ type Options struct {
 	// and New recovers every stored dataset at boot. Nil keeps the
 	// original in-memory-only behavior.
 	Store *store.Store
+	// MaxPendingBytes bounds the per-dataset ingest queue: approximate
+	// bytes of appends staged for group commit but not yet committed.
+	// Past the bound appends answer 429 with Retry-After. 0 means the
+	// default 64 MiB; negative disables the bound.
+	MaxPendingBytes int64
 	// TraceRecent bounds how many completed request traces the debug ring
 	// retains (GET /v1/debug/traces). Default 64.
 	TraceRecent int
@@ -84,6 +91,9 @@ func (o *Options) fillDefaults() {
 	if o.TraceSlowest <= 0 {
 		o.TraceSlowest = 16
 	}
+	if o.MaxPendingBytes == 0 {
+		o.MaxPendingBytes = 64 << 20
+	}
 }
 
 // Server is the f2served HTTP service: registry + worker pool + metrics
@@ -102,6 +112,16 @@ type Server struct {
 	// promptly instead of holding the pool open for a full rebuild.
 	lifecycle context.Context
 	stop      context.CancelFunc
+
+	// draining is set at the start of Close: appends and new flushes are
+	// refused while flushWG waits out the background flushes already in
+	// flight, so shutdown persists every committed flush.
+	draining atomic.Bool
+	flushWG  sync.WaitGroup
+
+	// ingestBytes mirrors the sum of every dataset's pendingBytes for the
+	// f2_ingest_queue_depth gauge.
+	ingestBytes atomic.Int64
 }
 
 // New builds a server and its routes. With a durable store configured it
@@ -136,6 +156,20 @@ func New(opts Options) (*Server, error) {
 	s.metrics.RegisterGauge("f2_pool_workers", func() float64 { w, _, _ := s.pool.Stats(); return float64(w) })
 	s.metrics.RegisterGauge("f2_pool_active_jobs", func() float64 { _, a, _ := s.pool.Stats(); return float64(a) })
 	s.metrics.RegisterGauge("f2_pool_queued_jobs", func() float64 { _, _, q := s.pool.Stats(); return float64(q) })
+	s.metrics.RegisterGauge("f2_ingest_queue_depth", func() float64 { return float64(s.ingestBytes.Load()) })
+	if s.st != nil {
+		s.metrics.RegisterCounterFunc("f2_wal_fsync_total", func() float64 {
+			fsyncs, _ := s.st.WALStats()
+			return float64(fsyncs)
+		})
+		s.metrics.RegisterGauge("f2_wal_group_commit_size", func() float64 {
+			fsyncs, batches := s.st.WALStats()
+			if fsyncs == 0 {
+				return 0
+			}
+			return float64(batches) / float64(fsyncs)
+		})
+	}
 
 	s.mux.Handle("POST /v1/datasets", s.instrument("create_dataset", s.handleCreateDataset))
 	s.mux.Handle("GET /v1/datasets", s.instrument("list_datasets", s.handleListDatasets))
@@ -143,6 +177,7 @@ func New(opts Options) (*Server, error) {
 	s.mux.Handle("DELETE /v1/datasets/{id}", s.instrument("delete_dataset", s.handleDeleteDataset))
 	s.mux.Handle("POST /v1/datasets/{id}/rows", s.instrument("append_rows", s.handleAppendRows))
 	s.mux.Handle("POST /v1/datasets/{id}/flush", s.instrument("flush", s.handleFlush))
+	s.mux.Handle("GET /v1/datasets/{id}/flush/{jobID}", s.instrument("flush_status", s.handleFlushJob))
 	s.mux.Handle("POST /v1/datasets/{id}/decrypt", s.instrument("decrypt", s.handleDecrypt))
 	s.mux.Handle("GET /v1/datasets/{id}/fds", s.instrument("discover_fds", s.handleFDs))
 	s.mux.Handle("GET /v1/datasets/{id}/report", s.instrument("report", s.handleReport))
@@ -199,38 +234,25 @@ func (s *Server) recover() error {
 			continue
 		}
 		ds.walSeq = walSeq
+		ds.bufSeq = walSeq // every replayed batch is in the buffer
 		s.logf("recovered dataset %s (%q): %d rows, %d pending (%d WAL batches replayed)",
 			ds.ID, ds.Name, upd.Rows(), upd.Pending(), replayed)
 	}
 	return nil
 }
 
-// persistSnapshotLocked writes the dataset's durable snapshot (and
-// truncates its WAL). The caller holds ds.mu, so the captured state is
-// consistent and walSeq covers every journaled batch the updater has
-// absorbed. No-op without a store. The context only carries the
-// request's trace.
-func (s *Server) persistSnapshotLocked(ctx context.Context, ds *Dataset) error {
-	if s.st == nil {
-		return nil
-	}
-	return s.st.SaveSnapshot(ctx, &store.Record{
-		ID:      ds.ID,
-		Name:    ds.Name,
-		Created: ds.Created,
-		Config:  ds.cfg,
-		Updater: ds.upd.State(),
-		WALSeq:  ds.walSeq,
-	})
-}
-
 // Handler returns the root handler for use with http.Server or httptest.
 func (s *Server) Handler() http.Handler { return s.mux }
 
-// Close cancels in-flight pipeline jobs and drains the worker pool.
-// Requests arriving after Close get 408/503-style errors rather than
-// hanging or panicking.
+// Close shuts the server down in order: stop admitting appends and new
+// flushes (draining), wait out background flushes already committed to
+// running so their snapshots persist, then cancel the lifecycle (which
+// aborts request-driven pipeline jobs) and drain the worker pool.
+// Requests arriving after Close get 503-style errors rather than hanging
+// or panicking.
 func (s *Server) Close() {
+	s.draining.Store(true)
+	s.flushWG.Wait()
 	s.stop()
 	s.pool.Close()
 }

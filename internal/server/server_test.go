@@ -85,6 +85,39 @@ func createDataset(t *testing.T, base string, columns []string, rows [][]string)
 	return created.Dataset.ID
 }
 
+// pollFlushJob polls GET /v1/datasets/{id}/flush/{jobID} until the job
+// finishes, returning its flush mode and the post-flush summary. Fails
+// the test if the job reports failure or never completes.
+func pollFlushJob(t *testing.T, base, id, jobID string) (string, Summary) {
+	t.Helper()
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		resp, body := doJSON(t, http.MethodGet, base+"/v1/datasets/"+id+"/flush/"+jobID, nil)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("flush job poll: status %d, body %s", resp.StatusCode, body)
+		}
+		var job struct {
+			Status    string  `json:"status"`
+			Error     string  `json:"error"`
+			FlushMode string  `json:"flushMode"`
+			Dataset   Summary `json:"dataset"`
+		}
+		if err := json.Unmarshal(body, &job); err != nil {
+			t.Fatal(err)
+		}
+		switch job.Status {
+		case "done":
+			return job.FlushMode, job.Dataset
+		case "failed":
+			t.Fatalf("flush job %s failed: %s", jobID, job.Error)
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("flush job %s still running after 30s", jobID)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}
+
 func decryptRows(t *testing.T, base, id string) ([]string, [][]string, int) {
 	t.Helper()
 	resp, body := doJSON(t, http.MethodPost, base+"/v1/datasets/"+id+"/decrypt", map[string]any{})
@@ -129,7 +162,7 @@ func TestRoundTripOverHTTP(t *testing.T) {
 	if resp.StatusCode != http.StatusOK {
 		t.Fatalf("append: status %d, body %s", resp.StatusCode, body)
 	}
-	resp, body = doJSON(t, http.MethodPost, ts.URL+"/v1/datasets/"+id+"/flush", map[string]any{})
+	resp, body = doJSON(t, http.MethodPost, ts.URL+"/v1/datasets/"+id+"/flush?wait=1", map[string]any{})
 	if resp.StatusCode != http.StatusOK {
 		t.Fatalf("flush: status %d, body %s", resp.StatusCode, body)
 	}
@@ -288,7 +321,7 @@ func TestConcurrentAppendsOneDataset(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	resp, body := doJSON(t, http.MethodPost, ts.URL+"/v1/datasets/"+id+"/flush", map[string]any{})
+	resp, body := doJSON(t, http.MethodPost, ts.URL+"/v1/datasets/"+id+"/flush?wait=1", map[string]any{})
 	if resp.StatusCode != http.StatusOK {
 		t.Fatalf("flush: status %d, body %s", resp.StatusCode, body)
 	}
@@ -457,13 +490,33 @@ func TestFlushModeReporting(t *testing.T) {
 			t.Fatalf("append: status %d, body %s", resp.StatusCode, body)
 		}
 		var appended struct {
-			Flushed   bool   `json:"flushed"`
-			FlushMode string `json:"flushMode"`
+			FlushScheduled bool   `json:"flushScheduled"`
+			FlushJobID     string `json:"flushJobId"`
 		}
 		if err := json.Unmarshal(body, &appended); err != nil {
 			t.Fatal(err)
 		}
-		resp, body = doJSON(t, http.MethodPost, ts.URL+"/v1/datasets/"+id+"/flush", map[string]any{})
+		if appended.FlushScheduled {
+			// The append crossed the threshold and kicked off a background
+			// flush; the job carries its mode. The explicit flush afterwards
+			// is a no-op and must not echo that mode.
+			mode, sum := pollFlushJob(t, ts.URL, id, appended.FlushJobID)
+			resp, body = doJSON(t, http.MethodPost, ts.URL+"/v1/datasets/"+id+"/flush?wait=1", map[string]any{})
+			if resp.StatusCode != http.StatusOK {
+				t.Fatalf("flush: status %d, body %s", resp.StatusCode, body)
+			}
+			var out struct {
+				FlushMode string `json:"flushMode"`
+			}
+			if err := json.Unmarshal(body, &out); err != nil {
+				t.Fatal(err)
+			}
+			if out.FlushMode != "" {
+				t.Fatalf("no-op flush reported mode %q", out.FlushMode)
+			}
+			return mode, sum
+		}
+		resp, body = doJSON(t, http.MethodPost, ts.URL+"/v1/datasets/"+id+"/flush?wait=1", map[string]any{})
 		if resp.StatusCode != http.StatusOK {
 			t.Fatalf("flush: status %d, body %s", resp.StatusCode, body)
 		}
@@ -473,14 +526,6 @@ func TestFlushModeReporting(t *testing.T) {
 		}
 		if err := json.Unmarshal(body, &out); err != nil {
 			t.Fatal(err)
-		}
-		if appended.Flushed {
-			// The append auto-flushed; the explicit flush was a no-op and
-			// must not echo a mode.
-			if out.FlushMode != "" {
-				t.Fatalf("no-op flush reported mode %q", out.FlushMode)
-			}
-			return appended.FlushMode, out.Dataset
 		}
 		return out.FlushMode, out.Dataset
 	}
@@ -551,7 +596,7 @@ func TestUpdateModeValidation(t *testing.T) {
 	if resp.StatusCode != http.StatusOK {
 		t.Fatalf("append: status %d, body %s", resp.StatusCode, body)
 	}
-	resp, body = doJSON(t, http.MethodPost, ts.URL+"/v1/datasets/"+id+"/flush", map[string]any{})
+	resp, body = doJSON(t, http.MethodPost, ts.URL+"/v1/datasets/"+id+"/flush?wait=1", map[string]any{})
 	if resp.StatusCode != http.StatusOK {
 		t.Fatalf("flush: status %d, body %s", resp.StatusCode, body)
 	}

@@ -54,7 +54,7 @@ func TestTraceAPIEndToEnd(t *testing.T) {
 	if resp.StatusCode != http.StatusOK {
 		t.Fatalf("append: status %d, body %s", resp.StatusCode, body)
 	}
-	resp, body = doJSON(t, http.MethodPost, ts.URL+"/v1/datasets/"+id+"/flush", nil)
+	resp, body = doJSON(t, http.MethodPost, ts.URL+"/v1/datasets/"+id+"/flush?wait=1", nil)
 	if resp.StatusCode != http.StatusOK {
 		t.Fatalf("flush: status %d, body %s", resp.StatusCode, body)
 	}
@@ -92,7 +92,7 @@ func TestTraceAPIEndToEnd(t *testing.T) {
 	for _, stage := range []string{
 		"encrypt.step1.mas", "encrypt.step2.group", "encrypt.step3.emit", "encrypt.step4.fp",
 		"wal.append", "wal.fsync",
-		"snapshot.save", "snapshot.seal", "snapshot.write", "snapshot.truncate-wal",
+		"snapshot.save", "snapshot.seal", "snapshot.write", "snapshot.compact-wal",
 		"job.queue", "job.run", "update.flush",
 	} {
 		if _, ok := all[stage]; !ok {

@@ -1,0 +1,329 @@
+package store
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// walWriter owns one dataset's WAL file. Every file operation — record
+// writes, the group fsync, and snapshot-time compaction — happens on a
+// single committer goroutine, so the hot path never holds a mutex across
+// a syscall (the shape the lockheld analyzer flags) and concurrent
+// appends coalesce naturally: while one fsync is in flight, every batch
+// staged behind it is written and synced together in the next group. The
+// torn-tail recovery contract survives intact, because group k+1 is
+// written strictly after group k's fsync returns: a corrupt record can
+// only belong to a group whose fsync never completed, i.e. to batches
+// that were never acknowledged.
+type walWriter struct {
+	path string
+
+	mu     sync.Mutex // guards queue + closed; never held across I/O
+	queue  []walOp
+	closed bool
+
+	wake chan struct{} // cap 1: nudges the committer
+	done chan struct{} // closed when the committer exits
+
+	// Committer-goroutine-only state below.
+	f      *os.File
+	broken error // a failed write/fsync poisons the file until a compaction rewrites it
+
+	closeErr error // file-close outcome, written before done is closed
+
+	stats *walStats
+}
+
+// walStats is the store-wide group-commit accounting, shared by every
+// writer. All fields are atomics; see Store.WALStats.
+type walStats struct {
+	fsyncs  atomic.Uint64
+	batches atomic.Uint64
+}
+
+// walOp is one queued unit of work: an append entry or a compaction
+// request (close is signalled out of band via the closed flag).
+type walOp struct {
+	entry   *walEntry
+	compact *compactReq
+}
+
+type compactReq struct {
+	keep  uint64
+	reply chan error
+}
+
+// walEntry is one staged batch awaiting its group commit.
+type walEntry struct {
+	rec    []byte
+	seq    uint64
+	rows   int
+	staged time.Time
+	commit func()
+	done   chan walResult
+}
+
+// walResult is what WALAck.Wait receives: the group fsync outcome plus
+// the measurements the caller turns into trace spans.
+type walResult struct {
+	err      error
+	fsyncDur time.Duration
+	grouped  int // batches the fsync covered
+}
+
+// newWALWriter opens (creating if needed) the dataset's WAL and starts
+// its committer goroutine. The directory entry of a freshly created file
+// is fsynced immediately: file data is synced per group, but a
+// never-synced dir entry means no file at all after a crash.
+func newWALWriter(dir string, stats *walStats) (*walWriter, error) {
+	if err := os.MkdirAll(dir, 0o700); err != nil {
+		return nil, fmt.Errorf("store: creating dataset directory: %w", err)
+	}
+	path := filepath.Join(dir, walName)
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o600)
+	if err != nil {
+		return nil, fmt.Errorf("store: opening WAL: %w", err)
+	}
+	if err := syncDir(dir); err != nil {
+		// Nothing has been written through this handle yet; the dir-sync
+		// error being returned is the whole story.
+		_ = f.Close()
+		return nil, fmt.Errorf("store: syncing dataset directory: %w", err)
+	}
+	w := &walWriter{
+		path:  path,
+		wake:  make(chan struct{}, 1),
+		done:  make(chan struct{}),
+		f:     f,
+		stats: stats,
+	}
+	go w.run()
+	return w, nil
+}
+
+// stage enqueues op for the committer. Fails once the writer is closed.
+func (w *walWriter) stage(op walOp) error {
+	w.mu.Lock()
+	if w.closed {
+		w.mu.Unlock()
+		return errors.New("store: WAL writer is closed")
+	}
+	w.queue = append(w.queue, op)
+	w.mu.Unlock()
+	select {
+	case w.wake <- struct{}{}:
+	default:
+	}
+	return nil
+}
+
+// compact asks the committer to rewrite the journal keeping only batches
+// with Seq > keep, and waits for the outcome. Running compaction on the
+// committer serializes it against in-flight group writes without any
+// shared lock.
+func (w *walWriter) compact(keep uint64) error {
+	req := &compactReq{keep: keep, reply: make(chan error, 1)}
+	if err := w.stage(walOp{compact: req}); err != nil {
+		return err
+	}
+	return <-req.reply
+}
+
+// close drains every staged op, stops the committer, and closes the
+// file. Idempotent; blocks until the committer has exited.
+func (w *walWriter) close() error {
+	w.mu.Lock()
+	w.closed = true
+	w.mu.Unlock()
+	select {
+	case w.wake <- struct{}{}:
+	default:
+	}
+	<-w.done
+	return w.closeErr
+}
+
+// run is the committer loop: take everything staged, write and fsync
+// consecutive append entries as one group, execute compactions in queue
+// order, repeat. Exits once closed with an empty queue.
+func (w *walWriter) run() {
+	defer close(w.done)
+	for {
+		w.mu.Lock()
+		ops := w.queue
+		w.queue = nil
+		closed := w.closed
+		w.mu.Unlock()
+		if len(ops) == 0 {
+			if closed {
+				if w.f != nil {
+					// Every acknowledged record is already fsynced, so a
+					// close error cannot surface a lost write.
+					w.closeErr = w.f.Close()
+				}
+				return
+			}
+			<-w.wake
+			continue
+		}
+		for i := 0; i < len(ops); {
+			if ops[i].entry != nil {
+				j := i
+				for j < len(ops) && ops[j].entry != nil {
+					j++
+				}
+				w.commitGroup(ops[i:j])
+				i = j
+				continue
+			}
+			ops[i].compact.reply <- w.doCompact(ops[i].compact.keep)
+			i++
+		}
+	}
+}
+
+// commitGroup writes every entry's framed record, fsyncs once, then runs
+// the per-entry commit callbacks in stage order — which per dataset is
+// sequence order — before releasing any waiter. The callbacks run with
+// no store lock held.
+func (w *walWriter) commitGroup(ops []walOp) {
+	res := walResult{grouped: len(ops)}
+	switch {
+	case w.broken != nil:
+		// A prior write or fsync failed; the tail of the file is suspect
+		// and appending past it could strand acknowledged batches behind
+		// a corrupt record at replay. Compaction rewrites the file and
+		// clears this.
+		res.err = fmt.Errorf("store: WAL needs compaction after earlier failure: %w", w.broken)
+	default:
+		n := 0
+		for _, op := range ops {
+			n += len(op.entry.rec)
+		}
+		buf := make([]byte, 0, n)
+		for _, op := range ops {
+			buf = append(buf, op.entry.rec...)
+		}
+		if _, err := w.f.Write(buf); err != nil {
+			w.broken = err
+			res.err = fmt.Errorf("store: appending WAL record: %w", err)
+		} else {
+			start := time.Now()
+			err := w.f.Sync()
+			res.fsyncDur = time.Since(start)
+			w.stats.fsyncs.Add(1)
+			w.stats.batches.Add(uint64(len(ops)))
+			if err != nil {
+				w.broken = err
+				res.err = fmt.Errorf("store: syncing WAL: %w", err)
+			}
+		}
+	}
+	if res.err == nil {
+		for _, op := range ops {
+			if op.entry.commit != nil {
+				op.entry.commit()
+			}
+		}
+	}
+	for _, op := range ops {
+		op.entry.done <- res
+	}
+}
+
+// doCompact rewrites the journal keeping only batches with Seq > keep:
+// parse the current file (tolerating a torn or poisoned tail), write the
+// survivors to a temp file, fsync, rename over the journal, and swap the
+// append handle onto the new inode. A file whose every batch survives is
+// left untouched.
+func (w *walWriter) doCompact(keep uint64) error {
+	batches, err := readWAL(w.path)
+	if err != nil {
+		return err
+	}
+	live := batches[:0]
+	for _, b := range batches {
+		if b.Seq > keep {
+			live = append(live, b)
+		}
+	}
+	if len(live) == len(batches) && w.broken == nil {
+		return nil // nothing covered by the snapshot; skip the rewrite
+	}
+	dir := filepath.Dir(w.path)
+	tmp, err := os.CreateTemp(dir, walName+".compact-*")
+	if err != nil {
+		return fmt.Errorf("store: compacting WAL: %w", err)
+	}
+	tmpPath := tmp.Name()
+	cleanup := func() {
+		_ = tmp.Close()
+		os.Remove(tmpPath)
+	}
+	for _, b := range live {
+		rec, err := frameWALRecord(b)
+		if err != nil {
+			cleanup()
+			return err
+		}
+		if _, err := tmp.Write(rec); err != nil {
+			cleanup()
+			return fmt.Errorf("store: compacting WAL: %w", err)
+		}
+	}
+	if err := tmp.Chmod(0o600); err != nil {
+		cleanup()
+		return fmt.Errorf("store: compacting WAL: %w", err)
+	}
+	if err := tmp.Sync(); err != nil {
+		cleanup()
+		return fmt.Errorf("store: compacting WAL: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmpPath)
+		return fmt.Errorf("store: compacting WAL: %w", err)
+	}
+	// Close the old handle before the rename: after it, the old inode is
+	// unlinked and writes through it would vanish silently.
+	if w.f != nil {
+		_ = w.f.Close()
+		w.f = nil
+	}
+	if err := os.Rename(tmpPath, w.path); err != nil {
+		os.Remove(tmpPath)
+		return w.reopen(fmt.Errorf("store: compacting WAL: %w", err))
+	}
+	if err := syncDir(dir); err != nil {
+		return w.reopen(err)
+	}
+	return w.reopen(nil)
+}
+
+// reopen re-acquires the append handle after a compaction attempt,
+// clearing the poison on success (the file now ends at a record
+// boundary). It reports firstErr if non-nil, else its own outcome.
+func (w *walWriter) reopen(firstErr error) error {
+	f, err := os.OpenFile(w.path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o600)
+	if err != nil {
+		w.broken = err
+		if firstErr != nil {
+			return firstErr
+		}
+		return fmt.Errorf("store: reopening WAL: %w", err)
+	}
+	w.f = f
+	if firstErr != nil {
+		// The rename (or dir sync) failed: the on-disk file may still be
+		// the old one, but it is intact and the handle is fresh, so
+		// appends are safe again.
+		w.broken = nil
+		return firstErr
+	}
+	w.broken = nil
+	return nil
+}

@@ -2,10 +2,12 @@ package store
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 	"os"
 	"path/filepath"
 	"strings"
+	"syscall"
 	"time"
 
 	"f2/internal/core"
@@ -153,15 +155,28 @@ func writeFileAtomic(path string, data []byte, perm os.FileMode) error {
 }
 
 // syncDir fsyncs a directory so a just-renamed file's directory entry is
-// durable. Filesystems that reject directory fsync are tolerated.
+// durable. Only "this filesystem doesn't support directory fsync" errnos
+// are tolerated; a real I/O failure (EIO, ENOSPC, ...) here means the
+// rename may not be durable and must surface to the caller.
 func syncDir(dir string) error {
 	d, err := os.Open(dir)
 	if err != nil {
 		return err
 	}
 	defer d.Close()
-	_ = d.Sync()
+	if err := d.Sync(); err != nil && !unsupportedSync(err) {
+		return fmt.Errorf("store: syncing directory %s: %w", dir, err)
+	}
 	return nil
+}
+
+// unsupportedSync reports whether err is the errno class meaning the
+// filesystem rejects directory fsync outright (not that it failed).
+func unsupportedSync(err error) bool {
+	return errors.Is(err, syscall.EINVAL) ||
+		errors.Is(err, syscall.ENOTSUP) ||
+		errors.Is(err, syscall.ENOTTY) ||
+		errors.Is(err, syscall.EOPNOTSUPP)
 }
 
 func marshalSnapshot(f *snapshotFile) ([]byte, error) {

@@ -15,12 +15,16 @@
 // rename), so a crash mid-write leaves the previous snapshot intact.
 //
 // The WAL journals every append batch before the service acknowledges it.
-// After a successful flush the server writes a fresh snapshot recording
-// the highest batch sequence it includes, then truncates the WAL. Boot
-// recovery loads the snapshot and replays only WAL batches with a higher
-// sequence, so every crash point — mid-append, mid-flush, between
-// snapshot and truncation — recovers without losing acknowledged rows or
-// duplicating applied ones.
+// Journal writes are group-committed: concurrent appends stage framed
+// records, and a per-dataset committer goroutine writes and fsyncs them
+// in one batch per window (see groupcommit.go). After a successful flush
+// the server writes a fresh snapshot recording the highest batch sequence
+// it includes (the watermark), then compacts the WAL down to the batches
+// above that watermark — batches journaled concurrently with the snapshot
+// survive. Boot recovery loads the snapshot and replays only WAL batches
+// with a higher sequence, so every crash point — mid-append, mid-flush,
+// between snapshot and compaction — recovers without losing acknowledged
+// rows or duplicating applied ones.
 package store
 
 import (
@@ -70,14 +74,17 @@ type Loaded struct {
 }
 
 // Store is the durable dataset store. All methods are safe for concurrent
-// use; per-dataset ordering (e.g. append vs. truncate) is the caller's
-// responsibility, which f2served discharges with its per-dataset lock.
+// use; concurrent appends to one dataset are serialized (and coalesced)
+// by that dataset's committer goroutine, and compaction flows through the
+// same committer, so callers need no external ordering of their own.
 type Store struct {
 	dir    string
 	master *crypt.ProbCipher
 
 	mu   sync.Mutex
-	wals map[string]*os.File // open WAL appenders by dataset id
+	wals map[string]*walWriter // group-commit writers by dataset id
+
+	stats walStats
 }
 
 // Open initializes the store at dir, creating the directory tree and the
@@ -100,25 +107,34 @@ func Open(dir string) (*Store, error) {
 	if err != nil {
 		return nil, fmt.Errorf("store: master cipher: %w", err)
 	}
-	return &Store{dir: dir, master: cipher, wals: make(map[string]*os.File)}, nil
+	return &Store{dir: dir, master: cipher, wals: make(map[string]*walWriter)}, nil
 }
 
 // Dir returns the store's data directory.
 func (s *Store) Dir() string { return s.dir }
 
-// Close releases the store's open WAL handles. Snapshots and journaled
+// Close drains every dataset's committer (staged groups are written and
+// fsynced first) and releases the WAL handles. Snapshots and acknowledged
 // batches are already durable; Close loses nothing.
 func (s *Store) Close() error {
 	s.mu.Lock()
-	defer s.mu.Unlock()
+	writers := s.wals
+	s.wals = make(map[string]*walWriter)
+	s.mu.Unlock()
 	var firstErr error
-	for id, f := range s.wals {
-		if err := f.Close(); err != nil && firstErr == nil {
+	for _, w := range writers {
+		if err := w.close(); err != nil && firstErr == nil {
 			firstErr = err
 		}
-		delete(s.wals, id)
 	}
 	return firstErr
+}
+
+// WALStats reports the group-commit counters: total WAL fsyncs issued and
+// total batches those fsyncs covered. batches/fsyncs is the mean group
+// size — 1.0 under serial load, climbing with append concurrency.
+func (s *Store) WALStats() (fsyncs, batches uint64) {
+	return s.stats.fsyncs.Load(), s.stats.batches.Load()
 }
 
 func loadOrCreateMasterKey(path string) (crypt.Key, error) {
@@ -194,84 +210,139 @@ func (s *Store) SaveSnapshot(ctx context.Context, rec *Record) error {
 	if err != nil {
 		return fmt.Errorf("store: writing snapshot: %w", err)
 	}
-	_, tr := obs.Start(sctx, "snapshot.truncate-wal")
-	err = s.truncateWAL(rec.ID)
+	_, tr := obs.Start(sctx, "snapshot.compact-wal")
+	err = s.compactWAL(rec.ID, rec.WALSeq)
 	tr.End()
 	return err
 }
 
-// AppendBatch journals one append batch and syncs it to disk. It must be
-// called — and must succeed — before the append is acknowledged to the
-// client; a batch that fails to journal must be rejected, not buffered.
-// The context only carries the caller's trace.
+// WALAck is a staged batch's handle on its group commit.
+type WALAck struct {
+	entry *walEntry
+}
+
+// Wait blocks until the batch's group fsync completes and returns its
+// outcome. The wait is deliberately not cancellable: the committer syncs
+// every staged batch, so the bound is one group fsync away, and
+// abandoning the wait would leave the caller unable to tell whether its
+// batch became durable. The context only carries the caller's trace —
+// Wait records the wal.append and wal.fsync spans into it, the latter
+// tagged with the number of batches the shared fsync covered.
+func (a *WALAck) Wait(ctx context.Context) error {
+	res := <-a.entry.done
+	a.entry.done <- res // allow a second Wait (e.g. retry paths) to observe the result
+	obs.Record(ctx, "wal.append", time.Since(a.entry.staged),
+		"seq", a.entry.seq, "rows", a.entry.rows, "bytes", len(a.entry.rec))
+	if res.grouped > 0 {
+		obs.Record(ctx, "wal.fsync", res.fsyncDur, "batched", res.grouped)
+	}
+	return res.err
+}
+
+// StageAppend frames one append batch and stages it for group commit,
+// returning an ack the caller must Wait on before acknowledging its
+// client. Framing errors (oversized record) and writer-open errors
+// surface synchronously, before anything is staged. commit, if non-nil,
+// runs exactly once on the committer goroutine after the batch's group
+// fsync succeeds and before any waiter of that group is released; commits
+// run in staging order, so per-dataset staging order is apply order.
+func (s *Store) StageAppend(id string, b Batch, commit func()) (*WALAck, error) {
+	rec, err := frameWALRecord(b)
+	if err != nil {
+		return nil, err
+	}
+	w, err := s.walFor(id)
+	if err != nil {
+		return nil, err
+	}
+	e := &walEntry{
+		rec:    rec,
+		seq:    b.Seq,
+		rows:   len(b.Rows),
+		staged: time.Now(),
+		commit: commit,
+		done:   make(chan walResult, 1),
+	}
+	if err := w.stage(walOp{entry: e}); err != nil {
+		return nil, err
+	}
+	return &WALAck{entry: e}, nil
+}
+
+// AppendBatch journals one append batch and waits for its group fsync.
+// It must be called — and must succeed — before the append is
+// acknowledged to the client; a batch that fails to journal must be
+// rejected, not buffered. The context only carries the caller's trace.
 func (s *Store) AppendBatch(ctx context.Context, id string, b Batch) error {
-	f, err := s.walFile(id)
+	ack, err := s.StageAppend(id, b, nil)
 	if err != nil {
 		return err
 	}
-	return appendWALRecord(ctx, f, b)
+	return ack.Wait(ctx)
 }
 
-// walFile returns the cached WAL appender for id, opening it on first
-// use.
-func (s *Store) walFile(id string) (*os.File, error) {
+// walFor returns the dataset's group-commit writer, starting one on first
+// use. The writer is created outside s.mu — opening and dir-syncing are
+// syscalls — with a double-checked insert to resolve races.
+func (s *Store) walFor(id string) (*walWriter, error) {
 	s.mu.Lock()
-	defer s.mu.Unlock()
-	if f, ok := s.wals[id]; ok {
-		return f, nil
+	w, ok := s.wals[id]
+	s.mu.Unlock()
+	if ok {
+		return w, nil
 	}
-	dir := s.datasetDir(id)
-	if err := os.MkdirAll(dir, 0o700); err != nil {
-		return nil, fmt.Errorf("store: creating dataset directory: %w", err)
-	}
-	f, err := os.OpenFile(filepath.Join(dir, walName), os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o600)
+	fresh, err := newWALWriter(s.datasetDir(id), &s.stats)
 	if err != nil {
-		return nil, fmt.Errorf("store: opening WAL: %w", err)
+		return nil, err
 	}
-	// The open may have created the file: fsync its directory entry, or a
-	// crash could lose the whole journal (file data is fsynced per record,
-	// but a never-synced dir entry means no file at all after reboot).
-	if err := syncDir(dir); err != nil {
-		// Nothing has been written through this handle yet; the dir-sync
-		// error being returned is the whole story.
-		_ = f.Close()
-		return nil, fmt.Errorf("store: syncing dataset directory: %w", err)
-	}
-	s.wals[id] = f
-	return f, nil
-}
-
-// truncateWAL discards the journal (its batches are covered by the
-// snapshot just written). Failure is non-fatal to durability — replay
-// skips covered batches by sequence — so the error only signals the
-// space leak.
-func (s *Store) truncateWAL(id string) error {
 	s.mu.Lock()
-	defer s.mu.Unlock()
-	if f, ok := s.wals[id]; ok {
-		// Every record was fsynced at append time, so Close cannot
-		// surface a lost write — and the file is truncated next anyway.
-		_ = f.Close()
-		delete(s.wals, id)
+	if existing, ok := s.wals[id]; ok {
+		s.mu.Unlock()
+		_ = fresh.close() // lost the race; ours has nothing staged
+		return existing, nil
 	}
-	err := os.Truncate(filepath.Join(s.datasetDir(id), walName), 0)
-	if err != nil && !errors.Is(err, os.ErrNotExist) {
-		return fmt.Errorf("store: truncating WAL: %w", err)
-	}
-	return nil
+	s.wals[id] = fresh
+	s.mu.Unlock()
+	return fresh, nil
 }
 
-// Delete removes every trace of a dataset: its WAL handle, snapshot, and
+// compactWAL rewrites the journal keeping only batches above the snapshot
+// watermark keep — batches journaled concurrently with the snapshot
+// survive. Failure is non-fatal to durability — replay skips covered
+// batches by sequence — so the error only signals the space leak.
+func (s *Store) compactWAL(id string, keep uint64) error {
+	s.mu.Lock()
+	w := s.wals[id]
+	s.mu.Unlock()
+	if w == nil {
+		// No writer and no journal file means nothing to compact; skip
+		// rather than spin up a committer just to find an empty queue.
+		// (A fresh dataset's first snapshot lands here.) If a racing
+		// append starts the writer right after this check, its batches
+		// carry sequences above keep and would survive compaction anyway.
+		if _, err := os.Stat(filepath.Join(s.datasetDir(id), walName)); errors.Is(err, os.ErrNotExist) {
+			return nil
+		}
+		var err error
+		if w, err = s.walFor(id); err != nil {
+			return err
+		}
+	}
+	return w.compact(keep)
+}
+
+// Delete removes every trace of a dataset: its committer, snapshot, and
 // directory.
 func (s *Store) Delete(id string) error {
 	s.mu.Lock()
-	if f, ok := s.wals[id]; ok {
-		// Per-record fsync means Close has nothing left to flush, and the
-		// whole directory is removed below.
-		_ = f.Close()
-		delete(s.wals, id)
-	}
+	w := s.wals[id]
+	delete(s.wals, id)
 	s.mu.Unlock()
+	if w != nil {
+		// Drains staged groups first; the directory (and any bytes they
+		// wrote) is removed next anyway.
+		_ = w.close()
+	}
 	if err := os.RemoveAll(s.datasetDir(id)); err != nil {
 		return fmt.Errorf("store: deleting dataset %s: %w", id, err)
 	}

@@ -1,0 +1,27 @@
+package store
+
+import (
+	"fmt"
+	"syscall"
+	"testing"
+)
+
+// TestUnsupportedSyncClassification: only the "this filesystem cannot
+// fsync directories" errno class is tolerated; a real I/O failure must
+// surface, not be swallowed as unsupported.
+func TestUnsupportedSyncClassification(t *testing.T) {
+	for _, errno := range []syscall.Errno{syscall.EINVAL, syscall.ENOTSUP, syscall.ENOTTY, syscall.EOPNOTSUPP} {
+		if !unsupportedSync(errno) {
+			t.Errorf("%v not classified as unsupported", errno)
+		}
+		// The classifier must see through fs.PathError-style wrapping.
+		if !unsupportedSync(fmt.Errorf("sync %s: %w", "dir", errno)) {
+			t.Errorf("wrapped %v not classified as unsupported", errno)
+		}
+	}
+	for _, err := range []error{syscall.EIO, syscall.ENOSPC, syscall.EBADF, fmt.Errorf("plain")} {
+		if unsupportedSync(err) {
+			t.Errorf("%v wrongly tolerated as unsupported sync", err)
+		}
+	}
+}

@@ -1,7 +1,6 @@
 package store
 
 import (
-	"context"
 	"encoding/binary"
 	"encoding/json"
 	"errors"
@@ -9,8 +8,6 @@ import (
 	"hash/crc32"
 	"io"
 	"os"
-
-	"f2/internal/obs"
 )
 
 // The WAL is an append-only journal of row batches, one file per dataset.
@@ -18,11 +15,14 @@ import (
 //
 //	4 bytes big-endian payload length | 4 bytes CRC32 (IEEE) of payload | payload
 //
-// where the payload is the JSON encoding of a Batch. Appends are fsynced
-// before the caller acknowledges the client, so an acknowledged batch
-// survives a crash. A crash mid-append leaves a partial or corrupt tail
-// record; replay treats the first short read or checksum mismatch as the
-// end of the journal — exactly the write that was never acknowledged.
+// where the payload is the JSON encoding of a Batch. Records are written
+// and fsynced in groups by the dataset's committer goroutine (see
+// groupcommit.go) before any caller in the group acknowledges its client,
+// so an acknowledged batch survives a crash. A crash mid-group leaves a
+// partial or corrupt tail record; replay treats the first short read or
+// checksum mismatch as the end of the journal — only writes that were
+// never acknowledged are past that point, because each group is written
+// strictly after the previous group's fsync returned.
 
 // Batch is one journaled append: the rows of a single append request plus
 // the dataset's monotonically increasing batch sequence number. Snapshots
@@ -41,38 +41,23 @@ const walHeaderSize = 8
 // cannot drive a multi-gigabyte allocation during replay.
 const maxWALRecordBytes = 1 << 30
 
-// appendWALRecord frames and writes one batch, then syncs the file. The
-// context only carries the caller's trace.
-func appendWALRecord(ctx context.Context, f *os.File, b Batch) error {
-	sctx, sp := obs.Start(ctx, "wal.append")
-	defer sp.End()
-	sp.SetAttr("seq", b.Seq)
-	sp.SetAttr("rows", len(b.Rows))
+// frameWALRecord encodes one batch into its on-disk framing. Size-cap
+// violations surface here, synchronously at staging time: a record the
+// replay would refuse must be rejected before the append is acknowledged,
+// not journaled and then silently dropped at recovery.
+func frameWALRecord(b Batch) ([]byte, error) {
 	payload, err := json.Marshal(b)
 	if err != nil {
-		return fmt.Errorf("store: encoding WAL record: %w", err)
+		return nil, fmt.Errorf("store: encoding WAL record: %w", err)
 	}
-	// Mirror the read-side cap: a record the replay would refuse must be
-	// rejected before the append is acknowledged, not journaled and then
-	// silently dropped at recovery.
 	if len(payload) > maxWALRecordBytes {
-		return fmt.Errorf("store: WAL record is %d bytes, max %d — split the append", len(payload), maxWALRecordBytes)
+		return nil, fmt.Errorf("store: WAL record is %d bytes, max %d — split the append", len(payload), maxWALRecordBytes)
 	}
 	rec := make([]byte, walHeaderSize+len(payload))
 	binary.BigEndian.PutUint32(rec[0:4], uint32(len(payload)))
 	binary.BigEndian.PutUint32(rec[4:8], crc32.ChecksumIEEE(payload))
 	copy(rec[walHeaderSize:], payload)
-	if _, err := f.Write(rec); err != nil {
-		return fmt.Errorf("store: appending WAL record: %w", err)
-	}
-	_, fs := obs.Start(sctx, "wal.fsync")
-	fs.SetAttr("bytes", len(rec))
-	err = f.Sync()
-	fs.End()
-	if err != nil {
-		return fmt.Errorf("store: syncing WAL: %w", err)
-	}
-	return nil
+	return rec, nil
 }
 
 // readWAL replays the journal at path, returning every intact record in

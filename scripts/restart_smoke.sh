@@ -94,7 +94,7 @@ GET_RESP="$(curl -fs "$BASE/v1/datasets/$ID")"
 printf '%s' "$GET_RESP" | grep -q '"rows":7' || die "recovered dataset rows != 7: $GET_RESP"
 printf '%s' "$GET_RESP" | grep -q '"pendingRows":1' || die "recovered pending != 1: $GET_RESP"
 
-curl -fs -X POST "$BASE/v1/datasets/$ID/flush" >/dev/null
+curl -fs -X POST "$BASE/v1/datasets/$ID/flush?wait=1" >/dev/null
 DECRYPT="$(curl -fs -X POST "$BASE/v1/datasets/$ID/decrypt")"
 for rowid in id1 id2 id3 id4 id5 id6 id7 id8; do
   printf '%s' "$DECRYPT" | grep -q "\"$rowid\"" || die "row $rowid lost across restart: $DECRYPT"
