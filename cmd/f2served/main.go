@@ -52,6 +52,7 @@ func main() {
 		maxPending  = flag.Int64("max-pending", 0, "per-dataset ingest queue bound in bytes before appends get 429 (0: 64 MiB default, negative: unlimited)")
 		trials      = flag.Int("trials", 1000, "default attack-game trials for /report")
 		dataDir     = flag.String("data-dir", "", "durable dataset store directory (empty: in-memory only)")
+		chunkRows   = flag.Int("chunk-rows", 0, "rows per snapshot chunk (0: store default); smaller chunks dedup better across rotations, larger ones hydrate faster")
 		pprofAddr   = flag.String("pprof-addr", "", "OPT-IN net/http/pprof listener (e.g. 127.0.0.1:6060); unsafe to expose publicly, keep it off or loopback-bound")
 		logText     = flag.Bool("log-text", false, "log human-readable text instead of JSON lines")
 		quiet       = flag.Bool("q", false, "suppress request logs")
@@ -77,7 +78,7 @@ func main() {
 		opts.Logger = nil
 	}
 	if *dataDir != "" {
-		st, err := store.Open(*dataDir)
+		st, err := store.OpenOptions(*dataDir, store.Options{ChunkRows: *chunkRows})
 		if err != nil {
 			logger.Error("opening durable store", "error", err)
 			os.Exit(1)

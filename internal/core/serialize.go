@@ -78,6 +78,89 @@ func (r *Result) State() *ResultState {
 	}
 }
 
+// UpdaterMeta is the table-free slice of an UpdaterState: configuration
+// knobs, flush accounting, and the small per-result metadata (MASs,
+// report). It is one section of the chunked snapshot format — a few
+// hundred bytes regardless of dataset size — so the persistence layer
+// can rewrite it on every rotation without touching the row data.
+type UpdaterMeta struct {
+	Strategy           string             `json:"strategy"`
+	FlushFraction      float64            `json:"flushFraction"`
+	MinFlushRows       int                `json:"minFlushRows"`
+	Rebuilds           int                `json:"rebuilds"`
+	IncrementalFlushes int                `json:"incrementalFlushes"`
+	LastFlush          string             `json:"lastFlush"`
+	MASs               []relation.AttrSet `json:"mass"`
+	Report             Report             `json:"report"`
+}
+
+// StateSections is an UpdaterState decomposed into independently
+// persistable sections. The split follows growth behavior: Meta is tiny
+// and always rewritten; Current, Encrypted, and Origins grow by
+// appending (flushes extend them, never reorder them), so a row-range
+// chunking of each stays stable across rotations; Buffer is the pending
+// rows, small between flushes.
+type StateSections struct {
+	Meta      *UpdaterMeta
+	Current   *relation.JSONTable
+	Encrypted *relation.JSONTable
+	Origins   []RowOrigin
+	Buffer    [][]string
+}
+
+// Sections decomposes the state. The returned sections alias the state's
+// slices (no copying); callers that mutate them must clone first.
+func (st *UpdaterState) Sections() *StateSections {
+	if st == nil || st.Result == nil {
+		return nil
+	}
+	return &StateSections{
+		Meta: &UpdaterMeta{
+			Strategy:           st.Strategy,
+			FlushFraction:      st.FlushFraction,
+			MinFlushRows:       st.MinFlushRows,
+			Rebuilds:           st.Rebuilds,
+			IncrementalFlushes: st.IncrementalFlushes,
+			LastFlush:          st.LastFlush,
+			MASs:               st.Result.MASs,
+			Report:             st.Result.Report,
+		},
+		Current:   st.Current,
+		Encrypted: st.Result.Encrypted,
+		Origins:   st.Result.Origins,
+		Buffer:    st.Buffer,
+	}
+}
+
+// AssembleState inverts Sections. Structural validation is left to
+// RestoreUpdater — assembly only checks that every section is present,
+// so a persistence layer that lost a chunk fails here, loudly, instead
+// of restoring a dataset with silently missing rows.
+func AssembleState(sec *StateSections) (*UpdaterState, error) {
+	if sec == nil || sec.Meta == nil || sec.Current == nil || sec.Encrypted == nil {
+		return nil, fmt.Errorf("core: assemble: incomplete state sections")
+	}
+	if sec.Buffer == nil {
+		sec.Buffer = [][]string{}
+	}
+	return &UpdaterState{
+		Strategy:           sec.Meta.Strategy,
+		FlushFraction:      sec.Meta.FlushFraction,
+		MinFlushRows:       sec.Meta.MinFlushRows,
+		Rebuilds:           sec.Meta.Rebuilds,
+		IncrementalFlushes: sec.Meta.IncrementalFlushes,
+		LastFlush:          sec.Meta.LastFlush,
+		Current:            sec.Current,
+		Buffer:             sec.Buffer,
+		Result: &ResultState{
+			Encrypted: sec.Encrypted,
+			Origins:   sec.Origins,
+			MASs:      sec.Meta.MASs,
+			Report:    sec.Meta.Report,
+		},
+	}, nil
+}
+
 // ParseUpdateStrategy inverts UpdateStrategy.String.
 func ParseUpdateStrategy(s string) (UpdateStrategy, error) {
 	switch s {

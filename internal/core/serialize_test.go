@@ -6,6 +6,8 @@ import (
 	"math/rand"
 	"reflect"
 	"testing"
+
+	"f2/internal/relation"
 )
 
 // restoredUpdater round-trips an updater through State → JSON → Restore,
@@ -104,6 +106,81 @@ func TestUpdaterStateRoundTrip(t *testing.T) {
 	}
 	if back.LastFlush != FlushModeIncremental {
 		t.Fatalf("second post-restore flush: mode=%s, want incremental", back.LastFlush)
+	}
+}
+
+// TestStateSectionsRoundTrip: Sections → (JSON per section) → Assemble
+// must reproduce the state byte for byte — the contract the chunked
+// snapshot format builds on.
+func TestStateSectionsRoundTrip(t *testing.T) {
+	ctx := context.Background()
+	rng := rand.New(rand.NewSource(11))
+	base := appendStreamTable(rng, 50)
+	cfg := testConfig(0.5)
+	u, _, err := NewUpdater(ctx, cfg, base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Leave rows pending so the buffer section is non-empty.
+	if err := u.Buffer([][]string{borderStableRow(u.Current(), u.Result().MASs[0], rng, 1)}); err != nil {
+		t.Fatal(err)
+	}
+	st := u.State()
+	sec := st.Sections()
+	// Round-trip each section through JSON independently, as the store's
+	// chunk codec does.
+	var meta UpdaterMeta
+	roundTrip(t, sec.Meta, &meta)
+	var cur, enc relation.JSONTable
+	roundTrip(t, sec.Current, &cur)
+	roundTrip(t, sec.Encrypted, &enc)
+	var origins []RowOrigin
+	roundTrip(t, sec.Origins, &origins)
+	var buffer [][]string
+	roundTrip(t, sec.Buffer, &buffer)
+
+	back, err := AssembleState(&StateSections{
+		Meta: &meta, Current: &cur, Encrypted: &enc, Origins: origins, Buffer: buffer,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	origJSON, err := json.Marshal(st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	backJSON, err := json.Marshal(back)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(origJSON) != string(backJSON) {
+		t.Fatal("sectioned round-trip is not byte-identical to the monolithic state")
+	}
+	if _, err := RestoreUpdater(cfg, back); err != nil {
+		t.Fatalf("assembled state does not restore: %v", err)
+	}
+
+	// Missing sections must fail assembly, not restore a partial dataset.
+	for _, broken := range []*StateSections{
+		nil,
+		{Current: &cur, Encrypted: &enc},
+		{Meta: &meta, Encrypted: &enc},
+		{Meta: &meta, Current: &cur},
+	} {
+		if _, err := AssembleState(broken); err == nil {
+			t.Fatalf("incomplete sections %+v accepted", broken)
+		}
+	}
+}
+
+func roundTrip(t *testing.T, in, out any) {
+	t.Helper()
+	data, err := json.Marshal(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal(data, out); err != nil {
+		t.Fatal(err)
 	}
 }
 

@@ -25,12 +25,17 @@ import (
 // run (SizeFactor 0.25) of the whole registry finishes in well under two
 // minutes on a laptop while still exercising every pipeline stage.
 const (
-	encryptRows = 8000 // synthetic; full/parallel encrypt + decrypt
-	taneRows    = 2000 // customer; FD discovery (wider schema)
-	streamRows  = 2000 // synthetic; incremental append stream base
-	storeRows   = 1500 // synthetic; snapshot + recovery
-	serverRows  = 800  // synthetic; f2served round-trips
+	encryptRows = 8000  // synthetic; full/parallel encrypt + decrypt
+	taneRows    = 2000  // customer; FD discovery (wider schema)
+	streamRows  = 2000  // synthetic; incremental append stream base
+	storeRows   = 15000 // synthetic; snapshot + recovery (10× the pre-chunking harness)
+	serverRows  = 800   // synthetic; f2served round-trips
 )
+
+// storeRowsHeavy is the 100× store dataset behind the Heavy-gated
+// store/*-100x variants: big enough that full-state hydration visibly
+// dominates index-only boot, too big for the default -quick sweep.
+const storeRowsHeavy = 150000
 
 // DefaultWorkloads returns the standard registry: every pipeline stage
 // under one measurement path. internal/bench layers the paper
@@ -59,7 +64,14 @@ func DefaultWorkloads() *Registry {
 		fdWorkload("fd/discover-encrypted", true,
 			"witnessed TANE FD discovery on the encrypted view (the untrusted server's job)"),
 		storeSnapshotWorkload(),
-		storeRecoverWorkload(),
+		storeRecoverWorkload("store/recover", storeRows, false,
+			"boot recovery: snapshot hydrate + WAL tail replay + updater restore"),
+		storeBootIndexWorkload("store/boot-index", storeRows, false,
+			"time to first request: open store + load snapshot index only (no chunk hydration)"),
+		storeRecoverWorkload("store/recover-100x", storeRowsHeavy, true,
+			"boot recovery at 100× rows (Heavy; select explicitly)"),
+		storeBootIndexWorkload("store/boot-index-100x", storeRowsHeavy, true,
+			"time to first request at 100× rows (Heavy; select explicitly)"),
 		serverRoundtripWorkload(),
 		serverReadWorkload(),
 		serverIngestHammerWorkload(),
@@ -258,9 +270,10 @@ func fdWorkload(name string, encrypted bool, desc string) Workload {
 }
 
 // storeRecord builds a durable-store record over a freshly encrypted
-// synthetic table, shared by both store workloads.
-func storeRecord(ctx context.Context, sc Scale) (*store.Record, *relation.Table, error) {
-	tbl, err := Dataset(workload.NameSynthetic, sc.Rows(storeRows), sc.Seed)
+// synthetic table of baseRows (before Scale.Rows), shared by the store
+// workloads.
+func storeRecord(ctx context.Context, sc Scale, baseRows int) (*store.Record, *relation.Table, error) {
+	tbl, err := Dataset(workload.NameSynthetic, sc.Rows(baseRows), sc.Seed)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -296,7 +309,7 @@ func storeSnapshotWorkload() Workload {
 				os.RemoveAll(dir)
 				return nil, err
 			}
-			rec, tbl, err := storeRecord(ctx, sc)
+			rec, tbl, err := storeRecord(ctx, sc, storeRows)
 			if err != nil {
 				st.Close()
 				os.RemoveAll(dir)
@@ -316,74 +329,103 @@ func storeSnapshotWorkload() Workload {
 	}
 }
 
+// recoveryDir lays down a store directory with one snapshotted dataset
+// plus a WAL tail of 8 acknowledged-but-unsnapshotted batches — the
+// crashed-server state both recovery workloads boot from.
+func recoveryDir(ctx context.Context, sc Scale, baseRows int) (dir string, totalRows int, err error) {
+	dir, err = os.MkdirTemp("", "f2perf-recover-*")
+	if err != nil {
+		return "", 0, err
+	}
+	fail := func(err error) (string, int, error) {
+		os.RemoveAll(dir)
+		return "", 0, err
+	}
+	st, err := store.Open(dir)
+	if err != nil {
+		return fail(err)
+	}
+	rec, tbl, err := storeRecord(ctx, sc, baseRows)
+	if err != nil {
+		st.Close()
+		return fail(err)
+	}
+	if err := st.SaveSnapshot(ctx, rec); err != nil {
+		st.Close()
+		return fail(err)
+	}
+	const tailBatches, batchRows = 8, 16
+	row := make([]string, tbl.NumAttrs())
+	for seq := uint64(1); seq <= tailBatches; seq++ {
+		rows := make([][]string, batchRows)
+		for i := range rows {
+			src := (int(seq)*batchRows + i) % tbl.NumRows()
+			for a := range row {
+				row[a] = tbl.Cell(src, a)
+			}
+			rows[i] = append([]string(nil), row...)
+		}
+		if err := st.AppendBatch(ctx, "perf", store.Batch{Seq: seq, Rows: rows}); err != nil {
+			st.Close()
+			return fail(err)
+		}
+	}
+	if err := st.Close(); err != nil {
+		return fail(err)
+	}
+	return dir, tbl.NumRows() + tailBatches*batchRows, nil
+}
+
+// bootLoad opens the store and runs LoadAll, asserting exactly one clean
+// dataset came back — the common front half of both recovery ops. The
+// caller must Close the returned store.
+func bootLoad(dir string) (*store.Store, *store.Loaded, error) {
+	s2, err := store.Open(dir)
+	if err != nil {
+		return nil, nil, err
+	}
+	loaded, skipped, err := s2.LoadAll()
+	if err != nil {
+		s2.Close()
+		return nil, nil, err
+	}
+	if len(skipped) > 0 || len(loaded) != 1 {
+		s2.Close()
+		return nil, nil, fmt.Errorf("recover: %d loaded, %d skipped", len(loaded), len(skipped))
+	}
+	return s2, loaded[0], nil
+}
+
 // storeRecoverWorkload measures the full boot-recovery path: open the
-// store, load + unseal the snapshot, CRC-walk the WAL tail, restore the
-// updater, and replay the tail through it — exactly what f2served does
-// at startup.
-func storeRecoverWorkload() Workload {
+// store, load the snapshot index, hydrate the chunked state, CRC-walk
+// the WAL tail, restore the updater, and replay the tail through it —
+// what f2served does on the first state-touching request after boot.
+func storeRecoverWorkload(name string, baseRows int, heavy bool, desc string) Workload {
 	return Workload{
-		Name: "store/recover",
-		Desc: "boot recovery: snapshot load + WAL tail replay + updater restore",
+		Name:  name,
+		Desc:  desc,
+		Heavy: heavy,
 		Setup: func(ctx context.Context, sc Scale) (*Instance, error) {
-			dir, err := os.MkdirTemp("", "f2perf-recover-*")
+			dir, totalRows, err := recoveryDir(ctx, sc, baseRows)
 			if err != nil {
 				return nil, err
-			}
-			fail := func(err error) (*Instance, error) {
-				os.RemoveAll(dir)
-				return nil, err
-			}
-			st, err := store.Open(dir)
-			if err != nil {
-				return fail(err)
-			}
-			rec, tbl, err := storeRecord(ctx, sc)
-			if err != nil {
-				st.Close()
-				return fail(err)
-			}
-			if err := st.SaveSnapshot(ctx, rec); err != nil {
-				st.Close()
-				return fail(err)
-			}
-			// A WAL tail of 8 acknowledged-but-unsnapshotted batches.
-			const tailBatches, batchRows = 8, 16
-			row := make([]string, tbl.NumAttrs())
-			for seq := uint64(1); seq <= tailBatches; seq++ {
-				rows := make([][]string, batchRows)
-				for i := range rows {
-					src := (int(seq)*batchRows + i) % tbl.NumRows()
-					for a := range row {
-						row[a] = tbl.Cell(src, a)
-					}
-					rows[i] = append([]string(nil), row...)
-				}
-				if err := st.AppendBatch(ctx, "perf", store.Batch{Seq: seq, Rows: rows}); err != nil {
-					st.Close()
-					return fail(err)
-				}
-			}
-			if err := st.Close(); err != nil {
-				return fail(err)
 			}
 			return &Instance{
-				RowsPerOp: tbl.NumRows() + tailBatches*batchRows,
+				RowsPerOp: totalRows,
 				Cleanup:   func() error { return os.RemoveAll(dir) },
 				Op: func(ctx context.Context) error {
-					s2, err := store.Open(dir)
+					s2, l, err := bootLoad(dir)
 					if err != nil {
 						return err
 					}
 					defer s2.Close()
-					loaded, skipped, err := s2.LoadAll()
-					if err != nil {
-						return err
+					state := l.Updater
+					if l.Lazy {
+						if state, err = s2.LoadState(ctx, l.ID); err != nil {
+							return err
+						}
 					}
-					if len(skipped) > 0 || len(loaded) != 1 {
-						return fmt.Errorf("recover: %d loaded, %d skipped", len(loaded), len(skipped))
-					}
-					l := loaded[0]
-					upd, err := core.RestoreUpdater(l.Config, l.Updater)
+					upd, err := core.RestoreUpdater(l.Config, state)
 					if err != nil {
 						return err
 					}
@@ -391,6 +433,43 @@ func storeRecoverWorkload() Workload {
 						if err := upd.Buffer(b.Rows); err != nil {
 							return err
 						}
+					}
+					return nil
+				},
+			}, nil
+		},
+	}
+}
+
+// storeBootIndexWorkload measures time to first request: open the store
+// and load only the snapshot index — the work between process start and
+// the server answering metadata reads. Chunk hydration (the dominant
+// cost storeRecoverWorkload measures) is deliberately absent; the ratio
+// between the two workloads is the lazy-boot win.
+func storeBootIndexWorkload(name string, baseRows int, heavy bool, desc string) Workload {
+	return Workload{
+		Name:  name,
+		Desc:  desc,
+		Heavy: heavy,
+		Setup: func(ctx context.Context, sc Scale) (*Instance, error) {
+			dir, totalRows, err := recoveryDir(ctx, sc, baseRows)
+			if err != nil {
+				return nil, err
+			}
+			return &Instance{
+				RowsPerOp: totalRows,
+				Cleanup:   func() error { return os.RemoveAll(dir) },
+				Op: func(ctx context.Context) error {
+					s2, l, err := bootLoad(dir)
+					if err != nil {
+						return err
+					}
+					defer s2.Close()
+					if !l.Lazy || l.Stats == nil {
+						return fmt.Errorf("boot-index: expected a lazy chunked load, got lazy=%v stats=%v", l.Lazy, l.Stats != nil)
+					}
+					if l.Stats.Rows <= 0 {
+						return fmt.Errorf("boot-index: index stats empty")
 					}
 					return nil
 				},

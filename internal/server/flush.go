@@ -183,6 +183,11 @@ func (s *Server) handleFlush(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusNotFound, "no dataset %q", ds.ID)
 		return
 	}
+	if err := s.hydrateLocked(r.Context(), ds); err != nil {
+		ds.Unlock()
+		writeError(w, http.StatusInternalServerError, "%v", err)
+		return
+	}
 	job := ds.curFlush
 	if job == nil && ds.upd.Pending() == 0 {
 		// Nothing to do: answer synchronously like the old no-op flush.
@@ -226,6 +231,11 @@ func (s *Server) handleFlushWait(w http.ResponseWriter, r *http.Request, ds *Dat
 		if ds.deleted {
 			ds.Unlock()
 			writeError(w, http.StatusNotFound, "no dataset %q", ds.ID)
+			return
+		}
+		if err := s.hydrateLocked(r.Context(), ds); err != nil {
+			ds.Unlock()
+			writeError(w, http.StatusInternalServerError, "%v", err)
 			return
 		}
 		if job := ds.curFlush; job != nil {

@@ -289,6 +289,11 @@ func (s *Server) handleAppendRows(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusNotFound, "no dataset %q", ds.ID)
 		return
 	}
+	if err := s.hydrateLocked(r.Context(), ds); err != nil {
+		ds.Unlock()
+		writeError(w, http.StatusInternalServerError, "%v", err)
+		return
+	}
 	// Validate the batch shape before journaling it, so the WAL only ever
 	// holds batches that replay cleanly. (Width is the only way Buffer
 	// can fail; checking it here keeps journal-then-buffer infallible in
@@ -456,6 +461,11 @@ func (s *Server) handleDecrypt(w http.ResponseWriter, r *http.Request) {
 	// mutates) the updater's Result, so the heavy decryption can run
 	// without blocking appends to this dataset.
 	ds.Lock()
+	if err := s.hydrateLocked(r.Context(), ds); err != nil {
+		ds.Unlock()
+		writeError(w, http.StatusInternalServerError, "%v", err)
+		return
+	}
 	res := ds.upd.Result()
 	pending := ds.upd.Pending()
 	ds.Unlock()
@@ -500,6 +510,11 @@ func (s *Server) handleFDs(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	ds.Lock()
+	if err := s.hydrateLocked(r.Context(), ds); err != nil {
+		ds.Unlock()
+		writeError(w, http.StatusInternalServerError, "%v", err)
+		return
+	}
 	enc := ds.upd.Result().Encrypted // immutable snapshot: Flush replaces, never mutates
 	ds.Unlock()
 	fds := []fdJSON{}
@@ -572,6 +587,11 @@ func (s *Server) handleReport(w http.ResponseWriter, r *http.Request) {
 	// lock; both are replaced — never mutated — by a flush, so the
 	// multi-second audit runs without blocking appends.
 	ds.Lock()
+	if err := s.hydrateLocked(r.Context(), ds); err != nil {
+		ds.Unlock()
+		writeError(w, http.StatusInternalServerError, "%v", err)
+		return
+	}
 	plain := ds.upd.Current()
 	res := ds.upd.Result()
 	ds.Unlock()

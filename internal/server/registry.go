@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"f2/internal/core"
+	"f2/internal/store"
 )
 
 // Dataset is one registered relation: its F² configuration (including the
@@ -24,7 +25,16 @@ type Dataset struct {
 
 	mu  sync.Mutex
 	cfg core.Config
+	// upd is nil for a lazily restored dataset whose state still lives in
+	// the store's chunked snapshot; Server.hydrateLocked materializes it on
+	// the first request that needs the tables. Metadata reads (list, get,
+	// flush-job polls) run off the cached Summary and never force it.
 	upd *core.Updater
+
+	// lazyTail is the WAL tail retained by a lazy restore: acknowledged
+	// batches newer than the snapshot, replayed into the updater at
+	// hydration time. nil once upd is set. Guarded by mu.
+	lazyTail []store.Batch
 
 	// walSeq is the sequence number of the last batch staged for
 	// journaling (0 before the first append); bufSeq is the sequence of
@@ -92,6 +102,12 @@ type Summary struct {
 // refreshSummaryLocked recomputes and caches the summary; the caller
 // holds d.mu (every state-changing handler does).
 func (d *Dataset) refreshSummaryLocked() Summary {
+	if d.upd == nil {
+		// Lazily restored and not yet hydrated: the boot-time summary
+		// (index stats plus retained WAL tail) is still exact, because
+		// every state-changing path hydrates before mutating.
+		return d.Summary()
+	}
 	res := d.upd.Result()
 	s := Summary{
 		ID:                 d.ID,
@@ -214,6 +230,23 @@ func (r *Registry) Add(name string, cfg core.Config, upd *core.Updater) (*Datase
 func (r *Registry) Restore(id, name string, created time.Time, cfg core.Config, upd *core.Updater) (*Dataset, error) {
 	ds := &Dataset{ID: id, Name: name, Created: created, cfg: cfg, upd: upd}
 	ds.refreshSummaryLocked() // not yet published
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, taken := r.data[id]; taken {
+		return nil, fmt.Errorf("server: dataset id %q already registered", id)
+	}
+	r.data[id] = ds
+	return ds, nil
+}
+
+// RestoreLazy registers a dataset shell recovered from a chunked
+// snapshot: identity, config, and a summary computed from the snapshot
+// index, with the updater state left on disk. tail is the WAL tail to
+// replay when the dataset hydrates. Like Restore, a duplicate id is an
+// error.
+func (r *Registry) RestoreLazy(id, name string, created time.Time, cfg core.Config, sum Summary, tail []store.Batch) (*Dataset, error) {
+	ds := &Dataset{ID: id, Name: name, Created: created, cfg: cfg, lazyTail: tail}
+	ds.stats = sum // not yet published: no concurrent Summary readers
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	if _, taken := r.data[id]; taken {

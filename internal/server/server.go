@@ -169,6 +169,22 @@ func New(opts Options) (*Server, error) {
 			}
 			return float64(batches) / float64(fsyncs)
 		})
+		// Snapshot-rotation dedup accounting: written counts physical chunk
+		// + index bytes, reused counts payload bytes a rotation re-linked by
+		// content address instead of rewriting. reused/(written+reused)
+		// trending high is the chunked format doing its job.
+		s.metrics.RegisterCounterFunc("f2_snapshot_chunks_written_total", func() float64 {
+			return float64(s.st.SnapshotStats().ChunksWritten)
+		})
+		s.metrics.RegisterCounterFunc("f2_snapshot_chunks_reused_total", func() float64 {
+			return float64(s.st.SnapshotStats().ChunksReused)
+		})
+		s.metrics.RegisterCounterFunc("f2_snapshot_bytes_written_total", func() float64 {
+			return float64(s.st.SnapshotStats().BytesWritten)
+		})
+		s.metrics.RegisterCounterFunc("f2_snapshot_bytes_reused_total", func() float64 {
+			return float64(s.st.SnapshotStats().BytesReused)
+		})
 	}
 
 	s.mux.Handle("POST /v1/datasets", s.instrument("create_dataset", s.handleCreateDataset))
@@ -190,12 +206,16 @@ func New(opts Options) (*Server, error) {
 	return s, nil
 }
 
-// recover loads every dataset from the durable store, replays each WAL
-// tail through a restored updater, and registers the result under its
-// original id. A dataset that fails to restore is skipped with a loud
-// log line rather than bricking the whole service: its files stay on
-// disk untouched for manual inspection, and every healthy dataset still
-// comes up.
+// recover registers every dataset from the durable store under its
+// original id. Chunked (v2) snapshots restore lazily: only the index was
+// read, so recovery registers a shell — identity, config, a summary built
+// from index-level stats, and the retained WAL tail — and the first
+// request that needs the tables hydrates it (hydrateLocked). Legacy (v1)
+// monolithic snapshots restore eagerly, replay their tail, and are
+// re-saved so the next boot finds the chunked format. A dataset that
+// fails to restore is skipped with a loud log line rather than bricking
+// the whole service: its files stay on disk untouched for manual
+// inspection, and every healthy dataset still comes up.
 func (s *Server) recover() error {
 	if s.st == nil {
 		return nil
@@ -208,6 +228,10 @@ func (s *Server) recover() error {
 		s.logf("store: skipping unrecoverable dataset %s", msg)
 	}
 	for _, l := range loaded {
+		if l.Lazy {
+			s.recoverLazy(l)
+			continue
+		}
 		upd, err := core.RestoreUpdater(l.Config, l.Updater)
 		if err != nil {
 			s.logf("store: skipping dataset %s: %v", l.ID, err)
@@ -237,7 +261,98 @@ func (s *Server) recover() error {
 		ds.bufSeq = walSeq // every replayed batch is in the buffer
 		s.logf("recovered dataset %s (%q): %d rows, %d pending (%d WAL batches replayed)",
 			ds.ID, ds.Name, upd.Rows(), upd.Pending(), replayed)
+		if l.Legacy {
+			// Upgrade in place: rewrite the monolithic snapshot in the
+			// chunked format now, while the full state is in memory anyway.
+			// Failure is non-fatal — the v1 file still boots next time.
+			if rec := s.captureRecordLocked(ds); rec != nil {
+				if err := s.st.SaveSnapshot(s.lifecycle, rec); err != nil {
+					s.logf("store: dataset %s: upgrading legacy snapshot: %v", ds.ID, err)
+				} else {
+					s.logf("dataset %s: legacy snapshot upgraded to chunked format", ds.ID)
+				}
+			}
+		}
 	}
+	return nil
+}
+
+// recoverLazy registers one lazily restored dataset from its snapshot
+// index. The summary is exact without touching a chunk: row counts come
+// from the index, pending rows are the snapshot's buffered rows plus the
+// retained WAL tail's.
+func (s *Server) recoverLazy(l *store.Loaded) {
+	walSeq := l.WALSeq
+	tailRows := 0
+	for _, b := range l.Tail {
+		if b.Seq > walSeq {
+			walSeq = b.Seq
+		}
+		tailRows += len(b.Rows)
+	}
+	st := l.Stats
+	sum := Summary{
+		ID:                 l.ID,
+		Name:               l.Name,
+		Created:            l.Created,
+		Rows:               st.Rows,
+		PendingRows:        st.PendingRows + tailRows,
+		EncryptedRows:      st.EncryptedRows,
+		Alpha:              l.Config.Alpha,
+		SplitFactor:        l.Config.SplitFactor,
+		MASCount:           len(st.Meta.MASs),
+		Rebuilds:           st.Meta.Rebuilds,
+		IncrementalFlushes: st.Meta.IncrementalFlushes,
+		LastFlushMode:      st.Meta.LastFlush,
+		Overhead:           st.Meta.Report.Overhead(),
+		Parallelism:        l.Config.Workers(),
+	}
+	ds, err := s.reg.RestoreLazy(l.ID, l.Name, l.Created, l.Config, sum, l.Tail)
+	if err != nil {
+		s.logf("store: skipping dataset %s: %v", l.ID, err)
+		return
+	}
+	// walSeq must cover every journaled batch so new appends draw fresh
+	// sequences; bufSeq stays at the snapshot watermark until hydration
+	// actually replays the tail into the updater.
+	ds.walSeq = walSeq
+	ds.bufSeq = l.WALSeq
+	s.logf("recovered dataset %s (%q): %d rows, %d pending (lazy: %d WAL batches retained)",
+		ds.ID, ds.Name, sum.Rows, sum.PendingRows, len(l.Tail))
+}
+
+// hydrateLocked materializes a lazily restored dataset: read and verify
+// the chunked state from the store, rebuild the updater, and replay the
+// retained WAL tail. The caller holds ds.mu, so concurrent requests
+// hydrate exactly once; already-live datasets (and in-memory servers)
+// return immediately. On error the dataset stays lazy and the request
+// fails — a later request retries the hydration.
+func (s *Server) hydrateLocked(ctx context.Context, ds *Dataset) error {
+	if ds.upd != nil {
+		return nil
+	}
+	st, err := s.st.LoadState(ctx, ds.ID)
+	if err != nil {
+		return fmt.Errorf("hydrating dataset %s: %w", ds.ID, err)
+	}
+	upd, err := core.RestoreUpdater(ds.cfg, st)
+	if err != nil {
+		return fmt.Errorf("hydrating dataset %s: %w", ds.ID, err)
+	}
+	for _, b := range ds.lazyTail {
+		if err := upd.Buffer(b.Rows); err != nil {
+			// Same policy as eager recovery: keep everything before the
+			// first corrupt batch rather than failing the dataset forever.
+			s.logf("store: dataset %s: dropping WAL tail from batch %d: %v", ds.ID, b.Seq, err)
+			break
+		}
+		if b.Seq > ds.bufSeq {
+			ds.bufSeq = b.Seq
+		}
+	}
+	ds.upd = upd
+	ds.lazyTail = nil
+	ds.refreshSummaryLocked()
 	return nil
 }
 

@@ -92,7 +92,8 @@ func TestTraceAPIEndToEnd(t *testing.T) {
 	for _, stage := range []string{
 		"encrypt.step1.mas", "encrypt.step2.group", "encrypt.step3.emit", "encrypt.step4.fp",
 		"wal.append", "wal.fsync",
-		"snapshot.save", "snapshot.seal", "snapshot.write", "snapshot.compact-wal",
+		"snapshot.save", "snapshot.seal", "snapshot.chunks", "snapshot.index",
+		"snapshot.gc", "snapshot.compact-wal",
 		"job.queue", "job.run", "update.flush",
 	} {
 		if _, ok := all[stage]; !ok {

@@ -1,0 +1,322 @@
+package store
+
+import (
+	"bytes"
+	"compress/flate"
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+)
+
+// Chunked snapshots store the bulky, append-mostly sections of a dataset
+// (plaintext rows, ciphertext rows, provenance) as content-addressed data
+// chunks: each fixed row-range is serialized, compressed, CRC-framed, and
+// written to a file named by the hex SHA-256 of its *uncompressed*
+// payload. Because flushes grow these sections by appending (incremental
+// flushes never reorder settled rows), every full chunk keeps its content
+// — and therefore its name — across rotations, so a rotation re-links
+// existing chunks instead of rewriting the dataset. Naming by the
+// uncompressed payload keeps dedup stable even if the codec or
+// compression level changes between versions.
+//
+// Chunk frame layout:
+//
+//	4 bytes magic "F2CK" | 1 byte frame version | 1 byte codec |
+//	4 bytes big-endian uncompressed payload length |
+//	4 bytes CRC32 (IEEE) of the uncompressed payload | body
+//
+// codec 0 stores the payload raw; codec 1 stores it DEFLATE-compressed.
+// The CRC and length are always of the uncompressed payload, so a
+// truncated or bit-flipped body fails the frame check regardless of
+// codec.
+
+const (
+	chunkMagic        = "F2CK"
+	chunkFrameVersion = 1
+
+	chunkCodecRaw   = 0
+	chunkCodecFlate = 1
+
+	// chunkHeaderSize is the fixed frame prefix before the body.
+	chunkHeaderSize = 4 + 1 + 1 + 4 + 4
+
+	// maxChunkBytes caps the uncompressed payload so a hostile length
+	// field cannot drive a multi-gigabyte allocation during decode.
+	maxChunkBytes = 1 << 30
+
+	// chunkNameLen is the length of a chunk name: hex SHA-256.
+	chunkNameLen = 2 * sha256.Size
+
+	chunksDirName = "chunks"
+)
+
+// chunkName derives a payload's content address.
+func chunkName(payload []byte) string {
+	sum := sha256.Sum256(payload)
+	return hex.EncodeToString(sum[:])
+}
+
+// validChunkName reports whether name is a plausible content address:
+// exactly 64 lowercase hex characters. Everything else — including path
+// separators, dots, and uppercase hex — is rejected, so a hostile index
+// blob cannot steer chunk reads outside the chunk directory.
+func validChunkName(name string) bool {
+	if len(name) != chunkNameLen {
+		return false
+	}
+	for i := 0; i < len(name); i++ {
+		c := name[i]
+		if (c < '0' || c > '9') && (c < 'a' || c > 'f') {
+			return false
+		}
+	}
+	return true
+}
+
+// encodeChunkFrame frames a payload for storage: DEFLATE-compressed when
+// that helps, raw when it does not (already-dense payloads).
+func encodeChunkFrame(payload []byte) ([]byte, error) {
+	if len(payload) > maxChunkBytes {
+		return nil, fmt.Errorf("store: chunk payload is %d bytes, max %d", len(payload), maxChunkBytes)
+	}
+	codec := byte(chunkCodecFlate)
+	var buf bytes.Buffer
+	zw, err := flate.NewWriter(&buf, flate.BestSpeed)
+	if err != nil {
+		return nil, fmt.Errorf("store: chunk compressor: %w", err)
+	}
+	if _, err := zw.Write(payload); err != nil {
+		return nil, fmt.Errorf("store: compressing chunk: %w", err)
+	}
+	if err := zw.Close(); err != nil {
+		return nil, fmt.Errorf("store: compressing chunk: %w", err)
+	}
+	body := buf.Bytes()
+	if len(body) >= len(payload) {
+		codec = chunkCodecRaw
+		body = payload
+	}
+	frame := make([]byte, chunkHeaderSize+len(body))
+	copy(frame[0:4], chunkMagic)
+	frame[4] = chunkFrameVersion
+	frame[5] = codec
+	binary.BigEndian.PutUint32(frame[6:10], uint32(len(payload)))
+	binary.BigEndian.PutUint32(frame[10:14], crc32.ChecksumIEEE(payload))
+	copy(frame[chunkHeaderSize:], body)
+	return frame, nil
+}
+
+// decodeChunkFrame inverts encodeChunkFrame. Every field is validated
+// before it is trusted: magic, frame version, codec, the length cap, and
+// finally the CRC of the decompressed payload. Hostile input errors; it
+// never panics and never allocates more than maxChunkBytes.
+func decodeChunkFrame(frame []byte) ([]byte, error) {
+	if len(frame) < chunkHeaderSize {
+		return nil, fmt.Errorf("store: chunk frame truncated at %d bytes", len(frame))
+	}
+	if string(frame[0:4]) != chunkMagic {
+		return nil, errors.New("store: bad chunk magic")
+	}
+	if frame[4] != chunkFrameVersion {
+		return nil, fmt.Errorf("store: chunk frame version %d, want %d", frame[4], chunkFrameVersion)
+	}
+	codec := frame[5]
+	size := binary.BigEndian.Uint32(frame[6:10])
+	if size > maxChunkBytes {
+		return nil, fmt.Errorf("store: chunk claims %d bytes, max %d", size, maxChunkBytes)
+	}
+	body := frame[chunkHeaderSize:]
+	var payload []byte
+	switch codec {
+	case chunkCodecRaw:
+		if len(body) != int(size) {
+			return nil, fmt.Errorf("store: raw chunk body is %d bytes, header says %d", len(body), size)
+		}
+		payload = body
+	case chunkCodecFlate:
+		// LimitReader bounds the inflation at the declared size plus one
+		// byte: a body that inflates past its header is corrupt, and the
+		// extra byte lets the size check below distinguish "too long"
+		// from "exactly right".
+		zr := flate.NewReader(bytes.NewReader(body))
+		buf := make([]byte, 0, size)
+		w := bytes.NewBuffer(buf)
+		n, err := io.Copy(w, io.LimitReader(zr, int64(size)+1))
+		if cerr := zr.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			return nil, fmt.Errorf("store: inflating chunk: %w", err)
+		}
+		if n != int64(size) {
+			return nil, fmt.Errorf("store: chunk inflates to %d bytes, header says %d", n, size)
+		}
+		payload = w.Bytes()
+	default:
+		return nil, fmt.Errorf("store: unknown chunk codec %d", codec)
+	}
+	if crc32.ChecksumIEEE(payload) != binary.BigEndian.Uint32(frame[10:14]) {
+		return nil, errors.New("store: chunk payload checksum mismatch")
+	}
+	return payload, nil
+}
+
+// ByteSource is the read side of chunk storage: fetch one framed chunk by
+// content address. It is the part a remote backend (S3 GET, HTTP range
+// server) must implement for lazy hydration to work against it.
+type ByteSource interface {
+	// ReadChunk returns the framed bytes of the named chunk.
+	ReadChunk(name string) ([]byte, error)
+}
+
+// ChunkStore is a full chunk backend: reads plus the write, enumeration,
+// and deletion a rotating writer needs. Only the local-dir backend exists
+// today; the interface is the seam where a remote backend slots in.
+type ChunkStore interface {
+	ByteSource
+	// HasChunk reports whether the named chunk already exists — the
+	// dedup fast path, letting a rotation skip framing and compressing
+	// payloads it already stores.
+	HasChunk(name string) (bool, error)
+	// WriteChunk durably stores a framed chunk under name. Writing a
+	// name that already exists is a no-op (content addressing makes the
+	// bytes identical by construction).
+	WriteChunk(name string, frame []byte) error
+	// ListChunks returns the names of every stored object, including
+	// stray files that are not valid chunk names (crash debris); the
+	// garbage collector removes anything the current index does not
+	// reference.
+	ListChunks() ([]string, error)
+	// DeleteChunk removes one stored object named by ListChunks.
+	DeleteChunk(name string) error
+	// Sync makes every completed WriteChunk durable. Called once per
+	// rotation, after all chunk writes and before the index rotates, so
+	// the index never references a chunk the disk could forget.
+	Sync() error
+}
+
+// dirChunks is the local-directory ChunkStore: one file per chunk inside
+// a dataset's chunks/ directory. Writes go through a same-directory temp
+// file, fsync, and rename, so a crash mid-write leaves only a temp file —
+// never a torn chunk under a valid name — and the next rotation's GC
+// sweeps the debris.
+type dirChunks struct {
+	dir string
+}
+
+func newDirChunks(dir string) *dirChunks { return &dirChunks{dir: dir} }
+
+func (c *dirChunks) path(name string) (string, error) {
+	if !validChunkName(name) {
+		return "", fmt.Errorf("store: invalid chunk name %q", name)
+	}
+	return filepath.Join(c.dir, name), nil
+}
+
+func (c *dirChunks) ReadChunk(name string) ([]byte, error) {
+	p, err := c.path(name)
+	if err != nil {
+		return nil, err
+	}
+	data, err := os.ReadFile(p)
+	if err != nil {
+		return nil, fmt.Errorf("store: reading chunk %s: %w", name, err)
+	}
+	return data, nil
+}
+
+func (c *dirChunks) HasChunk(name string) (bool, error) {
+	p, err := c.path(name)
+	if err != nil {
+		return false, err
+	}
+	if _, err := os.Stat(p); err != nil {
+		if errors.Is(err, os.ErrNotExist) {
+			return false, nil
+		}
+		return false, fmt.Errorf("store: probing chunk %s: %w", name, err)
+	}
+	return true, nil
+}
+
+func (c *dirChunks) WriteChunk(name string, frame []byte) error {
+	p, err := c.path(name)
+	if err != nil {
+		return err
+	}
+	if err := os.MkdirAll(c.dir, 0o700); err != nil {
+		return fmt.Errorf("store: creating chunk directory: %w", err)
+	}
+	tmp, err := os.CreateTemp(c.dir, name[:8]+".tmp-*")
+	if err != nil {
+		return fmt.Errorf("store: writing chunk %s: %w", name, err)
+	}
+	tmpPath := tmp.Name()
+	cleanup := func() {
+		_ = tmp.Close()
+		os.Remove(tmpPath)
+	}
+	if _, err := tmp.Write(frame); err != nil {
+		cleanup()
+		return fmt.Errorf("store: writing chunk %s: %w", name, err)
+	}
+	if err := tmp.Chmod(0o600); err != nil {
+		cleanup()
+		return fmt.Errorf("store: writing chunk %s: %w", name, err)
+	}
+	if err := tmp.Sync(); err != nil {
+		cleanup()
+		return fmt.Errorf("store: syncing chunk %s: %w", name, err)
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmpPath)
+		return fmt.Errorf("store: writing chunk %s: %w", name, err)
+	}
+	if err := os.Rename(tmpPath, p); err != nil {
+		os.Remove(tmpPath)
+		return fmt.Errorf("store: writing chunk %s: %w", name, err)
+	}
+	return nil
+}
+
+func (c *dirChunks) ListChunks() ([]string, error) {
+	entries, err := os.ReadDir(c.dir)
+	if errors.Is(err, os.ErrNotExist) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, fmt.Errorf("store: listing chunks: %w", err)
+	}
+	names := make([]string, 0, len(entries))
+	for _, e := range entries {
+		if e.IsDir() {
+			continue
+		}
+		names = append(names, e.Name())
+	}
+	return names, nil
+}
+
+func (c *dirChunks) DeleteChunk(name string) error {
+	// Names come from ListChunks (directory entries), which may include
+	// crash debris with non-chunk names; only reject anything that could
+	// escape the directory.
+	if name != filepath.Base(name) || name == "." || name == ".." || strings.ContainsAny(name, "/\\") {
+		return fmt.Errorf("store: refusing to delete %q", name)
+	}
+	if err := os.Remove(filepath.Join(c.dir, name)); err != nil && !errors.Is(err, os.ErrNotExist) {
+		return fmt.Errorf("store: deleting chunk %s: %w", name, err)
+	}
+	return nil
+}
+
+func (c *dirChunks) Sync() error {
+	return syncDir(c.dir)
+}

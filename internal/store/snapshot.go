@@ -14,8 +14,12 @@ import (
 	"f2/internal/crypt"
 )
 
-// snapshotVersion is bumped on incompatible snapshot format changes.
-const snapshotVersion = 1
+// snapshotVersionV1 is the legacy monolithic snapshot format: one JSON
+// blob carrying the entire updater state inline. It is read-only now —
+// SaveSnapshot always writes the v2 chunked format (see index.go) — but
+// the reader stays so pre-chunking data directories boot and upgrade in
+// place.
+const snapshotVersionV1 = 1
 
 // keyEnvelope prefixes the dataset key before master-key encryption. The
 // stream cipher has no MAC, so the prefix doubles as an integrity check:
@@ -192,8 +196,8 @@ func unmarshalSnapshot(data []byte) (*snapshotFile, error) {
 	if err := json.Unmarshal(data, &f); err != nil {
 		return nil, fmt.Errorf("store: decoding snapshot: %w", err)
 	}
-	if f.Version != snapshotVersion {
-		return nil, fmt.Errorf("store: snapshot version %d, want %d", f.Version, snapshotVersion)
+	if f.Version != snapshotVersionV1 {
+		return nil, fmt.Errorf("store: snapshot version %d, want %d", f.Version, snapshotVersionV1)
 	}
 	if f.ID == "" || f.Updater == nil {
 		return nil, fmt.Errorf("store: snapshot is incomplete")

@@ -4,15 +4,23 @@
 // Layout under the data directory:
 //
 //	<dir>/master.key              service master key (hex, 0600)
-//	<dir>/datasets/<id>/snapshot.json
+//	<dir>/datasets/<id>/snapshot.json   index blob (v2) or monolithic snapshot (v1)
+//	<dir>/datasets/<id>/chunks/<sha256> content-addressed data chunks (v2)
 //	<dir>/datasets/<id>/wal.log
 //
-// Each dataset is a snapshot plus a write-ahead log. The snapshot holds
-// the dataset's configuration and the full serialized updater state
-// (plaintext copy, pending buffer, latest ciphertext, flush counters);
-// the dataset key is stored encrypted under the service master key, never
-// in the clear. Snapshots are rotated atomically (write temp + fsync +
-// rename), so a crash mid-write leaves the previous snapshot intact.
+// Each dataset is a snapshot plus a write-ahead log. The snapshot's index
+// blob holds the dataset's configuration, schema, WAL watermark, and a
+// manifest of content-addressed chunks carrying the bulky sections of the
+// serialized updater state (plaintext rows, ciphertext rows, provenance,
+// pending buffer — see rotate.go and chunks.go); the dataset key is
+// stored encrypted under the service master key, never in the clear. The
+// index is rotated atomically (write temp + fsync + rename) after every
+// chunk it references is durable, so a crash at any point leaves the
+// previous snapshot fully readable; a rotation-time GC then unlinks
+// chunks the new index no longer references. Boot reads only the index
+// (LoadAll); the full state hydrates on demand (LoadState). Snapshots
+// written by the v1 monolithic format still load — eagerly — and are
+// upgraded to v2 the next time they are saved.
 //
 // The WAL journals every append batch before the service acknowledges it.
 // Journal writes are group-committed: concurrent appends stage framed
@@ -65,12 +73,32 @@ type Record struct {
 	WALSeq uint64
 }
 
+// DatasetStats are the index-level facts about a lazily loaded dataset:
+// enough to serve listings and summaries without hydrating a single
+// chunk. PendingRows counts only the snapshot's buffered rows; the WAL
+// tail's rows come on top (the caller sees the tail and can add them).
+type DatasetStats struct {
+	Rows          int
+	PendingRows   int
+	EncryptedRows int
+	Meta          core.UpdaterMeta
+}
+
 // Loaded is a recovered dataset: its snapshot record plus the WAL tail —
 // acknowledged batches the snapshot does not include, in journal order —
 // which the caller must replay through the updater.
+//
+// For a v2 chunked snapshot, boot is lazy: Lazy is true, Record.Updater
+// is nil, Stats carries the index-level numbers, and the caller hydrates
+// the full state later via LoadState (then replays Tail). For a v1
+// monolithic snapshot, Legacy is true and Record.Updater is populated
+// eagerly; saving the dataset again upgrades it to v2 in place.
 type Loaded struct {
 	Record
-	Tail []Batch
+	Tail   []Batch
+	Lazy   bool
+	Legacy bool
+	Stats  *DatasetStats
 }
 
 // Store is the durable dataset store. All methods are safe for concurrent
@@ -78,23 +106,53 @@ type Loaded struct {
 // by that dataset's committer goroutine, and compaction flows through the
 // same committer, so callers need no external ordering of their own.
 type Store struct {
-	dir    string
-	master *crypt.ProbCipher
+	dir       string
+	master    *crypt.ProbCipher
+	chunkRows int
 
 	mu   sync.Mutex
 	wals map[string]*walWriter // group-commit writers by dataset id
 
+	rotMu sync.Mutex
+	rots  map[string]*sync.RWMutex // per-dataset rotation locks
+
 	stats walStats
+	snap  snapStats
+
+	// testCrash, when set by a test, is invoked at rotation checkpoints
+	// ("chunk" after each chunk write, "index" before the index rotates,
+	// "gc" after each unlink); returning an error aborts the save there,
+	// simulating a crash at that point.
+	testCrash func(point string) error
 }
 
-// Open initializes the store at dir, creating the directory tree and the
-// master key on first use. The master key file is created with 0600
-// permissions; anyone who can read it can unseal every dataset key, so
-// the data directory must be trusted storage (f2served is the owner-side
-// service — the paper's untrusted server never runs it).
-func Open(dir string) (*Store, error) {
+// Options tunes a Store beyond its data directory.
+type Options struct {
+	// ChunkRows is the number of table rows per content-addressed
+	// snapshot chunk. Smaller chunks dedup at a finer grain (an
+	// incremental flush rewrites less); larger chunks mean fewer files
+	// and a smaller manifest. 0 means the default (512).
+	ChunkRows int
+}
+
+// Open initializes the store at dir with default options.
+func Open(dir string) (*Store, error) { return OpenOptions(dir, Options{}) }
+
+// OpenOptions initializes the store at dir, creating the directory tree
+// and the master key on first use. The master key file is created with
+// 0600 permissions; anyone who can read it can unseal every dataset key,
+// so the data directory must be trusted storage (f2served is the
+// owner-side service — the paper's untrusted server never runs it).
+func OpenOptions(dir string, opts Options) (*Store, error) {
 	if dir == "" {
 		return nil, errors.New("store: empty data directory")
+	}
+	if opts.ChunkRows < 0 {
+		return nil, fmt.Errorf("store: negative chunk rows %d", opts.ChunkRows)
+	}
+	chunkRows := opts.ChunkRows
+	if chunkRows == 0 {
+		chunkRows = defaultChunkRows
 	}
 	if err := os.MkdirAll(filepath.Join(dir, datasetsDir), 0o700); err != nil {
 		return nil, fmt.Errorf("store: creating data directory: %w", err)
@@ -107,7 +165,13 @@ func Open(dir string) (*Store, error) {
 	if err != nil {
 		return nil, fmt.Errorf("store: master cipher: %w", err)
 	}
-	return &Store{dir: dir, master: cipher, wals: make(map[string]*walWriter)}, nil
+	return &Store{
+		dir:       dir,
+		master:    cipher,
+		chunkRows: chunkRows,
+		wals:      make(map[string]*walWriter),
+		rots:      make(map[string]*sync.RWMutex),
+	}, nil
 }
 
 // Dir returns the store's data directory.
@@ -168,12 +232,16 @@ func (s *Store) datasetDir(id string) string {
 	return filepath.Join(s.dir, datasetsDir, id)
 }
 
-// SaveSnapshot durably records rec: the snapshot file is rotated
-// atomically, and on success the WAL is truncated (every journaled batch
-// at or below rec.WALSeq is now covered by the snapshot; replay skips
-// them even if truncation itself is lost to a crash). The context only
-// carries the caller's trace (seal / write / truncate phases become
-// spans); the write itself is never cancelled mid-rotation.
+// SaveSnapshot durably records rec as a v2 chunked snapshot: section
+// chunks are written (or re-linked when their content already exists)
+// first, the index blob rotates atomically after they are durable, the
+// GC sweeps chunks the new index dropped, and on success the WAL is
+// truncated (every journaled batch at or below rec.WALSeq is now covered
+// by the snapshot; replay skips them even if truncation itself is lost
+// to a crash). The context only carries the caller's trace; the write
+// itself is never cancelled mid-rotation. The dataset's rotation lock is
+// held exclusively across chunks + index + GC, so concurrent hydration
+// sees either the old snapshot or the new one, never a half-swept mix.
 func (s *Store) SaveSnapshot(ctx context.Context, rec *Record) error {
 	if rec.ID == "" {
 		return errors.New("store: record has no id")
@@ -186,29 +254,16 @@ func (s *Store) SaveSnapshot(ctx context.Context, rec *Record) error {
 	if err != nil {
 		return err
 	}
-	data, err := marshalSnapshot(&snapshotFile{
-		Version: snapshotVersion,
-		ID:      rec.ID,
-		Name:    rec.Name,
-		Created: rec.Created,
-		KeyEnc:  keyEnc,
-		Config:  configToFile(rec.Config),
-		WALSeq:  rec.WALSeq,
-		Updater: rec.Updater,
-	})
+	sec := rec.Updater.Sections()
+	if sec == nil {
+		return errors.New("store: record has no updater state")
+	}
+	rl := s.rot(rec.ID)
+	rl.Lock()
+	err = s.rotateSnapshot(sctx, rec, keyEnc, sec)
+	rl.Unlock()
 	if err != nil {
 		return err
-	}
-	sp.SetAttr("bytes", len(data))
-	dir := s.datasetDir(rec.ID)
-	if err := os.MkdirAll(dir, 0o700); err != nil {
-		return fmt.Errorf("store: creating dataset directory: %w", err)
-	}
-	_, wr := obs.Start(sctx, "snapshot.write")
-	err = writeFileAtomic(filepath.Join(dir, snapshotName), data, 0o600)
-	wr.End()
-	if err != nil {
-		return fmt.Errorf("store: writing snapshot: %w", err)
 	}
 	_, tr := obs.Start(sctx, "snapshot.compact-wal")
 	err = s.compactWAL(rec.ID, rec.WALSeq)
@@ -343,6 +398,19 @@ func (s *Store) Delete(id string) error {
 		// wrote) is removed next anyway.
 		_ = w.close()
 	}
+	// Exclusive rotation lock: an in-flight hydration finishes its chunk
+	// reads before the directory goes away.
+	rl := s.rot(id)
+	rl.Lock()
+	err := s.removeDataset(id)
+	rl.Unlock()
+	s.rotMu.Lock()
+	delete(s.rots, id)
+	s.rotMu.Unlock()
+	return err
+}
+
+func (s *Store) removeDataset(id string) error {
 	if err := os.RemoveAll(s.datasetDir(id)); err != nil {
 		return fmt.Errorf("store: deleting dataset %s: %w", id, err)
 	}
@@ -380,6 +448,25 @@ func (s *Store) loadOne(id string) (*Loaded, error) {
 	if err != nil {
 		return nil, fmt.Errorf("reading snapshot: %w", err)
 	}
+	ver, err := snapshotVersionOf(data)
+	if err != nil {
+		return nil, err
+	}
+	switch ver {
+	case snapshotVersionV1:
+		return s.loadLegacy(id, dir, data)
+	case indexVersion:
+		return s.loadIndexed(id, dir, data)
+	default:
+		return nil, fmt.Errorf("store: snapshot version %d, want %d or %d", ver, snapshotVersionV1, indexVersion)
+	}
+}
+
+// loadLegacy reads a v1 monolithic snapshot eagerly: the full updater
+// state is inline, so there is nothing to defer. The Legacy flag tells
+// the caller the next save will upgrade the dataset to the chunked
+// format.
+func (s *Store) loadLegacy(id, dir string, data []byte) (*Loaded, error) {
 	snap, err := unmarshalSnapshot(data)
 	if err != nil {
 		return nil, err
@@ -391,17 +478,9 @@ func (s *Store) loadOne(id string) (*Loaded, error) {
 	if err != nil {
 		return nil, err
 	}
-	batches, err := readWAL(filepath.Join(dir, walName))
+	tail, err := s.walTail(dir, snap.WALSeq)
 	if err != nil {
 		return nil, err
-	}
-	// Keep only the tail past the snapshot's watermark, tolerating a WAL
-	// that survived a snapshot whose truncation was lost.
-	tail := batches[:0]
-	for _, b := range batches {
-		if b.Seq > snap.WALSeq {
-			tail = append(tail, b)
-		}
 	}
 	return &Loaded{
 		Record: Record{
@@ -412,6 +491,61 @@ func (s *Store) loadOne(id string) (*Loaded, error) {
 			Updater: snap.Updater,
 			WALSeq:  snap.WALSeq,
 		},
-		Tail: tail,
+		Tail:   tail,
+		Legacy: true,
 	}, nil
+}
+
+// loadIndexed reads a v2 index blob only: identity, config, watermark,
+// and the index-level stats. The chunked state stays on disk until
+// LoadState is called.
+func (s *Store) loadIndexed(id, dir string, data []byte) (*Loaded, error) {
+	idx, err := parseIndex(data)
+	if err != nil {
+		return nil, err
+	}
+	if idx.ID != id {
+		return nil, fmt.Errorf("snapshot id %q does not match directory %q", idx.ID, id)
+	}
+	key, err := openKey(s.master, idx.KeyEnc)
+	if err != nil {
+		return nil, err
+	}
+	tail, err := s.walTail(dir, idx.WALSeq)
+	if err != nil {
+		return nil, err
+	}
+	return &Loaded{
+		Record: Record{
+			ID:      idx.ID,
+			Name:    idx.Name,
+			Created: idx.Created,
+			Config:  idx.Config.config(key),
+			WALSeq:  idx.WALSeq,
+		},
+		Tail: tail,
+		Lazy: true,
+		Stats: &DatasetStats{
+			Rows:          idx.Current.Rows,
+			PendingRows:   idx.Buffer.Rows,
+			EncryptedRows: idx.Encrypted.Rows,
+			Meta:          *idx.Meta,
+		},
+	}, nil
+}
+
+// walTail returns the acknowledged batches past the snapshot watermark,
+// tolerating a WAL that survived a snapshot whose truncation was lost.
+func (s *Store) walTail(dir string, walSeq uint64) ([]Batch, error) {
+	batches, err := readWAL(filepath.Join(dir, walName))
+	if err != nil {
+		return nil, err
+	}
+	tail := batches[:0]
+	for _, b := range batches {
+		if b.Seq > walSeq {
+			tail = append(tail, b)
+		}
+	}
+	return tail, nil
 }

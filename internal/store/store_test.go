@@ -87,6 +87,21 @@ func checkFrequencyFlatness(t *testing.T, enc *relation.Table, k int, label stri
 	}
 }
 
+// hydrated returns a loaded dataset's full updater state regardless of
+// snapshot format: inline for legacy (v1) loads, via LoadState for lazy
+// chunked ones.
+func hydrated(t *testing.T, s *Store, l *Loaded) *core.UpdaterState {
+	t.Helper()
+	if !l.Lazy {
+		return l.Updater
+	}
+	st, err := s.LoadState(context.Background(), l.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return st
+}
+
 func loadOnly(t *testing.T, s *Store) []*Loaded {
 	t.Helper()
 	loaded, skipped, err := s.LoadAll()
@@ -130,7 +145,13 @@ func TestSnapshotRoundTrip(t *testing.T) {
 	if l.Config.Key != cfg.Key || l.Config.Alpha != cfg.Alpha || l.Config.PRF != cfg.PRF {
 		t.Fatal("config did not round-trip")
 	}
-	back, err := core.RestoreUpdater(l.Config, l.Updater)
+	if !l.Lazy || l.Updater != nil || l.Stats == nil {
+		t.Fatalf("chunked snapshot should load lazily: lazy=%v updater=%v", l.Lazy, l.Updater != nil)
+	}
+	if l.Stats.Rows != upd.Rows() || l.Stats.EncryptedRows != upd.Result().Encrypted.NumRows() {
+		t.Fatalf("index stats %+v do not match the dataset", l.Stats)
+	}
+	back, err := core.RestoreUpdater(l.Config, hydrated(t, s2, l))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -285,7 +306,7 @@ func TestReplaySkipsCoveredBatches(t *testing.T) {
 		t.Fatal(err)
 	}
 	data, err := marshalSnapshot(&snapshotFile{
-		Version: snapshotVersion, ID: id, Name: "t", KeyEnc: keyEnc,
+		Version: snapshotVersionV1, ID: id, Name: "t", KeyEnc: keyEnc,
 		Config: configToFile(cfg), WALSeq: 2, Updater: upd.State(),
 	})
 	if err != nil {
@@ -378,7 +399,7 @@ func TestCrashMidFlushRecovery(t *testing.T) {
 			t.Fatalf("%s: loaded %d datasets, want 1", label, len(loaded))
 		}
 		l := loaded[0]
-		back, err := core.RestoreUpdater(l.Config, l.Updater)
+		back, err := core.RestoreUpdater(l.Config, hydrated(t, s, l))
 		if err != nil {
 			t.Fatalf("%s: restore: %v", label, err)
 		}
