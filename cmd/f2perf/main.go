@@ -9,6 +9,8 @@
 //	f2perf -run 'encrypt/*' -duration 5s  # one group, longer window
 //	f2perf -run 'paper/*'                 # bridge to the paper experiments
 //	f2perf -profile cpu,heap -out results # with profiler capture
+//	f2perf -quick -profile-dir profs      # continuous profiler running alongside
+//	f2perf -profiler-overhead -quick      # amortized-overhead gate for the above
 //	f2perf -list                          # list workloads
 //
 // Compare (exits 1 when a latency quantile or throughput metric of any
@@ -30,6 +32,7 @@ import (
 	"time"
 
 	"f2/internal/bench"
+	"f2/internal/obs"
 	"f2/internal/perf"
 )
 
@@ -52,8 +55,11 @@ func main() {
 		threshold   = flag.Float64("threshold", 10, "regression threshold in percent for -compare")
 		stages      = flag.Bool("stages", true, "trace every measured op and record per-stage breakdowns in the report")
 		traceOvh    = flag.Bool("trace-overhead", false, "measure tracing overhead (interleaved traced vs untraced encrypts) and gate on -overhead-budget")
-		ovhBudget   = flag.Float64("overhead-budget", 2, "max acceptable tracing overhead in percent for -trace-overhead")
-		ovhRounds   = flag.Int("overhead-rounds", 9, "A/B rounds for -trace-overhead (odd; min 3)")
+		profOvh     = flag.Bool("profiler-overhead", false, "measure continuous-profiler overhead (interleaved profiled vs unprofiled encrypts, amortized by -profiler-duty) and gate on -overhead-budget")
+		profDir     = flag.String("profile-dir", "", "run the continuous profiler (f2served's -profile-dir subsystem) for the whole suite, capturing CPU windows + heap profiles into this directory")
+		profDuty    = flag.Float64("profiler-duty", 0, "duty cycle (cpu-window/interval fraction) to amortize -profiler-overhead by (0: profiler defaults, 5s/60s)")
+		ovhBudget   = flag.Float64("overhead-budget", 2, "max acceptable overhead in percent for -trace-overhead / -profiler-overhead")
+		ovhRounds   = flag.Int("overhead-rounds", 9, "A/B rounds for -trace-overhead / -profiler-overhead (odd; min 3)")
 	)
 	flag.Parse()
 
@@ -123,6 +129,33 @@ func main() {
 	if *traceOvh {
 		os.Exit(runTraceOverhead(ctx, sc, *ovhRounds, *ovhBudget))
 	}
+	if *profOvh {
+		os.Exit(runProfilerOverhead(ctx, sc, *ovhRounds, *profDuty, *ovhBudget))
+	}
+
+	if *profDir != "" {
+		// The same capture loop f2served runs behind -profile-dir, on a
+		// cycle short enough that a quick suite still lands several CPU
+		// windows and heap profiles. This is the capture smoke — proof the
+		// profiler produces usable artifacts under benchmark load; the
+		// overhead gate is -profiler-overhead, whose interleaved A/B rounds
+		// are the only way a ≤2% budget is measurable.
+		cp, err := obs.StartContinuousProfiler(obs.ProfilerConfig{
+			Dir:       *profDir,
+			Interval:  5 * time.Second,
+			CPUWindow: 500 * time.Millisecond,
+			OnError: func(err error) {
+				// Contention over the CPU sampler (-profile cpu runs its own
+				// windows) skips a window; worth a note, never fatal.
+				fmt.Fprintf(os.Stderr, "f2perf: continuous profiler: %v\n", err)
+			},
+		})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "f2perf: starting continuous profiler: %v\n", err)
+			os.Exit(2)
+		}
+		defer cp.Stop()
+	}
 
 	report := perf.NewReport(reportName, sc)
 	start := time.Now()
@@ -186,6 +219,25 @@ func runTraceOverhead(ctx context.Context, sc perf.Scale, rounds int, budgetPct 
 	if !res.Within(budgetPct) {
 		fmt.Fprintf(os.Stderr, "f2perf: tracing overhead %.2f%% exceeds the %.2f%% budget\n",
 			res.OverheadPct, budgetPct)
+		return 1
+	}
+	return 0
+}
+
+// runProfilerOverhead implements the continuous-profiler overhead gate:
+// interleaved profiled/unprofiled encrypt rounds in one process, failing
+// when the duty-cycle-amortized overhead exceeds the budget. Exit 0 =
+// within budget, 1 = over budget, 2 = could not measure.
+func runProfilerOverhead(ctx context.Context, sc perf.Scale, rounds int, duty, budgetPct float64) int {
+	res, err := perf.ProfilerOverhead(ctx, sc, rounds, duty)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "f2perf: profiler overhead: %v\n", err)
+		return 2
+	}
+	fmt.Println(res)
+	if !res.Within(budgetPct) {
+		fmt.Fprintf(os.Stderr, "f2perf: amortized profiler overhead %.2f%% exceeds the %.2f%% budget\n",
+			res.AmortizedPct, budgetPct)
 		return 1
 	}
 	return 0

@@ -15,6 +15,13 @@
 // dataset state (keys encrypted under a service master key), and a
 // restart recovers every dataset to its last transactional state.
 //
+// The flight recorder is always on: /readyz readiness, the component
+// health model at /v1/debug/health, runtime telemetry (f2_runtime_* on
+// /metrics plus /v1/debug/runtime), and a stall watchdog that captures
+// incidents under <data-dir>/incidents/. With -profile-dir set, a
+// continuous profiler additionally rings CPU/heap pprof captures there
+// (listed at /v1/debug/profiles). See docs/OBSERVABILITY.md.
+//
 // With -pprof-addr set, a SECOND listener serves net/http/pprof
 // (/debug/pprof/...) so the perf harness and operators can profile a
 // live server. It is off by default and must never be exposed publicly:
@@ -54,6 +61,8 @@ func main() {
 		dataDir     = flag.String("data-dir", "", "durable dataset store directory (empty: in-memory only)")
 		chunkRows   = flag.Int("chunk-rows", 0, "rows per snapshot chunk (0: store default); smaller chunks dedup better across rotations, larger ones hydrate faster")
 		pprofAddr   = flag.String("pprof-addr", "", "OPT-IN net/http/pprof listener (e.g. 127.0.0.1:6060); unsafe to expose publicly, keep it off or loopback-bound")
+		profileDir  = flag.String("profile-dir", "", "OPT-IN continuous profiler: periodic CPU windows + heap profiles into a bounded ring in this directory (empty: off)")
+		slowReq     = flag.String("slow-request", "", "auto-retain requests slower than this as incidents, e.g. 30s (empty: 30s default, 'off' disables)")
 		logText     = flag.Bool("log-text", false, "log human-readable text instead of JSON lines")
 		quiet       = flag.Bool("q", false, "suppress request logs")
 	)
@@ -73,6 +82,19 @@ func main() {
 		MaxPendingBytes: *maxPending,
 		AttackTrials:    *trials,
 		Logger:          logger,
+		ProfileDir:      *profileDir,
+	}
+	switch *slowReq {
+	case "":
+	case "off":
+		opts.SlowRequestThreshold = -1
+	default:
+		thr, err := time.ParseDuration(*slowReq)
+		if err != nil || thr <= 0 {
+			logger.Error("bad -slow-request (want a positive duration or 'off')", "value", *slowReq)
+			os.Exit(2)
+		}
+		opts.SlowRequestThreshold = thr
 	}
 	if *quiet {
 		opts.Logger = nil

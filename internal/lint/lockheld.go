@@ -3,6 +3,7 @@ package lint
 import (
 	"go/ast"
 	"go/types"
+	"strings"
 )
 
 // Lockheld targets the deadlock class fixed in the tracing PR: code that
@@ -30,15 +31,24 @@ import (
 //     round-trips; an fsync held under a hot mutex stalls every waiter
 //     for device latency. The group-commit WAL moves fsync off ds.mu for
 //     exactly this reason, and the analyzer keeps it that way.
+//   - flight-recorder wiring: obs.HealthRegistry.Register, obs.Heartbeat.
+//     Beat, and Metrics.Register* calls. Health callbacks are invoked by
+//     Report snapshot-then-call with no registry lock — registering one
+//     (or beating a heartbeat) while holding a subsystem mutex inverts
+//     that order, the same reentrancy class Metrics.Render avoids, and
+//     the flight recorder must stay answerable while those very locks
+//     are stuck.
 //
 // Defer-based unlocks (`defer mu.Unlock()`) keep the lock held to the end
 // of the function, which is the common and accepted idiom — the analyzer
 // then checks the whole remainder of the body.
 var Lockheld = &Analyzer{
 	Name: "lockheld",
-	Doc: "flag dynamic calls, channel sends, logging, and syscall-latency os calls while a sync mutex is held\n" +
+	Doc: "flag dynamic calls, channel sends, logging, syscall-latency os calls, and flight-recorder wiring while a sync mutex is held\n" +
 		"Calling out through a function value under a lock is the Metrics.Render deadlock class;\n" +
-		"holding a mutex across fsync is the ingest-stall class the group-commit WAL removed.",
+		"holding a mutex across fsync is the ingest-stall class the group-commit WAL removed;\n" +
+		"registering health callbacks or beating heartbeats under a subsystem lock is the same\n" +
+		"reentrancy class applied to the flight recorder.",
 	Run: runLockheld,
 }
 
@@ -245,6 +255,9 @@ func (lw *lockWalker) checkExpr(e ast.Expr) {
 		case callSyscall:
 			lw.pass.Reportf(call.Pos(), "os call %s while %s is held: a disk round-trip under a mutex stalls every waiter; stage under the lock, release, then touch the filesystem",
 				exprString(call.Fun), key)
+		case callHealthreg:
+			lw.pass.Reportf(call.Pos(), "flight-recorder wiring %s while %s is held: register health callbacks and beat heartbeats outside subsystem locks (Metrics.Render reentrancy class)",
+				exprString(call.Fun), key)
 		}
 		return true
 	})
@@ -257,6 +270,7 @@ const (
 	callDynamic
 	callLogging
 	callSyscall
+	callHealthreg
 )
 
 // osSlowFuncs are package-level os functions whose latency is a disk (or
@@ -298,6 +312,9 @@ func classifyCall(pass *Pass, call *ast.CallExpr) callKind {
 			if pkg := recv.Obj().Pkg(); pkg != nil && pkg.Path() == "os" && recv.Obj().Name() == "File" && osSlowFileMethods[f.Name()] {
 				return callSyscall
 			}
+			if isHealthregCall(recv, f.Name()) {
+				return callHealthreg
+			}
 		}
 		return callStatic
 	}
@@ -330,6 +347,29 @@ func classifyCall(pass *Pass, call *ast.CallExpr) callKind {
 		return callDynamic
 	}
 	return callStatic
+}
+
+// isHealthregCall matches the flight-recorder wiring surface: the obs
+// package's HealthRegistry.Register and Heartbeat.Beat, plus Register*
+// on any type named Metrics (the server's metrics registry; matched by
+// type name so fixture stubs count, same convention as pathMatches).
+// These are static calls, so the dynamic-call check never sees them —
+// but registering under a subsystem lock still inverts against the
+// snapshot-then-call contract of Report/Render.
+func isHealthregCall(recv *types.Named, method string) bool {
+	obj := recv.Obj()
+	if obj.Pkg() == nil {
+		return false
+	}
+	switch {
+	case pathMatches(obj.Pkg().Path(), "obs") && obj.Name() == "HealthRegistry" && method == "Register":
+		return true
+	case pathMatches(obj.Pkg().Path(), "obs") && obj.Name() == "Heartbeat" && method == "Beat":
+		return true
+	case obj.Name() == "Metrics" && strings.HasPrefix(method, "Register"):
+		return true
+	}
+	return false
 }
 
 type lockOpKind int

@@ -1,0 +1,105 @@
+// Fixture for the lockheld healthreg class: flight-recorder wiring —
+// registering health callbacks, beating heartbeats, registering metric
+// gauges — must happen outside subsystem locks. These are static calls,
+// invisible to the dynamic-call check, but they invert against the
+// snapshot-then-call contract of HealthRegistry.Report / Metrics.Render.
+package lockheld
+
+import (
+	"sync"
+
+	"obs"
+)
+
+type dataset struct {
+	mu     sync.Mutex
+	rows   int
+	health *obs.HealthRegistry
+	beat   obs.Heartbeat
+}
+
+// Registering while holding the subsystem lock the callback will want
+// to observe: the inversion the class exists for.
+func (d *dataset) wireBad() {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.health.Register("dataset", func() obs.ComponentHealth { // want "flight-recorder wiring d.health.Register while d.mu is held"
+		return obs.ComponentHealth{Status: "ok"}
+	})
+}
+
+// The safe idiom: read what you need under the lock, release, then wire.
+func (d *dataset) wireGood() {
+	d.mu.Lock()
+	rows := d.rows
+	d.mu.Unlock()
+	d.health.Register("dataset", func() obs.ComponentHealth {
+		if rows == 0 {
+			return obs.ComponentHealth{Status: "degraded"}
+		}
+		return obs.ComponentHealth{Status: "ok"}
+	})
+}
+
+// A heartbeat under the committer's queue mutex would freeze liveness
+// reporting at exactly the moment the queue is contended.
+func (d *dataset) beatBad() {
+	d.mu.Lock()
+	d.beat.Beat() // want "flight-recorder wiring d.beat.Beat while d.mu is held"
+	d.rows++
+	d.mu.Unlock()
+}
+
+func (d *dataset) beatGood() {
+	d.beat.Beat()
+	d.mu.Lock()
+	d.rows++
+	d.mu.Unlock()
+}
+
+// Metrics registration is matched by type name, mirroring the server's
+// metrics registry.
+type Metrics struct {
+	gauges map[string]func() float64
+}
+
+func (m *Metrics) RegisterGauge(name string, fn func() float64) { m.gauges[name] = fn }
+
+type service struct {
+	mu      sync.Mutex
+	pending int
+	metrics *Metrics
+}
+
+func (s *service) initBad() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.metrics.RegisterGauge("pending", func() float64 { return 0 }) // want "flight-recorder wiring s.metrics.RegisterGauge while s.mu is held"
+}
+
+func (s *service) initGood() {
+	s.metrics.RegisterGauge("pending", func() float64 { return 0 })
+	s.mu.Lock()
+	s.pending = 0
+	s.mu.Unlock()
+}
+
+// Near-misses: same method names on unrelated types stay unflagged — a
+// local subscriber list's Register is not flight-recorder wiring, and a
+// metronome's Beat is not a liveness heartbeat.
+type subscribers struct {
+	names []string
+}
+
+func (s *subscribers) Register(name string) { s.names = append(s.names, name) }
+
+type metronome struct{ ticks int }
+
+func (m *metronome) Beat() { m.ticks++ }
+
+func (s *service) nearMiss(subs *subscribers, met *metronome) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	subs.Register("x")
+	met.Beat()
+}

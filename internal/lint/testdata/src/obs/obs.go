@@ -1,6 +1,7 @@
 // Package obs is a fixture stub mirroring the shape of f2/internal/obs:
-// just enough surface (Start, Span.End, Span.SetAttr) for the spanend
-// fixtures to type-check. The real analyzer matches by package-path
+// just enough surface for the spanend fixtures (Start, Span.End,
+// Span.SetAttr) and the lockheld healthreg fixtures (HealthRegistry,
+// Heartbeat) to type-check. The real analyzers match by package-path
 // suffix, so "obs" here and "f2/internal/obs" in the tree both count.
 package obs
 
@@ -16,3 +17,15 @@ func Start(ctx context.Context, name string) (context.Context, *Span) {
 func (s *Span) End() {}
 
 func (s *Span) SetAttr(key string, value any) { _, _ = key, value }
+
+type ComponentHealth struct {
+	Status string
+}
+
+type HealthRegistry struct{}
+
+func (h *HealthRegistry) Register(name string, fn func() ComponentHealth) { _, _ = name, fn }
+
+type Heartbeat struct{}
+
+func (h *Heartbeat) Beat() {}

@@ -1,0 +1,135 @@
+package obs
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// fileRing is a bounded on-disk ring of small artifacts (incident
+// reports, profile windows). File names start with a fixed-width
+// millisecond timestamp so lexicographic order is chronological; every
+// write prunes the oldest entries past the count and byte caps. The ring
+// deliberately does not fsync — losing a diagnostic artifact to a crash
+// is acceptable, slowing the watchdog's capture path is not.
+type fileRing struct {
+	dir      string
+	maxFiles int
+	maxBytes int64
+
+	mu  sync.Mutex
+	seq uint64 // disambiguates same-millisecond writes
+}
+
+// newFileRing creates the directory and returns the ring. maxFiles and
+// maxBytes must be positive.
+func newFileRing(dir string, maxFiles int, maxBytes int64) (*fileRing, error) {
+	if maxFiles <= 0 || maxBytes <= 0 {
+		return nil, fmt.Errorf("obs: file ring bounds must be positive (files=%d bytes=%d)", maxFiles, maxBytes)
+	}
+	if err := os.MkdirAll(dir, 0o700); err != nil {
+		return nil, fmt.Errorf("obs: creating ring directory: %w", err)
+	}
+	return &fileRing{dir: dir, maxFiles: maxFiles, maxBytes: maxBytes}, nil
+}
+
+// name builds the next ring file name: <unix-ms, zero-padded>-<seq>-<tag>.<ext>.
+// Caller holds f.mu.
+func (f *fileRing) nameLocked(t time.Time, tag, ext string) string {
+	f.seq++
+	return fmt.Sprintf("%013d-%05d-%s.%s", t.UnixMilli(), f.seq, tag, ext)
+}
+
+// write stores one artifact and prunes the ring. Returns the file name.
+// The name is drawn under f.mu but the disk I/O runs outside it —
+// names are unique by seq, so concurrent writes cannot collide, and a
+// watchdog capture must not wait on another capture's disk latency.
+func (f *fileRing) write(t time.Time, tag, ext string, data []byte) (string, error) {
+	name := f.createName(t, tag, ext)
+	if err := os.WriteFile(filepath.Join(f.dir, name), data, 0o600); err != nil {
+		return "", fmt.Errorf("obs: writing ring file: %w", err)
+	}
+	return name, f.commit()
+}
+
+// createName reserves a ring file name for a caller that streams its own
+// content (the CPU profiler writes through pprof). The caller must
+// finish with commit() to prune the ring.
+func (f *fileRing) createName(t time.Time, tag, ext string) string {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.nameLocked(t, tag, ext)
+}
+
+// commit prunes after an externally written file landed in the ring.
+func (f *fileRing) commit() error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.pruneLocked()
+}
+
+// pruneLocked deletes the oldest entries while the ring exceeds its
+// count or byte bound, always keeping the newest file.
+func (f *fileRing) pruneLocked() error {
+	infos, err := f.list()
+	if err != nil {
+		return err
+	}
+	total := int64(0)
+	for _, fi := range infos {
+		total += fi.Size
+	}
+	for i := 0; i < len(infos)-1 && (len(infos)-i > f.maxFiles || total > f.maxBytes); i++ {
+		if err := os.Remove(filepath.Join(f.dir, infos[i].Name)); err != nil {
+			return fmt.Errorf("obs: pruning ring: %w", err)
+		}
+		total -= infos[i].Size
+	}
+	return nil
+}
+
+// RingFile describes one retained artifact.
+type RingFile struct {
+	Name string    `json:"name"`
+	Size int64     `json:"size"`
+	Time time.Time `json:"time"`
+}
+
+// list returns the ring's files, oldest first (name order).
+func (f *fileRing) list() ([]RingFile, error) {
+	entries, err := os.ReadDir(f.dir)
+	if err != nil {
+		return nil, fmt.Errorf("obs: listing ring: %w", err)
+	}
+	out := make([]RingFile, 0, len(entries))
+	for _, e := range entries {
+		if e.IsDir() {
+			continue
+		}
+		info, err := e.Info()
+		if err != nil {
+			continue // deleted between ReadDir and Info
+		}
+		out = append(out, RingFile{Name: e.Name(), Size: info.Size(), Time: info.ModTime().UTC()})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out, nil
+}
+
+// read fetches one artifact by name, rejecting anything that is not a
+// plain ring file name — the name came off the wire, so path traversal
+// must be impossible by construction.
+func (f *fileRing) read(name string) ([]byte, error) {
+	if name == "" || name != filepath.Base(name) || strings.HasPrefix(name, ".") {
+		return nil, fmt.Errorf("obs: invalid ring file name %q", name)
+	}
+	data, err := os.ReadFile(filepath.Join(f.dir, name))
+	if err != nil {
+		return nil, fmt.Errorf("obs: reading ring file: %w", err)
+	}
+	return data, nil
+}

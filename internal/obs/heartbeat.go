@@ -1,0 +1,36 @@
+package obs
+
+import (
+	"sync/atomic"
+	"time"
+)
+
+// Heartbeat is a lock-free liveness marker for a long-lived worker
+// goroutine (a WAL committer, a flush driver): the worker calls Beat at
+// the top of every loop iteration, and a watchdog reads Age to tell a
+// blocked worker from an idle one. The zero value is ready to use and
+// reports a zero Age until the first Beat.
+//
+// Beat must be called from unlocked code — a heartbeat recorded while
+// holding the subsystem's lock proves the lock is held, not that the
+// worker makes progress, which is exactly the false negative a watchdog
+// exists to catch. The lockheld analyzer's healthreg class enforces
+// this.
+type Heartbeat struct {
+	at atomic.Int64 // unix nanos of the last Beat; 0 = never
+}
+
+// Beat records liveness now.
+func (h *Heartbeat) Beat() {
+	h.at.Store(time.Now().UnixNano())
+}
+
+// Age returns the time since the last Beat, or 0 if Beat was never
+// called (a worker that never started has nothing to be stale about).
+func (h *Heartbeat) Age() time.Duration {
+	at := h.at.Load()
+	if at == 0 {
+		return 0
+	}
+	return time.Since(time.Unix(0, at))
+}

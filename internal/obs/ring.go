@@ -1,6 +1,9 @@
 package obs
 
-import "sync"
+import (
+	"sort"
+	"sync"
+)
 
 // Ring retains completed trace snapshots for the live trace API: the
 // last Recent traces in completion order, plus the Slowest traces seen
@@ -14,6 +17,7 @@ type Ring struct {
 	slowCap int
 	recent  []*TraceSnapshot // completion order, oldest first
 	slowest []*TraceSnapshot // duration-descending, ties keep the earlier trace
+	active  map[*Trace]struct{}
 }
 
 // NewRing builds a ring keeping the last recent traces and the slowest
@@ -25,7 +29,50 @@ func NewRing(recent, slow int) *Ring {
 	if slow < 0 {
 		slow = 0
 	}
-	return &Ring{cap: recent, slowCap: slow}
+	return &Ring{cap: recent, slowCap: slow, active: make(map[*Trace]struct{})}
+}
+
+// Track registers an in-flight trace so mid-flight snapshots (incident
+// capture, the watchdog's open-span trees) can see it. The returned
+// untrack function removes it and is safe to call more than once; every
+// tracked trace must untrack when its request finishes or the set leaks.
+func (r *Ring) Track(t *Trace) (untrack func()) {
+	if t == nil {
+		return func() {}
+	}
+	r.mu.Lock()
+	r.active[t] = struct{}{}
+	r.mu.Unlock()
+	return func() {
+		r.mu.Lock()
+		delete(r.active, t)
+		r.mu.Unlock()
+	}
+}
+
+// ActiveSnapshots renders every tracked in-flight trace, ordered by
+// trace start (oldest — the most suspicious in a stall — first). The
+// trace set is copied under the ring lock but snapshotted outside it:
+// Snapshot takes each trace's own mutex, and nesting foreign locks under
+// r.mu is the inversion pattern this package tells everyone else off for.
+func (r *Ring) ActiveSnapshots() []*TraceSnapshot {
+	r.mu.Lock()
+	traces := make([]*Trace, 0, len(r.active))
+	for t := range r.active {
+		traces = append(traces, t)
+	}
+	r.mu.Unlock()
+	out := make([]*TraceSnapshot, 0, len(traces))
+	for _, t := range traces {
+		out = append(out, t.Snapshot())
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if !out[i].Start.Equal(out[j].Start) {
+			return out[i].Start.Before(out[j].Start)
+		}
+		return out[i].ID < out[j].ID
+	})
+	return out
 }
 
 // Add records a completed trace snapshot.

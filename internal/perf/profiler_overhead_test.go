@@ -1,0 +1,38 @@
+package perf
+
+import (
+	"context"
+	"testing"
+)
+
+// TestProfilerOverheadMeasures runs the harness at toy scale: the point
+// is that both sides execute, the medians are real, and the amortized
+// figure derives from the duty cycle — not that the toy numbers clear
+// any particular budget.
+func TestProfilerOverheadMeasures(t *testing.T) {
+	res, err := ProfilerOverhead(context.Background(), Scale{SizeFactor: 0.05, Seed: 1}, 3, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rounds != 3 || res.Rows == 0 {
+		t.Fatalf("result shape: %+v", res)
+	}
+	if res.BaseMs <= 0 || res.ProfiledMs <= 0 {
+		t.Fatalf("medians not measured: %+v", res)
+	}
+	wantDuty := DefaultProfilerDutyCycle() * 100
+	if res.DutyCyclePct != wantDuty {
+		t.Fatalf("duty cycle = %v, want default %v", res.DutyCyclePct, wantDuty)
+	}
+	if got := res.WindowPct * DefaultProfilerDutyCycle(); got != res.AmortizedPct {
+		t.Fatalf("amortized %v != window %v × duty", res.AmortizedPct, res.WindowPct)
+	}
+	// An explicit duty cycle overrides the default.
+	res2, err := ProfilerOverhead(context.Background(), Scale{SizeFactor: 0.05, Seed: 1}, 3, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res2.DutyCyclePct != 50 {
+		t.Fatalf("duty cycle = %v, want 50", res2.DutyCyclePct)
+	}
+}

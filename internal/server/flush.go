@@ -1,6 +1,7 @@
 package server
 
 import (
+	"context"
 	"crypto/rand"
 	"encoding/hex"
 	"fmt"
@@ -111,15 +112,26 @@ func (s *Server) startBackgroundFlushLocked(ds *Dataset) *flushJob {
 // any request trace.
 func (s *Server) runBackgroundFlush(ds *Dataset, plan *core.FlushPlan, job *flushJob) {
 	defer s.flushWG.Done()
+	s.trackFlush(ds, job)
+	defer s.untrackFlush(job)
 	ctx, tr := obs.NewTrace(s.lifecycle, "", "flush_background")
+	untrack := s.traces.Track(tr)
 	defer func() {
 		tr.Finish()
+		untrack()
 		snap := tr.Snapshot()
 		s.traces.Add(snap)
 		snap.EachSpan(s.metrics.ObserveStage)
 	}()
 
-	runErr := s.pool.Run(ctx, plan.Run)
+	run := plan.Run
+	if h := s.testFlushHook; h != nil {
+		run = func(jc context.Context) error {
+			h()
+			return plan.Run(jc)
+		}
+	}
+	runErr := s.pool.Run(ctx, run)
 	if runErr != nil {
 		ds.Lock()
 		ds.upd.AbortFlush(plan)

@@ -23,10 +23,14 @@ var latencyBuckets = []time.Duration{
 }
 
 // stageBuckets bound the per-stage histogram. Stages are one slice of a
-// request — a WAL fsync is ~100µs, a full rebuild's Step 1 can run for
-// seconds — so the range starts two decades below latencyBuckets and
-// tops out at 20s.
+// request — an in-memory buffer append is single-digit microseconds, a
+// WAL fsync ~100µs, a full rebuild's Step 1 can run for seconds — so the
+// range starts four decades below latencyBuckets' top and ends at 20s.
+// The sub-100µs buckets matter: without them every fast stage collapses
+// into the first bucket and its interpolated quantiles are fiction.
 var stageBuckets = []time.Duration{
+	5 * time.Microsecond,
+	25 * time.Microsecond,
 	100 * time.Microsecond,
 	500 * time.Microsecond,
 	2500 * time.Microsecond,
@@ -56,39 +60,48 @@ type stageStats struct {
 	buckets []uint64 // len(stageBuckets)+1, last is +Inf
 }
 
-// quantile derives the q-quantile (0 < q ≤ 1) from the histogram the
-// way Prometheus's histogram_quantile does: locate the bucket holding
-// the target rank through the cumulative counts, then interpolate
-// linearly between the bucket's bounds (the first bucket's lower bound
-// is 0). The open +Inf bucket has no upper bound to interpolate toward,
-// so it reports the exact observed max instead — tighter than the
-// Prometheus convention of clamping to the last finite bound.
-func (s *opStats) quantile(q float64) time.Duration {
-	if s.count == 0 {
+// quantileFromBuckets derives the q-quantile (0 < q ≤ 1) from a
+// histogram the way Prometheus's histogram_quantile does: locate the
+// bucket holding the target rank through the cumulative counts, then
+// interpolate linearly between the bucket's bounds (the first bucket's
+// lower bound is 0). The open +Inf bucket has no upper bound to
+// interpolate toward, so it reports the exact observed max instead —
+// tighter than the Prometheus convention of clamping to the last finite
+// bound. counts has len(bounds)+1 entries, the last being +Inf.
+func quantileFromBuckets(bounds []time.Duration, counts []uint64, total uint64, max time.Duration, q float64) time.Duration {
+	if total == 0 {
 		return 0
 	}
-	rank := q * float64(s.count)
+	rank := q * float64(total)
 	cum := 0.0
-	for i, c := range s.buckets {
+	for i, c := range counts {
 		if c == 0 {
 			continue
 		}
 		next := cum + float64(c)
 		if rank <= next {
-			if i == len(latencyBuckets) {
-				return s.max
+			if i == len(bounds) {
+				return max
 			}
 			lo := time.Duration(0)
 			if i > 0 {
-				lo = latencyBuckets[i-1]
+				lo = bounds[i-1]
 			}
-			hi := latencyBuckets[i]
+			hi := bounds[i]
 			frac := (rank - cum) / float64(c)
 			return lo + time.Duration(float64(hi-lo)*frac)
 		}
 		cum = next
 	}
-	return s.max
+	return max
+}
+
+func (s *opStats) quantile(q float64) time.Duration {
+	return quantileFromBuckets(latencyBuckets, s.buckets, s.count, s.max, q)
+}
+
+func (s *stageStats) quantile(q float64) time.Duration {
+	return quantileFromBuckets(stageBuckets, s.buckets, s.count, s.max, q)
 }
 
 // Metrics records per-operation request counts and latency histograms and
@@ -100,6 +113,7 @@ type Metrics struct {
 	ops        map[string]*opStats
 	stages     map[string]*stageStats
 	gauges     map[string]func() float64
+	gaugeVecs  map[string]func() []GaugeSample
 	counters   map[string]map[string]uint64 // name -> rendered label list -> count
 	counterFns map[string]func() float64    // counters owned by other subsystems
 	start      time.Time
@@ -111,10 +125,57 @@ func NewMetrics() *Metrics {
 		ops:        make(map[string]*opStats),
 		stages:     make(map[string]*stageStats),
 		gauges:     make(map[string]func() float64),
+		gaugeVecs:  make(map[string]func() []GaugeSample),
 		counters:   make(map[string]map[string]uint64),
 		counterFns: make(map[string]func() float64),
 		start:      time.Now(),
 	}
+}
+
+// metricHelp is the HELP text for every family the server renders. The
+// restart smoke validates /metrics as well-formed exposition (every
+// family carries HELP and TYPE), so a new series must land here too —
+// the fallback text keeps the page valid but reads as the reproach it is.
+var metricHelp = map[string]string{
+	"f2_uptime_seconds":                        "Seconds since the server started.",
+	"f2_datasets":                              "Datasets currently registered.",
+	"f2_pool_workers":                          "Worker goroutines in the shared compute pool.",
+	"f2_pool_active_jobs":                      "Pool jobs currently executing.",
+	"f2_pool_queued_jobs":                      "Pool jobs waiting for a worker.",
+	"f2_ingest_queue_depth":                    "Bytes buffered awaiting background flush, across datasets.",
+	"f2_wal_fsync_total":                       "Group-commit WAL fsyncs issued.",
+	"f2_wal_group_commit_size":                 "Mean append batches per WAL fsync.",
+	"f2_snapshot_chunks_written_total":         "Snapshot chunks physically written.",
+	"f2_snapshot_chunks_reused_total":          "Snapshot chunks re-linked by content address instead of rewritten.",
+	"f2_snapshot_bytes_written_total":          "Bytes physically written by snapshot rotations.",
+	"f2_snapshot_bytes_reused_total":           "Uncompressed payload bytes deduplicated by content addressing.",
+	"f2_snapshot_gc_failures_total":            "Rotation-time chunk sweeps that failed, leaking unreferenced chunks.",
+	"f2_flushes_total":                         "Dataset flushes by mode.",
+	"f2_runtime_heap_bytes":                    "Bytes of live heap objects (runtime/metrics).",
+	"f2_runtime_total_bytes":                   "Total bytes of memory mapped by the Go runtime.",
+	"f2_runtime_goroutines":                    "Live goroutines.",
+	"f2_runtime_gc_cycles_total":               "Completed GC cycles.",
+	"f2_runtime_gc_pause_seconds":              "GC stop-the-world pause quantiles over the last sample window.",
+	"f2_runtime_sched_latency_seconds":         "Goroutine scheduling latency quantiles over the last sample window.",
+	"f2_watchdog_stalls_total":                 "Stalls the watchdog detected (and captured incidents for).",
+	"f2_incidents_total":                       "Incident files written to the on-disk ring, by kind.",
+	"f2_stage_duration_seconds":                "Pipeline stage durations from completed trace spans.",
+	"f2_stage_duration_quantile_seconds":       "Server-side stage duration quantiles.",
+	"f2_http_requests_total":                   "HTTP requests by operation and status class.",
+	"f2_http_request_duration_seconds":         "HTTP request latency by operation.",
+	"f2_http_request_latency_quantile_seconds": "Server-side request latency quantiles.",
+}
+
+func helpFor(name string) string {
+	if h, ok := metricHelp[name]; ok {
+		return h
+	}
+	return "Undocumented series; add HELP text in metricHelp."
+}
+
+// writeHeader emits the HELP/TYPE preamble for one metric family.
+func writeHeader(w io.Writer, name, typ string) {
+	fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n", name, helpFor(name), name, typ)
 }
 
 // escapeLabelValue escapes a label value per the Prometheus text
@@ -215,6 +276,23 @@ func (m *Metrics) RegisterGauge(name string, fn func() float64) {
 	m.gauges[name] = fn
 }
 
+// GaugeSample is one labeled reading from a gauge-vector callback;
+// Labels alternates name/value pairs as in IncCounter.
+type GaugeSample struct {
+	Labels []string
+	Value  float64
+}
+
+// RegisterGaugeVec exposes a family of labeled gauges produced by one
+// callback (e.g. a quantile summary emitting one sample per quantile).
+// Same contract as RegisterGauge: the callback runs during Render with
+// no Metrics lock held, so it may itself use Metrics.
+func (m *Metrics) RegisterGaugeVec(name string, fn func() []GaugeSample) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.gaugeVecs[name] = fn
+}
+
 // RegisterCounterFunc exposes a monotonically increasing value owned by
 // another subsystem (e.g. the store's WAL fsync count) as a counter. The
 // callback contract matches RegisterGauge: called during Render with no
@@ -277,6 +355,10 @@ func (m *Metrics) Render(w io.Writer) {
 	for n, fn := range m.gauges {
 		gaugeFns[n] = fn
 	}
+	vecFns := make(map[string]func() []GaugeSample, len(m.gaugeVecs))
+	for n, fn := range m.gaugeVecs {
+		vecFns[n] = fn
+	}
 	counterFns := make(map[string]func() float64, len(m.counterFns))
 	for n, fn := range m.counterFns {
 		counterFns[n] = fn
@@ -289,6 +371,13 @@ func (m *Metrics) Render(w io.Writer) {
 		names = append(names, n)
 	}
 	sort.Strings(names)
+	vecVals := make(map[string][]GaugeSample, len(vecFns))
+	vecNames := make([]string, 0, len(vecFns))
+	for n, fn := range vecFns {
+		vecVals[n] = fn()
+		vecNames = append(vecNames, n)
+	}
+	sort.Strings(vecNames)
 	counterFnVals := make(map[string]float64, len(counterFns))
 	counterFnNames := make([]string, 0, len(counterFns))
 	for n, fn := range counterFns {
@@ -300,15 +389,28 @@ func (m *Metrics) Render(w io.Writer) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 
-	fmt.Fprintf(w, "# TYPE f2_uptime_seconds gauge\n")
+	writeHeader(w, "f2_uptime_seconds", "gauge")
 	fmt.Fprintf(w, "f2_uptime_seconds %.3f\n", time.Since(m.start).Seconds())
 
 	for _, n := range names {
-		fmt.Fprintf(w, "# TYPE %s gauge\n%s %g\n", n, n, gaugeVals[n])
+		writeHeader(w, n, "gauge")
+		fmt.Fprintf(w, "%s %g\n", n, gaugeVals[n])
+	}
+
+	for _, n := range vecNames {
+		writeHeader(w, n, "gauge")
+		for _, s := range vecVals[n] {
+			if lbl := renderLabels(s.Labels); lbl != "" {
+				fmt.Fprintf(w, "%s{%s} %g\n", n, lbl, s.Value)
+			} else {
+				fmt.Fprintf(w, "%s %g\n", n, s.Value)
+			}
+		}
 	}
 
 	for _, n := range counterFnNames {
-		fmt.Fprintf(w, "# TYPE %s counter\n%s %g\n", n, n, counterFnVals[n])
+		writeHeader(w, n, "counter")
+		fmt.Fprintf(w, "%s %g\n", n, counterFnVals[n])
 	}
 
 	counterNames := make([]string, 0, len(m.counters))
@@ -317,7 +419,7 @@ func (m *Metrics) Render(w io.Writer) {
 	}
 	sort.Strings(counterNames)
 	for _, n := range counterNames {
-		fmt.Fprintf(w, "# TYPE %s counter\n", n)
+		writeHeader(w, n, "counter")
 		labels := make([]string, 0, len(m.counters[n]))
 		for l := range m.counters[n] {
 			labels = append(labels, l)
@@ -334,7 +436,7 @@ func (m *Metrics) Render(w io.Writer) {
 			stageNames = append(stageNames, n)
 		}
 		sort.Strings(stageNames)
-		fmt.Fprintf(w, "# TYPE f2_stage_duration_seconds histogram\n")
+		writeHeader(w, "f2_stage_duration_seconds", "histogram")
 		for _, n := range stageNames {
 			s := m.stages[n]
 			lbl := escapeLabelValue(n)
@@ -350,6 +452,18 @@ func (m *Metrics) Render(w io.Writer) {
 			fmt.Fprintf(w, "f2_stage_duration_seconds_count{stage=\"%s\"} %d\n", lbl, s.count)
 			fmt.Fprintf(w, "f2_stage_duration_seconds_max{stage=\"%s\"} %.6f\n", lbl, s.max.Seconds())
 		}
+		// Derived stage quantiles, mirroring the per-request ones below:
+		// the perf harness and dashboards read these without reimplementing
+		// histogram_quantile.
+		writeHeader(w, "f2_stage_duration_quantile_seconds", "gauge")
+		for _, n := range stageNames {
+			s := m.stages[n]
+			lbl := escapeLabelValue(n)
+			for _, q := range []float64{0.5, 0.95, 0.99} {
+				fmt.Fprintf(w, "f2_stage_duration_quantile_seconds{stage=\"%s\",quantile=\"%g\"} %.6f\n",
+					lbl, q, s.quantile(q).Seconds())
+			}
+		}
 	}
 
 	opNames := make([]string, 0, len(m.ops))
@@ -358,7 +472,7 @@ func (m *Metrics) Render(w io.Writer) {
 	}
 	sort.Strings(opNames)
 	if len(opNames) > 0 {
-		fmt.Fprintf(w, "# TYPE f2_http_requests_total counter\n")
+		writeHeader(w, "f2_http_requests_total", "counter")
 		for _, n := range opNames {
 			s := m.ops[n]
 			classes := make([]string, 0, len(s.byClass))
@@ -370,7 +484,7 @@ func (m *Metrics) Render(w io.Writer) {
 				fmt.Fprintf(w, "f2_http_requests_total{op=%q,class=%q} %d\n", n, c, s.byClass[c])
 			}
 		}
-		fmt.Fprintf(w, "# TYPE f2_http_request_duration_seconds histogram\n")
+		writeHeader(w, "f2_http_request_duration_seconds", "histogram")
 		for _, n := range opNames {
 			s := m.ops[n]
 			cum := uint64(0)
@@ -388,7 +502,7 @@ func (m *Metrics) Render(w io.Writer) {
 		// Server-side derived quantiles: dashboards without a PromQL
 		// engine (and the perf harness) read p50/p95/p99 directly instead
 		// of re-implementing histogram_quantile over the buckets.
-		fmt.Fprintf(w, "# TYPE f2_http_request_latency_quantile_seconds gauge\n")
+		writeHeader(w, "f2_http_request_latency_quantile_seconds", "gauge")
 		for _, n := range opNames {
 			s := m.ops[n]
 			for _, q := range []float64{0.5, 0.95, 0.99} {

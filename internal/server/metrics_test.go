@@ -214,3 +214,112 @@ func TestMetricsRenderQuantileGauges(t *testing.T) {
 		}
 	}
 }
+
+// TestStageQuantileSubHundredMicros pins the stage-histogram
+// interpolation against an exactly-sorted sample placed in the new
+// sub-100µs buckets (5µs, 25µs): 8 observations in (0, 5µs] and 2 in
+// (5µs, 25µs], so rank r = q·10 interpolates inside known bounds.
+func TestStageQuantileSubHundredMicros(t *testing.T) {
+	m := NewMetrics()
+	for i := 0; i < 8; i++ {
+		m.ObserveStage("buffer.append", 3*time.Microsecond) // bucket (0, 5µs]
+	}
+	for i := 0; i < 2; i++ {
+		m.ObserveStage("buffer.append", 10*time.Microsecond) // bucket (5µs, 25µs]
+	}
+	s := m.stages["buffer.append"]
+	cases := []struct {
+		q    float64
+		want time.Duration
+	}{
+		// rank 5 of 10 → bucket 0, frac 5/8: 0 + 5µs·5/8.
+		{0.50, 3125 * time.Nanosecond},
+		// rank 8 → exactly fills bucket 0: its upper bound.
+		{0.80, 5 * time.Microsecond},
+		// rank 9.5 → bucket 1, frac 1.5/2: 5µs + 20µs·0.75.
+		{0.95, 20 * time.Microsecond},
+		// rank 9.9 → bucket 1, frac 1.9/2: 5µs + 20µs·0.95.
+		{0.99, 24 * time.Microsecond},
+	}
+	for _, c := range cases {
+		if got := s.quantile(c.q); got != c.want {
+			t.Errorf("stage quantile(%v) = %v, want %v", c.q, got, c.want)
+		}
+	}
+}
+
+// TestStageBucketsResolveFastStages: a 3µs and a 10µs observation land
+// in distinct buckets (before the 5µs/25µs bounds existed, both fell
+// into the first bucket and fast stages were indistinguishable).
+func TestStageBucketsResolveFastStages(t *testing.T) {
+	m := NewMetrics()
+	m.ObserveStage("buffer.append", 3*time.Microsecond)
+	m.ObserveStage("buffer.append", 10*time.Microsecond)
+	var b strings.Builder
+	m.Render(&b)
+	out := b.String()
+	for _, want := range []string{
+		`f2_stage_duration_seconds_bucket{stage="buffer.append",le="5e-06"} 1`,
+		`f2_stage_duration_seconds_bucket{stage="buffer.append",le="2.5e-05"} 2`,
+		`f2_stage_duration_quantile_seconds{stage="buffer.append",quantile="0.5"}`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("rendered metrics missing %q in:\n%s", want, out)
+		}
+	}
+}
+
+// TestRenderGaugeVec: a gauge-vector callback renders one HELP/TYPE
+// header and one labeled sample per reading, and — like scalar gauges —
+// runs without the Metrics lock held, so it may itself use Metrics.
+func TestRenderGaugeVec(t *testing.T) {
+	m := NewMetrics()
+	m.RegisterGaugeVec("f2_runtime_gc_pause_seconds", func() []GaugeSample {
+		m.IncCounter("f2_reentrant_total") // deadlocks if called under m.mu
+		return []GaugeSample{
+			{Labels: []string{"quantile", "0.5"}, Value: 0.001},
+			{Labels: []string{"quantile", "0.99"}, Value: 0.004},
+		}
+	})
+	var b strings.Builder
+	m.Render(&b)
+	out := b.String()
+	for _, want := range []string{
+		"# TYPE f2_runtime_gc_pause_seconds gauge",
+		"# HELP f2_runtime_gc_pause_seconds",
+		`f2_runtime_gc_pause_seconds{quantile="0.5"} 0.001`,
+		`f2_runtime_gc_pause_seconds{quantile="0.99"} 0.004`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("rendered metrics missing %q in:\n%s", want, out)
+		}
+	}
+}
+
+// TestRenderEveryFamilyHasHelp walks a fully populated render and
+// requires each # TYPE line to be immediately preceded by the matching
+// # HELP line — the contract the restart smoke's exposition validator
+// (and any strict Prometheus parser) enforces.
+func TestRenderEveryFamilyHasHelp(t *testing.T) {
+	m := NewMetrics()
+	m.Observe("op", 200, time.Millisecond)
+	m.ObserveStage("wal.fsync", 100*time.Microsecond)
+	m.IncCounter("f2_flushes_total", "mode", "full")
+	m.RegisterGauge("f2_datasets", func() float64 { return 1 })
+	m.RegisterCounterFunc("f2_wal_fsync_total", func() float64 { return 2 })
+	m.RegisterGaugeVec("f2_runtime_gc_pause_seconds", func() []GaugeSample {
+		return []GaugeSample{{Labels: []string{"quantile", "0.5"}, Value: 0}}
+	})
+	var b strings.Builder
+	m.Render(&b)
+	lines := strings.Split(b.String(), "\n")
+	for i, line := range lines {
+		if !strings.HasPrefix(line, "# TYPE ") {
+			continue
+		}
+		name := strings.Fields(line)[2]
+		if i == 0 || !strings.HasPrefix(lines[i-1], "# HELP "+name+" ") {
+			t.Errorf("family %s has TYPE without preceding HELP", name)
+		}
+	}
+}

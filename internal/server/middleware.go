@@ -63,6 +63,9 @@ func (s *Server) instrument(op string, h http.HandlerFunc) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		ctx, tr := obs.NewTrace(r.Context(), "", op)
 		r = r.WithContext(ctx)
+		// Track the live trace so an incident capture mid-request can
+		// include this request's open span tree.
+		untrack := s.traces.Track(tr)
 		rec := &statusRecorder{ResponseWriter: w, status: http.StatusOK}
 		start := time.Now()
 		defer func() {
@@ -80,10 +83,14 @@ func (s *Server) instrument(op string, h http.HandlerFunc) http.Handler {
 			d := time.Since(start)
 			s.metrics.Observe(op, rec.status, d)
 			tr.Finish()
+			untrack()
 			snap := tr.Snapshot()
 			s.traces.Add(snap)
 			snap.EachSpan(s.metrics.ObserveStage)
 			s.logRequest(r, op, rec.status, d, snap)
+			if thr := s.opts.SlowRequestThreshold; thr > 0 && d >= thr {
+				s.retainSlowRequest(op, rec.status, d, snap)
+			}
 		}()
 		h(rec, r)
 	})

@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"f2/internal/core"
@@ -61,6 +62,11 @@ type Dataset struct {
 	curFlush  *flushJob
 	flushJobs map[string]*flushJob
 	jobOrder  []string
+
+	// hydrated mirrors "upd is non-nil" as an atomic, so the hydration
+	// health component can report lazy datasets without touching mu —
+	// which a slow pipeline run may hold for seconds.
+	hydrated atomic.Bool
 
 	// statMu guards the cached summary so metadata reads (list, get)
 	// never wait on d.mu while a multi-second rebuild holds it.
@@ -162,6 +168,7 @@ func NewRegistry() *Registry {
 // newDataset builds an unpublished dataset and primes its summary cache.
 func newDataset(id, name string, cfg core.Config, upd *core.Updater) *Dataset {
 	ds := &Dataset{ID: id, Name: name, Created: time.Now().UTC(), cfg: cfg, upd: upd}
+	ds.hydrated.Store(true)
 	ds.refreshSummaryLocked() // no concurrency yet: ds is not published
 	return ds
 }
@@ -229,6 +236,7 @@ func (r *Registry) Add(name string, cfg core.Config, upd *core.Updater) (*Datase
 // error (two store entries claiming one id).
 func (r *Registry) Restore(id, name string, created time.Time, cfg core.Config, upd *core.Updater) (*Dataset, error) {
 	ds := &Dataset{ID: id, Name: name, Created: created, cfg: cfg, upd: upd}
+	ds.hydrated.Store(true)
 	ds.refreshSummaryLocked() // not yet published
 	r.mu.Lock()
 	defer r.mu.Unlock()

@@ -70,6 +70,44 @@ type Options struct {
 	// TraceSlowest bounds the slowest-traces-since-boot set retained
 	// alongside the recent ring. Default 16.
 	TraceSlowest int
+	// RuntimeSampleEvery is the runtime sampler's period: how often
+	// runtime/metrics is read into the f2_runtime_* gauges and the
+	// /v1/debug/runtime history ring. 0 means the default 5s; negative
+	// disables the sampler.
+	RuntimeSampleEvery time.Duration
+	// RuntimeHistory bounds the in-memory runtime-sample ring behind
+	// GET /v1/debug/runtime. Default 360 (30 minutes at the 5s default).
+	RuntimeHistory int
+	// FlushStallAfter is the watchdog deadline for background flushes: a
+	// flush running longer is captured as an incident. 0 means the
+	// default 2m; negative disables flush-stall detection.
+	FlushStallAfter time.Duration
+	// WALStallAfter is the watchdog deadline for the WAL committer: a
+	// staged batch older than this marks the committer stalled. 0 means
+	// the default 30s; negative disables WAL-stall detection.
+	WALStallAfter time.Duration
+	// WatchdogEvery is the watchdog scan period. Default 5s.
+	WatchdogEvery time.Duration
+	// SlowRequestThreshold auto-retains any request slower than this as
+	// an incident (kind "slow_request"). 0 means the default 30s;
+	// negative disables slow-request retention.
+	SlowRequestThreshold time.Duration
+	// IncidentMaxFiles / IncidentMaxBytes bound the on-disk incident
+	// ring under <data-dir>/incidents. Defaults 64 files / 32 MiB.
+	IncidentMaxFiles int
+	IncidentMaxBytes int64
+	// ProfileDir enables the continuous profiler: periodic CPU windows
+	// and heap profiles written to a bounded ring in this directory.
+	// Empty (the default) keeps the profiler off.
+	ProfileDir string
+	// ProfileInterval / ProfileCPUWindow / ProfileMaxFiles /
+	// ProfileMaxBytes tune the continuous profiler; zero values take the
+	// obs package defaults (60s interval, 5s CPU window, 64 files,
+	// 64 MiB).
+	ProfileInterval  time.Duration
+	ProfileCPUWindow time.Duration
+	ProfileMaxFiles  int
+	ProfileMaxBytes  int64
 }
 
 func (o *Options) fillDefaults() {
@@ -93,6 +131,27 @@ func (o *Options) fillDefaults() {
 	}
 	if o.MaxPendingBytes == 0 {
 		o.MaxPendingBytes = 64 << 20
+	}
+	if o.RuntimeHistory <= 0 {
+		o.RuntimeHistory = 360
+	}
+	if o.FlushStallAfter == 0 {
+		o.FlushStallAfter = 2 * time.Minute
+	}
+	if o.WALStallAfter == 0 {
+		o.WALStallAfter = 30 * time.Second
+	}
+	if o.WatchdogEvery <= 0 {
+		o.WatchdogEvery = 5 * time.Second
+	}
+	if o.SlowRequestThreshold == 0 {
+		o.SlowRequestThreshold = 30 * time.Second
+	}
+	if o.IncidentMaxFiles <= 0 {
+		o.IncidentMaxFiles = 64
+	}
+	if o.IncidentMaxBytes <= 0 {
+		o.IncidentMaxBytes = 32 << 20
 	}
 }
 
@@ -122,6 +181,35 @@ type Server struct {
 	// ingestBytes mirrors the sum of every dataset's pendingBytes for the
 	// f2_ingest_queue_depth gauge.
 	ingestBytes atomic.Int64
+
+	// Flight recorder (see flightrecorder.go): health model, runtime
+	// sampler, incident ring, continuous profiler, stall watchdog.
+	health    *obs.HealthRegistry
+	sampler   *obs.RuntimeSampler     // nil when RuntimeSampleEvery < 0
+	incidents *obs.IncidentRing       // nil without a durable store
+	profiler  *obs.ContinuousProfiler // nil unless ProfileDir is set
+
+	// ready is the /readyz signal: false until New finishes boot
+	// recovery, false again from the moment Close starts draining.
+	ready atomic.Bool
+
+	watchdogStop chan struct{}
+	watchdogDone chan struct{}
+
+	// flushTrack holds every background flush currently running, for the
+	// watchdog and the "flush" health component. Guarded by flushMu —
+	// its own leaf lock, never taken with ds.mu held.
+	flushMu    sync.Mutex
+	flushTrack map[*flushJob]flushInfo
+
+	// testFlushHook, when set (tests only, before any request), runs at
+	// the start of every background flush job — a fault-injection point
+	// for simulating a hung flush.
+	testFlushHook func()
+
+	// closeOnce makes Close idempotent: the watchdog stop channel and
+	// the pool can only shut down once.
+	closeOnce sync.Once
 }
 
 // New builds a server and its routes. With a durable store configured it
@@ -152,6 +240,11 @@ func New(opts Options) (*Server, error) {
 		return nil, err
 	}
 	s.pool = NewPool(opts.Workers, s.logf)
+	if err := s.initFlightRecorder(); err != nil {
+		stop()
+		s.pool.Close()
+		return nil, err
+	}
 	s.metrics.RegisterGauge("f2_datasets", func() float64 { return float64(s.reg.Len()) })
 	s.metrics.RegisterGauge("f2_pool_workers", func() float64 { w, _, _ := s.pool.Stats(); return float64(w) })
 	s.metrics.RegisterGauge("f2_pool_active_jobs", func() float64 { _, a, _ := s.pool.Stats(); return float64(a) })
@@ -203,6 +296,18 @@ func New(opts Options) (*Server, error) {
 	// traces into the ring it is reading.
 	s.mux.HandleFunc("GET /v1/debug/traces", s.handleTraces)
 	s.mux.HandleFunc("GET /v1/debug/traces/{id}", s.handleTraceByID)
+	// Flight-recorder routes, uninstrumented for the same reasons as
+	// /metrics and the trace ring: probes and debug reads must not meter
+	// or trace themselves, and /readyz especially must answer while the
+	// instrumented path is what's wedged.
+	s.mux.HandleFunc("GET /readyz", s.handleReadyz)
+	s.mux.HandleFunc("GET /v1/debug/health", s.handleDebugHealth)
+	s.mux.HandleFunc("GET /v1/debug/runtime", s.handleDebugRuntime)
+	s.mux.HandleFunc("GET /v1/debug/incidents", s.handleDebugIncidents)
+	s.mux.HandleFunc("GET /v1/debug/incidents/{name}", s.handleDebugIncidentByName)
+	s.mux.HandleFunc("GET /v1/debug/profiles", s.handleDebugProfiles)
+	s.mux.HandleFunc("GET /v1/debug/profiles/{name}", s.handleDebugProfileByName)
+	s.ready.Store(true)
 	return s, nil
 }
 
@@ -352,6 +457,7 @@ func (s *Server) hydrateLocked(ctx context.Context, ds *Dataset) error {
 	}
 	ds.upd = upd
 	ds.lazyTail = nil
+	ds.hydrated.Store(true)
 	ds.refreshSummaryLocked()
 	return nil
 }
@@ -366,10 +472,16 @@ func (s *Server) Handler() http.Handler { return s.mux }
 // Requests arriving after Close get 503-style errors rather than hanging
 // or panicking.
 func (s *Server) Close() {
-	s.draining.Store(true)
-	s.flushWG.Wait()
-	s.stop()
-	s.pool.Close()
+	s.closeOnce.Do(func() {
+		// Readiness drops first: a load balancer polling /readyz stops
+		// routing here before the drain begins refusing work.
+		s.ready.Store(false)
+		s.draining.Store(true)
+		s.flushWG.Wait()
+		s.closeFlightRecorder()
+		s.stop()
+		s.pool.Close()
+	})
 }
 
 // jobContext derives a pipeline-job context that cancels when either the

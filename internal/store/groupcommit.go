@@ -8,6 +8,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"f2/internal/obs"
 )
 
 // walWriter owns one dataset's WAL file. Every file operation — record
@@ -23,12 +25,23 @@ import (
 type walWriter struct {
 	path string
 
-	mu     sync.Mutex // guards queue + closed; never held across I/O
-	queue  []walOp
-	closed bool
+	mu       sync.Mutex // guards queue + closed + testHold; never held across I/O
+	queue    []walOp
+	closed   bool
+	testHold <-chan struct{} // when set, commitGroup blocks on it first (simulated hang)
 
 	wake chan struct{} // cap 1: nudges the committer
 	done chan struct{} // closed when the committer exits
+
+	// beat marks committer liveness: beaten at the top of every loop
+	// iteration, so its age while work is pending measures how long one
+	// group commit (or compaction) has been stuck. inflight carries the
+	// staged-time of the oldest entry in the group currently being
+	// committed (UnixNano; 0 when idle) — without it, a batch the
+	// committer has already dequeued would vanish from the backlog the
+	// moment it started to hang, which is exactly when it matters.
+	beat     obs.Heartbeat
+	inflight atomic.Int64
 
 	// Committer-goroutine-only state below.
 	f      *os.File
@@ -154,10 +167,12 @@ func (w *walWriter) close() error {
 func (w *walWriter) run() {
 	defer close(w.done)
 	for {
+		w.beat.Beat()
 		w.mu.Lock()
 		ops := w.queue
 		w.queue = nil
 		closed := w.closed
+		hold := w.testHold
 		w.mu.Unlock()
 		if len(ops) == 0 {
 			if closed {
@@ -177,7 +192,7 @@ func (w *walWriter) run() {
 				for j < len(ops) && ops[j].entry != nil {
 					j++
 				}
-				w.commitGroup(ops[i:j])
+				w.commitGroup(ops[i:j], hold)
 				i = j
 				continue
 			}
@@ -187,11 +202,53 @@ func (w *walWriter) run() {
 	}
 }
 
+// holdCommits installs a test-only gate: every subsequent group commit
+// blocks reading from ch before touching the file, simulating a
+// committer hung in its fsync. Close (or send on) ch to release it.
+func (w *walWriter) holdCommits(ch <-chan struct{}) {
+	w.mu.Lock()
+	w.testHold = ch
+	w.mu.Unlock()
+}
+
+// pending reports the committer's backlog: batches staged or mid-commit,
+// and the age of the oldest one. The in-flight group counts — a batch
+// the committer dequeued and then hung on must not vanish from the
+// backlog at exactly the moment a watchdog needs to see it.
+func (w *walWriter) pending(now time.Time) (batches int, oldest time.Duration) {
+	w.mu.Lock()
+	var oldestT time.Time
+	for _, op := range w.queue {
+		if op.entry == nil {
+			continue
+		}
+		batches++
+		if oldestT.IsZero() || op.entry.staged.Before(oldestT) {
+			oldestT = op.entry.staged
+		}
+	}
+	w.mu.Unlock()
+	if ns := w.inflight.Load(); ns != 0 {
+		batches++
+		if t := time.Unix(0, ns); oldestT.IsZero() || t.Before(oldestT) {
+			oldestT = t
+		}
+	}
+	if !oldestT.IsZero() && now.After(oldestT) {
+		oldest = now.Sub(oldestT)
+	}
+	return batches, oldest
+}
+
 // commitGroup writes every entry's framed record, fsyncs once, then runs
 // the per-entry commit callbacks in stage order — which per dataset is
 // sequence order — before releasing any waiter. The callbacks run with
 // no store lock held.
-func (w *walWriter) commitGroup(ops []walOp) {
+func (w *walWriter) commitGroup(ops []walOp, hold <-chan struct{}) {
+	w.inflight.Store(ops[0].entry.staged.UnixNano())
+	if hold != nil {
+		<-hold
+	}
 	res := walResult{grouped: len(ops)}
 	switch {
 	case w.broken != nil:
@@ -231,6 +288,9 @@ func (w *walWriter) commitGroup(ops []walOp) {
 			}
 		}
 	}
+	// Clear the in-flight marker before releasing any waiter: a caller
+	// returning from Wait must not still see its batch in the backlog.
+	w.inflight.Store(0)
 	for _, op := range ops {
 		op.entry.done <- res
 	}

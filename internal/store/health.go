@@ -1,0 +1,78 @@
+package store
+
+import "time"
+
+// WALHealth is a point-in-time reading of the group-commit pipeline,
+// aggregated across every open committer. The server's health model
+// turns OldestStagedAge and CommitterBeatAge into degraded/failing
+// verdicts; both are zero when nothing is pending, so an idle service
+// (whose committers legitimately sleep for hours) never looks stalled.
+type WALHealth struct {
+	// Writers is the number of datasets with an open committer.
+	Writers int
+	// QueuedBatches counts append batches staged or mid-commit.
+	QueuedBatches int
+	// OldestStagedAge is how long the oldest pending batch has waited.
+	OldestStagedAge time.Duration
+	// CommitterBeatAge is the oldest heartbeat among committers that
+	// have pending work — how long the busiest committer has gone
+	// without completing a loop iteration.
+	CommitterBeatAge time.Duration
+}
+
+// WALHealth inspects every committer's backlog and heartbeat. Writers
+// are snapshotted under the store lock but inspected outside it: pending
+// takes each writer's own mutex, and nesting foreign locks under s.mu is
+// the inversion pattern the lockheld analyzer exists to catch.
+func (s *Store) WALHealth() WALHealth {
+	s.mu.Lock()
+	writers := make([]*walWriter, 0, len(s.wals))
+	for _, w := range s.wals {
+		writers = append(writers, w)
+	}
+	s.mu.Unlock()
+	now := time.Now()
+	h := WALHealth{Writers: len(writers)}
+	for _, w := range writers {
+		batches, oldest := w.pending(now)
+		h.QueuedBatches += batches
+		if oldest > h.OldestStagedAge {
+			h.OldestStagedAge = oldest
+		}
+		if batches > 0 {
+			if age := w.beat.Age(); age > h.CommitterBeatAge {
+				h.CommitterBeatAge = age
+			}
+		}
+	}
+	return h
+}
+
+// GCDebt reports the datasets whose last rotation-time chunk sweep
+// failed, keyed by dataset id with the sweep error as the value. A
+// failed sweep leaks disk, never correctness — the debt names datasets
+// carrying unreferenced chunks until their next successful rotation.
+func (s *Store) GCDebt() map[string]string {
+	s.gcMu.Lock()
+	defer s.gcMu.Unlock()
+	out := make(map[string]string, len(s.gcDebt))
+	for id, msg := range s.gcDebt {
+		out[id] = msg
+	}
+	return out
+}
+
+// noteGCDebt records (err != nil) or clears (err == nil) a dataset's
+// sweep debt after a rotation's GC pass.
+func (s *Store) noteGCDebt(id string, err error) {
+	if err != nil {
+		s.snap.gcFailures.Add(1)
+	}
+	s.gcMu.Lock()
+	defer s.gcMu.Unlock()
+	if err != nil {
+		s.gcDebt[id] = err.Error()
+		return
+	}
+	delete(s.gcDebt, id)
+}

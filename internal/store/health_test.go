@@ -1,0 +1,169 @@
+package store
+
+import (
+	"context"
+	"errors"
+	"math/rand"
+	"testing"
+	"time"
+)
+
+func TestWALHealthIdle(t *testing.T) {
+	s, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	h := s.WALHealth()
+	if h.Writers != 0 || h.QueuedBatches != 0 || h.OldestStagedAge != 0 || h.CommitterBeatAge != 0 {
+		t.Fatalf("fresh store reports backlog: %+v", h)
+	}
+
+	// An append opens a committer; once acked, the backlog is empty again
+	// and the idle committer must not read as stalled no matter how long
+	// it sleeps.
+	rng := rand.New(rand.NewSource(1))
+	if err := s.AppendBatch(context.Background(), "ds1", Batch{Seq: 1, Rows: [][]string{testRow(rng, 0)}}); err != nil {
+		t.Fatal(err)
+	}
+	h = s.WALHealth()
+	if h.Writers != 1 {
+		t.Fatalf("Writers = %d, want 1", h.Writers)
+	}
+	if h.QueuedBatches != 0 || h.OldestStagedAge != 0 || h.CommitterBeatAge != 0 {
+		t.Fatalf("acked store reports backlog: %+v", h)
+	}
+}
+
+func TestWALHealthHungCommitter(t *testing.T) {
+	s, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	rng := rand.New(rand.NewSource(2))
+	ctx := context.Background()
+	if err := s.AppendBatch(ctx, "ds1", Batch{Seq: 1, Rows: [][]string{testRow(rng, 0)}}); err != nil {
+		t.Fatal(err)
+	}
+	s.mu.Lock()
+	w := s.wals["ds1"]
+	s.mu.Unlock()
+	if w == nil {
+		t.Fatal("no committer after append")
+	}
+
+	// Gate the committer, stage a batch behind the gate, and watch the
+	// backlog age while the commit hangs.
+	hold := make(chan struct{})
+	w.holdCommits(hold)
+	ack, err := s.StageAppend("ds1", Batch{Seq: 2, Rows: [][]string{testRow(rng, 1)}}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	var h WALHealth
+	for time.Now().Before(deadline) {
+		h = s.WALHealth()
+		if h.QueuedBatches > 0 && h.OldestStagedAge > 0 && h.CommitterBeatAge > 0 {
+			break
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if h.QueuedBatches == 0 {
+		t.Fatalf("hung committer invisible in backlog: %+v", h)
+	}
+	if h.OldestStagedAge <= 0 || h.CommitterBeatAge <= 0 {
+		t.Fatalf("hung committer ages not growing: %+v", h)
+	}
+
+	// Release; the batch commits and the backlog drains.
+	w.holdCommits(nil)
+	close(hold)
+	if err := ack.Wait(ctx); err != nil {
+		t.Fatal(err)
+	}
+	deadline = time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		h = s.WALHealth()
+		if h.QueuedBatches == 0 {
+			break
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if h.QueuedBatches != 0 || h.OldestStagedAge != 0 {
+		t.Fatalf("backlog did not drain after release: %+v", h)
+	}
+}
+
+func TestGCDebtRecordedAndCleared(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	rng := rand.New(rand.NewSource(3))
+	cfg := testConfig("gc-debt")
+	upd := newUpdater(t, cfg, testTable(rng, 8))
+	rec := record("ds1", cfg, upd, 0)
+
+	// First save succeeds: no debt.
+	if err := s.SaveSnapshot(context.Background(), rec); err != nil {
+		t.Fatal(err)
+	}
+	if debt := s.GCDebt(); len(debt) != 0 {
+		t.Fatalf("clean save left debt: %v", debt)
+	}
+
+	// Grow the dataset so the next rotation orphans the old trailing
+	// chunk, then fail its sweep.
+	if err := upd.Buffer([][]string{testRow(rng, 100)}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := upd.Flush(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	errSweep := errors.New("injected sweep failure")
+	s.testCrash = func(p string) error {
+		if p == "gc" {
+			return errSweep
+		}
+		return nil
+	}
+	err = s.SaveSnapshot(context.Background(), record("ds1", cfg, upd, 0))
+	if !errors.Is(err, errSweep) {
+		t.Fatalf("injected sweep failure did not surface: %v", err)
+	}
+	debt := s.GCDebt()
+	if debt["ds1"] == "" {
+		t.Fatalf("failed sweep not recorded as debt: %v", debt)
+	}
+	if got := s.SnapshotStats().GCFailures; got != 1 {
+		t.Fatalf("GCFailures = %d, want 1", got)
+	}
+
+	// A later clean rotation settles the debt.
+	s.testCrash = nil
+	if err := s.SaveSnapshot(context.Background(), record("ds1", cfg, upd, 0)); err != nil {
+		t.Fatal(err)
+	}
+	if debt := s.GCDebt(); len(debt) != 0 {
+		t.Fatalf("clean rotation did not clear debt: %v", debt)
+	}
+}
+
+func TestGCDebtClearedOnDelete(t *testing.T) {
+	s, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	s.noteGCDebt("ds1", errors.New("leftover"))
+	if err := s.Delete("ds1"); err != nil {
+		t.Fatal(err)
+	}
+	if debt := s.GCDebt(); len(debt) != 0 {
+		t.Fatalf("delete did not settle debt: %v", debt)
+	}
+}

@@ -28,6 +28,7 @@ type snapStats struct {
 	chunksReused  atomic.Uint64
 	bytesWritten  atomic.Uint64
 	bytesReused   atomic.Uint64
+	gcFailures    atomic.Uint64
 }
 
 // SnapshotStats is a point-in-time copy of the rotation counters.
@@ -42,6 +43,10 @@ type SnapshotStats struct {
 	ChunksReused  uint64
 	BytesWritten  uint64
 	BytesReused   uint64
+	// GCFailures counts rotation-time chunk sweeps that failed (each
+	// leaks unreferenced chunks until the next successful rotation; see
+	// Store.GCDebt for which datasets currently carry that debt).
+	GCFailures uint64
 }
 
 // SnapshotStats reports the cumulative rotation counters.
@@ -51,6 +56,7 @@ func (s *Store) SnapshotStats() SnapshotStats {
 		ChunksReused:  s.snap.chunksReused.Load(),
 		BytesWritten:  s.snap.bytesWritten.Load(),
 		BytesReused:   s.snap.bytesReused.Load(),
+		GCFailures:    s.snap.gcFailures.Load(),
 	}
 }
 
@@ -210,6 +216,9 @@ func (s *Store) rotateSnapshot(ctx context.Context, rec *Record, keyEnc string, 
 	gc.End()
 	// A failed sweep leaks disk, never correctness: the chunks it left
 	// behind are unreferenced and the next rotation sweeps them again.
+	// The debt ledger (and the f2_snapshot_gc_failures_total counter it
+	// feeds) is how anyone finds out before the disk does.
+	s.noteGCDebt(rec.ID, err)
 	return err
 }
 

@@ -116,6 +116,9 @@ type Store struct {
 	rotMu sync.Mutex
 	rots  map[string]*sync.RWMutex // per-dataset rotation locks
 
+	gcMu   sync.Mutex
+	gcDebt map[string]string // dataset id -> last failed chunk-sweep error
+
 	stats walStats
 	snap  snapStats
 
@@ -171,6 +174,7 @@ func OpenOptions(dir string, opts Options) (*Store, error) {
 		chunkRows: chunkRows,
 		wals:      make(map[string]*walWriter),
 		rots:      make(map[string]*sync.RWMutex),
+		gcDebt:    make(map[string]string),
 	}, nil
 }
 
@@ -407,6 +411,9 @@ func (s *Store) Delete(id string) error {
 	s.rotMu.Lock()
 	delete(s.rots, id)
 	s.rotMu.Unlock()
+	// A deleted dataset's leaked chunks went with its directory; its
+	// sweep debt is settled.
+	s.noteGCDebt(id, nil)
 	return err
 }
 

@@ -65,6 +65,43 @@ check_logs() {
   fi
 }
 
+# /metrics must be a well-formed Prometheus exposition: every sample
+# family carries HELP and TYPE, no series (name+labels) appears twice,
+# and the flight recorder's f2_runtime_* series are present. A renamed
+# gauge or a double-registered callback shows up here, not in a scrape
+# dashboard three weeks later.
+check_metrics() {
+  local metrics="$1"
+  local problems
+  problems="$(printf '%s\n' "$metrics" | awk '
+    /^# HELP /  { help[$3] = 1; next }
+    /^# TYPE /  { type[$3] = 1; next }
+    /^#/        { next }
+    /^[[:space:]]*$/ { next }
+    {
+      series = $0
+      sub(/ [^ ]*$/, "", series)      # strip the value
+      if (seen[series]++) { print "duplicate series: " series; bad = 1 }
+      fam = series
+      sub(/\{.*/, "", fam)            # strip labels
+      base = fam
+      sub(/_(bucket|sum|count|max)$/, "", base)   # histogram children share the family HELP/TYPE
+      if (!(fam in help) && !(base in help)) { print "missing HELP for " fam; bad = 1 }
+      if (!(fam in type) && !(base in type)) { print "missing TYPE for " fam; bad = 1 }
+    }
+    END { exit bad }
+  ' 2>&1)" || {
+    printf '%s\n' "$problems" >&2
+    die "malformed /metrics exposition (details above)"
+  }
+  printf '%s' "$metrics" | grep -q '^f2_runtime_heap_bytes ' \
+    || die "f2_runtime_heap_bytes missing from /metrics"
+  printf '%s' "$metrics" | grep -q '^f2_runtime_goroutines ' \
+    || die "f2_runtime_goroutines missing from /metrics"
+  printf '%s' "$metrics" | grep -q '^f2_runtime_gc_pause_seconds{quantile="0.99"}' \
+    || die "f2_runtime_gc_pause_seconds quantile series missing from /metrics"
+}
+
 echo "== build"
 go build -o "$BIN" ./cmd/f2served
 
@@ -110,6 +147,8 @@ STATUS="$(curl -s -o /dev/null -w '%{http_code}' "$BASE/v1/datasets/$ID")"
 # trip pipefail even on a match.
 METRICS="$(curl -fs "$BASE/metrics")"
 printf '%s' "$METRICS" | grep -q '^f2_datasets 0$' || die "f2_datasets gauge not decremented"
+echo "== validate metrics exposition"
+check_metrics "$METRICS"
 [ ! -d "$DATA/datasets/$ID" ] || die "store directory survives delete"
 
 # And deletion is durable too.
